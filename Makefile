@@ -1,0 +1,56 @@
+# Development entry points. Everything is plain `go` underneath; the
+# targets just encode the parameters used for the shipped artifacts.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz verify results examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure plus the substrate
+# ablations; writes the artifact shipped as bench_output.txt.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Short fuzzing pass over the stateful structures.
+fuzz:
+	$(GO) test -fuzz FuzzEstimate -fuzztime 30s ./internal/eh
+	$(GO) test -fuzz FuzzLMFD -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzSWOR -fuzztime 30s ./internal/core
+
+# CI gate: re-runs the paper's qualitative shape checks; non-zero exit
+# on any DIFF.
+verify:
+	$(GO) run ./cmd/swbench verify
+
+# Regenerates every table and figure into results_*.txt.
+results:
+	$(GO) run ./cmd/swbench all > results_all.txt
+	$(GO) run ./cmd/swbench ablation > results_ablation.txt
+	$(GO) run ./cmd/swbench drift > results_drift.txt
+	$(GO) run ./cmd/swbench projerr > results_projerr.txt
+	$(GO) run ./cmd/swbench winsweep > results_winsweep.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pca_anomaly
+	$(GO) run ./examples/textstream
+	$(GO) run ./examples/activity
+	$(GO) run ./examples/checkpoint
+	$(GO) run ./examples/distributed
+
+clean:
+	$(GO) clean ./...

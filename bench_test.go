@@ -1,0 +1,238 @@
+// Benchmarks regenerating each table and figure of the paper at
+// reduced scale. Error figures (3, 4, 6, 7, 8) run one mini
+// experiment per iteration and report the observed covariance errors
+// via b.ReportMetric; update-cost figures (5, 9) are plain throughput
+// benchmarks whose ns/op IS the figure's y-axis. The full-scale
+// regenerator is cmd/swbench.
+package swsketch_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/eval"
+	"swsketch/internal/window"
+)
+
+// benchScale keeps every benchmark iteration around a second.
+const (
+	benchN   = 6000
+	benchWin = 800
+)
+
+var (
+	datasetOnce  sync.Once
+	benchSeqData map[string]*data.Dataset
+	benchTimeSet map[string]*data.Dataset
+	benchDelta   map[string]float64
+)
+
+func benchDatasets() {
+	datasetOnce.Do(func() {
+		benchSeqData = map[string]*data.Dataset{
+			"SYNTHETIC": data.Synthetic(data.SyntheticConfig{N: benchN, D: 60, SignalDim: 30, Seed: 1}),
+			"BIBD":      data.BIBD(data.BIBDConfig{V: 22, K: 8, N: benchN, Seed: 2}),
+			"PAMAP":     data.PAMAP(data.PAMAPConfig{N: benchN, D: 35, SkewAt: benchN * 5 / 8, SkewLen: benchWin / 2, Seed: 3}),
+		}
+		wiki := data.Wiki(data.WikiConfig{N: benchN, D: 120, Seed: 4})
+		rail := data.Rail(data.RailConfig{N: benchN, D: 120, Seed: 5})
+		benchTimeSet = map[string]*data.Dataset{"WIKI": wiki, "RAIL": rail}
+		span := wiki.Times[wiki.N()-1] - wiki.Times[0]
+		benchDelta = map[string]float64{
+			"WIKI": span * benchWin / benchN,
+			"RAIL": 2 * benchWin,
+		}
+	})
+}
+
+// reportErrors runs one evaluation pass and reports the figure's error
+// metrics. ns/op then measures the full experiment, documenting its cost.
+func reportErrors(b *testing.B, ds *data.Dataset, spec window.Spec, specs []eval.SketchSpec) {
+	b.Helper()
+	cfg := eval.Config{Spec: spec, QueryStride: 1200, Warmup: benchWin, MaxQueries: 4, SkipTiming: true}
+	var avg, max float64
+	var rows int
+	for i := 0; i < b.N; i++ {
+		ms := eval.Evaluate(ds, specs, cfg)
+		avg, max, rows = 0, 0, 0
+		for _, m := range ms {
+			avg += m.AvgErr / float64(len(ms))
+			if m.MaxErr > max {
+				max = m.MaxErr
+			}
+			if m.MaxRows > rows {
+				rows = m.MaxRows
+			}
+		}
+	}
+	b.ReportMetric(avg, "avg-err")
+	b.ReportMetric(max, "max-err")
+	b.ReportMetric(float64(rows), "max-rows")
+}
+
+// sketchLadder builds a single mid-size configuration of each
+// algorithm for one dataset, mirroring a middle column of the figures.
+func sketchLadder(ds *data.Dataset, spec window.Spec, withDI bool) []eval.SketchSpec {
+	d := ds.D()
+	specs := []eval.SketchSpec{
+		{Label: "SWR", Param: "ell=40", New: func() core.WindowSketch { return core.NewSWR(spec, 40, d, 11) }},
+		{Label: "SWOR", Param: "ell=40", New: func() core.WindowSketch { return core.NewSWOR(spec, 40, d, 12) }},
+		{Label: "SWOR-ALL", Param: "ell=40", New: func() core.WindowSketch { return core.NewSWORAll(spec, 40, d, 13) }},
+		{Label: "LM-FD", Param: "ell=24,b=8", New: func() core.WindowSketch { return core.NewLMFD(spec, d, 24, 8) }},
+	}
+	if withDI {
+		_, maxSq := ds.NormRatio()
+		cfg := core.DIConfig{N: benchWin, R: maxSq, L: 6, Ell: 64, RSlack: 1.01}
+		specs = append(specs, eval.SketchSpec{
+			Label: "DI-FD", Param: "L=6,ell=64",
+			New: func() core.WindowSketch { return core.NewDIFD(cfg, d) },
+		})
+	}
+	return specs
+}
+
+// BenchmarkTable2 regenerates the sequence-dataset statistics; the
+// reported metric is each dataset's norm ratio R.
+func BenchmarkTable2(b *testing.B) {
+	benchDatasets()
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		ds := benchSeqData[name]
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				ratio, _ = ds.NormRatio()
+			}
+			b.ReportMetric(ratio, "ratio-R")
+			b.ReportMetric(float64(ds.N()), "rows")
+			b.ReportMetric(float64(ds.D()), "d")
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates the time-dataset statistics.
+func BenchmarkTable3(b *testing.B) {
+	benchDatasets()
+	for _, name := range []string{"WIKI", "RAIL"} {
+		ds := benchTimeSet[name]
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				ratio, _ = ds.NormRatio()
+			}
+			b.ReportMetric(ratio, "ratio-R")
+			b.ReportMetric(benchDelta[name], "delta")
+		})
+	}
+}
+
+// BenchmarkFig3 regenerates the average-error-vs-size experiment
+// (sequence windows); avg-err is the figure's metric.
+func BenchmarkFig3(b *testing.B) {
+	benchDatasets()
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		ds := benchSeqData[name]
+		b.Run(name, func(b *testing.B) {
+			reportErrors(b, ds, window.Seq(benchWin), sketchLadder(ds, window.Seq(benchWin), true))
+		})
+	}
+}
+
+// BenchmarkFig4 shares Fig 3's runs in swbench; here it reports the
+// max-error view of the same mini experiment.
+func BenchmarkFig4(b *testing.B) {
+	benchDatasets()
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		ds := benchSeqData[name]
+		b.Run(name, func(b *testing.B) {
+			reportErrors(b, ds, window.Seq(benchWin), sketchLadder(ds, window.Seq(benchWin), true))
+		})
+	}
+}
+
+// BenchmarkFig5 measures per-row update cost on sequence windows —
+// ns/op is exactly the figure's y-axis.
+func BenchmarkFig5(b *testing.B) {
+	benchDatasets()
+	spec := window.Seq(benchWin)
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		ds := benchSeqData[name]
+		for _, sk := range sketchLadder(ds, spec, true) {
+			b.Run(fmt.Sprintf("%s/%s", name, sk.Label), func(b *testing.B) {
+				s := sk.New()
+				rows := ds.Rows
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Update(rows[i%len(rows)], float64(i))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 runs the offline skewed-window sampling study; the
+// reported metrics are the SWR and SWOR errors at ℓ=40 and ℓ=160 —
+// enough to expose the SWOR-grows-with-ℓ anomaly.
+func BenchmarkFig6(b *testing.B) {
+	benchDatasets()
+	ds := benchSeqData["PAMAP"]
+	from := benchN * 5 / 8
+	to := from + benchWin/2
+	var pts []eval.OfflinePoint
+	for i := 0; i < b.N; i++ {
+		pts = eval.OfflineSampling(ds, from, to, []int{40, 160}, 5, 1)
+	}
+	b.ReportMetric(pts[0].SWR, "swr-err-40")
+	b.ReportMetric(pts[1].SWR, "swr-err-160")
+	b.ReportMetric(pts[0].SWORPerRow, "swor-err-40")
+	b.ReportMetric(pts[1].SWORPerRow, "swor-err-160")
+}
+
+// BenchmarkFig7 regenerates the time-window average-error experiment.
+func BenchmarkFig7(b *testing.B) {
+	benchDatasets()
+	for _, name := range []string{"WIKI", "RAIL"} {
+		ds := benchTimeSet[name]
+		spec := window.TimeSpan(benchDelta[name])
+		b.Run(name, func(b *testing.B) {
+			reportErrors(b, ds, spec, sketchLadder(ds, spec, false))
+		})
+	}
+}
+
+// BenchmarkFig8 reports the max-error view of the time-window runs.
+func BenchmarkFig8(b *testing.B) {
+	benchDatasets()
+	for _, name := range []string{"WIKI", "RAIL"} {
+		ds := benchTimeSet[name]
+		spec := window.TimeSpan(benchDelta[name])
+		b.Run(name, func(b *testing.B) {
+			reportErrors(b, ds, spec, sketchLadder(ds, spec, false))
+		})
+	}
+}
+
+// BenchmarkFig9 measures per-row update cost on time windows.
+func BenchmarkFig9(b *testing.B) {
+	benchDatasets()
+	for _, name := range []string{"WIKI", "RAIL"} {
+		ds := benchTimeSet[name]
+		spec := window.TimeSpan(benchDelta[name])
+		for _, sk := range sketchLadder(ds, spec, false) {
+			b.Run(fmt.Sprintf("%s/%s", name, sk.Label), func(b *testing.B) {
+				s := sk.New()
+				rows := ds.Rows
+				times := ds.Times
+				span := times[len(times)-1] + 1
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					idx := i % len(rows)
+					// Keep timestamps monotone across wraparounds.
+					s.Update(rows[idx], float64(i/len(rows))*span+times[idx])
+				}
+			})
+		}
+	}
+}

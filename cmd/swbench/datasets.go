@@ -1,0 +1,124 @@
+package main
+
+import (
+	"math"
+
+	"swsketch/internal/data"
+)
+
+// scaleCfg holds the knobs that trade fidelity against run time. The
+// defaults reproduce every figure's shape in minutes on a laptop; the
+// paper-scale values are reachable with -full (hours).
+type scaleCfg struct {
+	seqN    int // rows per sequence-based dataset
+	timeN   int // rows per time-based dataset
+	win     int // sequence window size (paper: 10,000)
+	wikiD   int // WIKI vocabulary (paper: 7047)
+	railD   int // RAIL columns (paper: 2586)
+	synthD  int // SYNTHETIC columns (paper: 300)
+	stride  int // query stride
+	maxQ    int // max evaluated windows per run
+	trials6 int // Figure 6 trials
+	seed    int64
+}
+
+func defaultScale() scaleCfg {
+	return scaleCfg{
+		seqN:    24000,
+		timeN:   24000,
+		win:     2000,
+		wikiD:   300,
+		railD:   250,
+		synthD:  100,
+		stride:  1500,
+		maxQ:    14,
+		trials6: 10,
+		seed:    1,
+	}
+}
+
+func fullScale() scaleCfg {
+	return scaleCfg{
+		seqN:    200000,
+		timeN:   200000,
+		win:     10000,
+		wikiD:   7047,
+		railD:   2586,
+		synthD:  300,
+		stride:  5000,
+		maxQ:    40,
+		trials6: 20,
+		seed:    1,
+	}
+}
+
+// seqDataset builds one of the Table 2 sequence-window datasets.
+func (sc scaleCfg) seqDataset(name string) *data.Dataset {
+	switch name {
+	case "SYNTHETIC":
+		return data.Synthetic(data.SyntheticConfig{
+			N: sc.seqN, D: sc.synthD, SignalDim: sc.synthD / 2, Seed: uint64(sc.seed),
+		})
+	case "BIBD":
+		return data.BIBD(data.BIBDConfig{V: 22, K: 8, N: sc.seqN, Seed: uint64(sc.seed) + 1})
+	case "PAMAP":
+		return data.PAMAP(data.PAMAPConfig{
+			N: sc.seqN, D: 35,
+			SkewAt: sc.pamapSkewAt(), SkewLen: sc.win / 2,
+			Seed: uint64(sc.seed) + 2,
+		})
+	default:
+		panic("swbench: unknown sequence dataset " + name)
+	}
+}
+
+// pamapSkewAt places the skewed segment past the warmup region, the
+// analogue of the paper's rows 125,000–135,000.
+func (sc scaleCfg) pamapSkewAt() int { return sc.seqN * 5 / 8 }
+
+// timeDataset builds one of the Table 3 time-window datasets and
+// returns it with the window span Δ chosen so a window holds ≈ win
+// rows on average (the paper's Δ=578 days / Δ=5000 conventions).
+func (sc scaleCfg) timeDataset(name string) (*data.Dataset, float64) {
+	switch name {
+	case "WIKI":
+		ds := data.Wiki(data.WikiConfig{N: sc.timeN, D: sc.wikiD, Seed: uint64(sc.seed) + 3})
+		span := ds.Times[ds.N()-1] - ds.Times[0]
+		delta := span * float64(sc.win) / float64(sc.timeN)
+		return ds, delta
+	case "RAIL":
+		ds := data.Rail(data.RailConfig{N: sc.timeN, D: sc.railD, Seed: uint64(sc.seed) + 4})
+		// λ = 0.5 ⇒ mean gap 2 ⇒ Δ = 2·win for ≈ win rows per window.
+		return ds, 2 * float64(sc.win)
+	default:
+		panic("swbench: unknown time dataset " + name)
+	}
+}
+
+// diLevels picks the DI level count for a dataset and error target:
+// the paper's L = ⌈log₂(R/ε)⌉, clamped by the practical bound the
+// paper itself reports using ("the sketch size of our design is
+// typically much smaller than our theoretical bounds' dependence on
+// R"): enough levels that ≈64 level-1 blocks tile a window by mass
+// (massSkew = maxSq/avgSq), but no more — heavy-tailed datasets
+// (PAMAP) would otherwise spend a floor-size sketch per near-empty
+// block. DI still loses on such data; this clamp only keeps its space
+// in the same decade as the other algorithms so the figures overlap.
+func diLevels(ratio, eps, massSkew float64) int {
+	if ratio < 1 {
+		ratio = 1
+	}
+	l := int(math.Ceil(math.Log2(ratio / eps)))
+	if massSkew >= 1 {
+		if lim := int(math.Ceil(math.Log2(64 * massSkew))); l > lim {
+			l = lim
+		}
+	}
+	if l < 3 {
+		l = 3
+	}
+	if l > 22 {
+		l = 22
+	}
+	return l
+}

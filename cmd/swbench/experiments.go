@@ -1,0 +1,299 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/eval"
+	"swsketch/internal/window"
+)
+
+// sweep is the shared size-parameter ladder: the paper varies each
+// algorithm's knob to trace error/size/time curves.
+var (
+	samplerElls = []int{10, 20, 40, 80, 160}
+	lmConfigs   = [][2]int{{8, 4}, {16, 6}, {24, 8}, {32, 12}, {48, 16}} // (ell, b)
+	diEpsLadder = []float64{0.4, 0.2, 0.1, 0.05, 0.025}                  // ε ⇒ L=⌈log₂(R/ε)⌉, ℓ≈4/ε
+	bestKs      = []int{8, 16, 32, 64, 128}
+)
+
+// seqSpecs builds the sequence-window sketch ladder for one dataset.
+func seqSpecs(ds *data.Dataset, win int, seed int64, withDI bool) []eval.SketchSpec {
+	spec := window.Seq(win)
+	d := ds.D()
+	var specs []eval.SketchSpec
+	for _, ell := range samplerElls {
+		ell := ell
+		specs = append(specs,
+			eval.SketchSpec{Label: "SWR", Param: fmt.Sprintf("ell=%d", ell), New: func() core.WindowSketch {
+				return core.NewSWR(spec, ell, d, seed+int64(ell))
+			}},
+			eval.SketchSpec{Label: "SWOR", Param: fmt.Sprintf("ell=%d", ell), New: func() core.WindowSketch {
+				return core.NewSWOR(spec, ell, d, seed+1000+int64(ell))
+			}},
+			eval.SketchSpec{Label: "SWOR-ALL", Param: fmt.Sprintf("ell=%d", ell), New: func() core.WindowSketch {
+				return core.NewSWORAll(spec, ell, d, seed+2000+int64(ell))
+			}},
+		)
+	}
+	for _, cfg := range lmConfigs {
+		ell, b := cfg[0], cfg[1]
+		specs = append(specs, eval.SketchSpec{
+			Label: "LM-FD", Param: fmt.Sprintf("ell=%d,b=%d", ell, b),
+			New: func() core.WindowSketch { return core.NewLMFD(spec, d, ell, b) },
+		})
+	}
+	if withDI {
+		ratio, maxSq := ds.NormRatio()
+		avgSq := datasetAvgSqNorm(ds)
+		for _, eps := range diEpsLadder {
+			l := diLevels(ratio, eps, maxSq/avgSq)
+			ell := int(4 / eps)
+			cfg := core.DIConfig{N: win, R: maxSq, L: l, Ell: ell, RSlack: 1.01}
+			specs = append(specs, eval.SketchSpec{
+				Label: "DI-FD", Param: fmt.Sprintf("eps=%g,L=%d,ell=%d", eps, l, ell),
+				New: func() core.WindowSketch { return core.NewDIFD(cfg, d) },
+			})
+		}
+	}
+	return specs
+}
+
+// timeSpecs builds the time-window sketch ladder (no DI: sequence only).
+func timeSpecs(d int, delta float64, seed int64) []eval.SketchSpec {
+	spec := window.TimeSpan(delta)
+	var specs []eval.SketchSpec
+	for _, ell := range samplerElls {
+		ell := ell
+		specs = append(specs,
+			eval.SketchSpec{Label: "SWR", Param: fmt.Sprintf("ell=%d", ell), New: func() core.WindowSketch {
+				return core.NewSWR(spec, ell, d, seed+int64(ell))
+			}},
+			eval.SketchSpec{Label: "SWOR", Param: fmt.Sprintf("ell=%d", ell), New: func() core.WindowSketch {
+				return core.NewSWOR(spec, ell, d, seed+1000+int64(ell))
+			}},
+			eval.SketchSpec{Label: "SWOR-ALL", Param: fmt.Sprintf("ell=%d", ell), New: func() core.WindowSketch {
+				return core.NewSWORAll(spec, ell, d, seed+2000+int64(ell))
+			}},
+		)
+	}
+	for _, cfg := range lmConfigs {
+		ell, b := cfg[0], cfg[1]
+		specs = append(specs, eval.SketchSpec{
+			Label: "LM-FD", Param: fmt.Sprintf("ell=%d,b=%d", ell, b),
+			New: func() core.WindowSketch { return core.NewLMFD(spec, d, ell, b) },
+		})
+	}
+	return specs
+}
+
+// seqExperiment runs the shared Figures 3/4/5 evaluation for one
+// sequence dataset and returns the combined metrics (including BEST).
+func seqExperiment(sc scaleCfg, name string, withTiming bool) []eval.Metrics {
+	ds := sc.seqDataset(name)
+	cfg := eval.Config{
+		Spec:        window.Seq(sc.win),
+		QueryStride: sc.stride,
+		Warmup:      sc.win,
+		MaxQueries:  sc.maxQ,
+		SkipTiming:  !withTiming,
+	}
+	withDI := true // DI applies to all sequence datasets (costly on big R)
+	ms := eval.Evaluate(ds, seqSpecs(ds, sc.win, sc.seed, withDI), cfg)
+	ms = append(ms, eval.EvaluateBestRanks(ds, bestKs, cfg)...)
+	return ms
+}
+
+// timeExperiment runs the Figures 7/8/9 evaluation for one time dataset.
+func timeExperiment(sc scaleCfg, name string, withTiming bool) []eval.Metrics {
+	ds, delta := sc.timeDataset(name)
+	cfg := eval.Config{
+		Spec:        window.TimeSpan(delta),
+		QueryStride: sc.stride,
+		Warmup:      sc.win,
+		MaxQueries:  sc.maxQ,
+		SkipTiming:  !withTiming,
+	}
+	ms := eval.Evaluate(ds, timeSpecs(ds.D(), delta, sc.seed), cfg)
+	ms = append(ms, eval.EvaluateBestRanks(ds, bestKs, cfg)...)
+	return ms
+}
+
+// fig6Experiment reproduces the offline skewed-window sampling study.
+func fig6Experiment(sc scaleCfg) []eval.OfflinePoint {
+	ds := sc.seqDataset("PAMAP")
+	from := sc.pamapSkewAt()
+	to := from + sc.win/2
+	if to > ds.N() {
+		to = ds.N()
+	}
+	ells := []int{10, 20, 40, 80, 160, 320}
+	return eval.OfflineSampling(ds, from, to, ells, sc.trials6, sc.seed)
+}
+
+// printTable2 regenerates Table 2 (sequence datasets).
+func printTable2(w io.Writer, sc scaleCfg) {
+	fmt.Fprintln(w, "== Table 2: data sets for sequence-based windows ==")
+	fmt.Fprintf(w, "  %-11s %-10s %-6s %-8s %s\n", "dataset", "rows n", "d", "N", "ratio R")
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		ds := sc.seqDataset(name)
+		ratio, _ := ds.NormRatio()
+		fmt.Fprintf(w, "  %-11s %-10d %-6d %-8d %.4g\n", ds.Name, ds.N(), ds.D(), sc.win, ratio)
+	}
+	fmt.Fprintln(w)
+}
+
+// printTable3 regenerates Table 3 (time datasets), including the
+// realised mean and max window occupancy.
+func printTable3(w io.Writer, sc scaleCfg) {
+	fmt.Fprintln(w, "== Table 3: data sets for time-based windows ==")
+	fmt.Fprintf(w, "  %-8s %-10s %-6s %-10s %-10s %-10s %s\n",
+		"dataset", "rows n", "d", "Δ", "avg N_w", "max N_w", "ratio R")
+	for _, name := range []string{"WIKI", "RAIL"} {
+		ds, delta := sc.timeDataset(name)
+		avgW, maxW := windowOccupancy(ds, delta)
+		ratio, _ := ds.NormRatio()
+		fmt.Fprintf(w, "  %-8s %-10d %-6d %-10.4g %-10.0f %-10d %.4g\n",
+			ds.Name, ds.N(), ds.D(), delta, avgW, maxW, ratio)
+	}
+	fmt.Fprintln(w)
+}
+
+// windowOccupancy sweeps the stream once, reporting the mean and max
+// number of rows inside the time window.
+func windowOccupancy(ds *data.Dataset, delta float64) (avg float64, max int) {
+	lo := 0
+	var sum float64
+	for i := range ds.Times {
+		for ds.Times[lo] <= ds.Times[i]-delta {
+			lo++
+		}
+		n := i - lo + 1
+		sum += float64(n)
+		if n > max {
+			max = n
+		}
+	}
+	if len(ds.Times) > 0 {
+		avg = sum / float64(len(ds.Times))
+	}
+	return avg, max
+}
+
+// summarizeShape prints the qualitative checks of Section 8 that the
+// reproduction is expected to preserve (who wins where), returning the
+// number of failed checks. Comparisons are made at matched sketch
+// size: for each algorithm we take the error of its largest
+// configuration not exceeding the reference size (the figures' x-axis
+// is size, so unmatched comparisons are meaningless).
+func summarizeShape(w io.Writer, seq map[string][]eval.Metrics) int {
+	series := func(ds, label string) []eval.Metrics {
+		var pts []eval.Metrics
+		for _, m := range seq[ds] {
+			if m.Label == label {
+				pts = append(pts, m)
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].MaxRows < pts[j].MaxRows })
+		return pts
+	}
+	errAtSize := func(pts []eval.Metrics, size int) float64 {
+		if len(pts) == 0 {
+			return math.Inf(1)
+		}
+		best := pts[0].AvgErr
+		for _, p := range pts {
+			if p.MaxRows <= size {
+				best = p.AvgErr
+			}
+		}
+		return best
+	}
+	// beats reports whether algorithm a has lower error than b at a's
+	// largest configuration size.
+	beats := func(ds, a, b string) bool {
+		pa, pb := series(ds, a), series(ds, b)
+		if len(pa) == 0 || len(pb) == 0 {
+			return false
+		}
+		ref := pa[len(pa)-1]
+		return ref.AvgErr < errAtSize(pb, ref.MaxRows)
+	}
+
+	fmt.Fprintln(w, "== Shape checks (paper's qualitative findings, matched sizes) ==")
+	failures := 0
+	check := func(desc string, ok bool) {
+		status := "OK  "
+		if !ok {
+			status = "DIFF"
+			failures++
+		}
+		fmt.Fprintf(w, "  [%s] %s\n", status, desc)
+	}
+	check("DI-FD beats LM-FD on BIBD (R=1)", beats("BIBD", "DI-FD", "LM-FD"))
+	check("LM-FD beats DI-FD on PAMAP (huge R)", beats("PAMAP", "LM-FD", "DI-FD"))
+	check("SWR beats SWOR on PAMAP", beats("PAMAP", "SWR", "SWOR"))
+	check("SWOR beats SWR on SYNTHETIC", beats("SYNTHETIC", "SWOR", "SWR"))
+	check("SWOR-ALL beats SWOR on SYNTHETIC", beats("SYNTHETIC", "SWOR-ALL", "SWOR"))
+	check("BEST is the lower envelope on SYNTHETIC",
+		errAtSize(series("SYNTHETIC", "BEST"), 1<<30) <=
+			math.Min(errAtSize(series("SYNTHETIC", "LM-FD"), 1<<30),
+				errAtSize(series("SYNTHETIC", "SWR"), 1<<30)))
+	fmt.Fprintln(w)
+	return failures
+}
+
+// runVerify executes the sequence experiments, the shape checks, and
+// the Figure 6 anomaly check; it returns the failure count for a
+// CI-style exit code.
+func runVerify(w io.Writer, sc scaleCfg) int {
+	seqResults := map[string][]eval.Metrics{}
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		seqResults[name] = seqExperiment(sc, name, false)
+	}
+	failures := summarizeShape(w, seqResults)
+
+	// Figure 6's anomaly: per-row SWOR error grows past its minimum.
+	pts := fig6Experiment(sc)
+	minErr, last := math.Inf(1), 0.0
+	for _, p := range pts {
+		if p.SWORPerRow < minErr {
+			minErr = p.SWORPerRow
+		}
+		last = p.SWORPerRow
+	}
+	ok := last > minErr*1.05
+	status := "OK  "
+	if !ok {
+		status = "DIFF"
+		failures++
+	}
+	fmt.Fprintf(w, "  [%s] Figure 6: per-row SWOR error grows with ℓ on the skewed window\n", status)
+	// SWR must decrease monotonically-ish (last below first).
+	okSWR := pts[len(pts)-1].SWR < pts[0].SWR
+	status = "OK  "
+	if !okSWR {
+		status = "DIFF"
+		failures++
+	}
+	fmt.Fprintf(w, "  [%s] Figure 6: SWR error decreases with ℓ\n", status)
+	return failures
+}
+
+// datasetAvgSqNorm returns the mean squared row norm.
+func datasetAvgSqNorm(ds *data.Dataset) float64 {
+	if ds.N() == 0 {
+		return 1
+	}
+	var sum float64
+	for _, r := range ds.Rows {
+		for _, v := range r {
+			sum += v * v
+		}
+	}
+	return sum / float64(ds.N())
+}

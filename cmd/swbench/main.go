@@ -1,0 +1,170 @@
+// Command swbench regenerates every table and figure of "Matrix
+// Sketching Over Sliding Windows" (SIGMOD 2016) on synthetic
+// equivalents of the paper's datasets.
+//
+// Usage:
+//
+//	swbench [flags] <experiment>
+//
+// Experiments:
+//
+//	table2   dataset statistics for sequence-based windows
+//	table3   dataset statistics for time-based windows
+//	fig3     avg cova-err vs max sketch size (sequence; 3 datasets)
+//	fig4     max cova-err vs max sketch size (sequence)
+//	fig5     update cost vs max sketch size (sequence)
+//	fig6     offline SWR/SWOR error vs ℓ on the skewed PAMAP window
+//	fig7     avg cova-err vs max sketch size (time; WIKI, RAIL)
+//	fig8     max cova-err vs max sketch size (time)
+//	fig9     update cost vs max sketch size (time)
+//	ablation design-choice studies (framework × backing sketch,
+//	         LM knobs, sampler norm tracker)
+//	drift    window sketches vs whole-history streaming FD under
+//	         distribution shift (the Section 1 motivation)
+//	projerr  rank-k projection-error study (the paper's "different
+//	         error metrics" future work)
+//	winsweep sketch space vs window size (the sublinearity headline)
+//	verify   run the qualitative shape checks; non-zero exit on DIFF
+//	all      everything above plus the qualitative shape checks
+//
+// Flags select run scale: the default completes in minutes and
+// preserves every qualitative conclusion; -full approaches paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swsketch/internal/eval"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "run at (slow) paper scale")
+		csvOut = flag.Bool("csv", false, "emit CSV series instead of aligned text")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		n      = flag.Int("n", 0, "override rows per dataset")
+		win    = flag.Int("window", 0, "override window size (rows)")
+		maxQ   = flag.Int("maxq", 0, "override max evaluated windows per run")
+		stride = flag.Int("stride", 0, "override query stride")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|verify|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	sc := defaultScale()
+	if *full {
+		sc = fullScale()
+	}
+	sc.seed = *seed
+	if *n > 0 {
+		sc.seqN, sc.timeN = *n, *n
+	}
+	if *win > 0 {
+		sc.win = *win
+	}
+	if *maxQ > 0 {
+		sc.maxQ = *maxQ
+	}
+	if *stride > 0 {
+		sc.stride = *stride
+	}
+
+	out := os.Stdout
+	switch cmd := flag.Arg(0); cmd {
+	case "table2":
+		printTable2(out, sc)
+	case "table3":
+		printTable3(out, sc)
+	case "fig3", "fig4", "fig5":
+		metric := map[string]eval.Metric{"fig3": eval.AvgErr, "fig4": eval.MaxErr, "fig5": eval.UpdateNs}[cmd]
+		for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+			ms := seqExperiment(sc, name, cmd == "fig5")
+			emit(out, *csvOut, fmt.Sprintf("%s %s (sequence window N=%d)", cmd, name, sc.win), cmd+"-"+name, ms, metric)
+		}
+	case "fig6":
+		pts := fig6Experiment(sc)
+		eval.WriteOffline(out, "fig6 PAMAP skewed window (offline)", pts)
+	case "fig7", "fig8", "fig9":
+		metric := map[string]eval.Metric{"fig7": eval.AvgErr, "fig8": eval.MaxErr, "fig9": eval.UpdateNs}[cmd]
+		for _, name := range []string{"WIKI", "RAIL"} {
+			ms := timeExperiment(sc, name, cmd == "fig9")
+			emit(out, *csvOut, fmt.Sprintf("%s %s (time window)", cmd, name), cmd+"-"+name, ms, metric)
+		}
+	case "ablation":
+		runAblations(out, sc)
+	case "drift":
+		runDrift(out, sc)
+	case "projerr":
+		runProjErr(out, sc)
+	case "winsweep":
+		runWinSweep(out, sc)
+	case "verify":
+		if failures := runVerify(out, sc); failures > 0 {
+			fmt.Fprintf(os.Stderr, "swbench: %d shape check(s) failed\n", failures)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out, "all shape checks passed")
+	case "all":
+		runAll(sc, *csvOut)
+	default:
+		fmt.Fprintf(os.Stderr, "swbench: unknown experiment %q\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func emit(out *os.File, csv bool, title, figID string, ms []eval.Metrics, metric eval.Metric) {
+	if csv {
+		eval.WriteCSVSeries(out, figID, ms)
+		return
+	}
+	eval.WriteFigure(out, title, ms, metric)
+}
+
+// runAll executes every experiment, reusing the sequence and time runs
+// across the figure triples (the paper's figures 3/4/5 and 7/8/9 are
+// three views of the same runs).
+func runAll(sc scaleCfg, csv bool) {
+	out := os.Stdout
+	printTable2(out, sc)
+	printTable3(out, sc)
+
+	seqResults := map[string][]eval.Metrics{}
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		fmt.Fprintf(os.Stderr, "swbench: running sequence experiment on %s...\n", name)
+		seqResults[name] = seqExperiment(sc, name, true)
+	}
+	for _, fig := range []struct {
+		id     string
+		metric eval.Metric
+	}{{"fig3", eval.AvgErr}, {"fig4", eval.MaxErr}, {"fig5", eval.UpdateNs}} {
+		for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+			emit(out, csv, fmt.Sprintf("%s %s (sequence window N=%d)", fig.id, name, sc.win),
+				fig.id+"-"+name, seqResults[name], fig.metric)
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "swbench: running figure 6 (offline skewed window)...")
+	eval.WriteOffline(out, "fig6 PAMAP skewed window (offline)", fig6Experiment(sc))
+
+	timeResults := map[string][]eval.Metrics{}
+	for _, name := range []string{"WIKI", "RAIL"} {
+		fmt.Fprintf(os.Stderr, "swbench: running time experiment on %s...\n", name)
+		timeResults[name] = timeExperiment(sc, name, true)
+	}
+	for _, fig := range []struct {
+		id     string
+		metric eval.Metric
+	}{{"fig7", eval.AvgErr}, {"fig8", eval.MaxErr}, {"fig9", eval.UpdateNs}} {
+		for _, name := range []string{"WIKI", "RAIL"} {
+			emit(out, csv, fmt.Sprintf("%s %s (time window)", fig.id, name),
+				fig.id+"-"+name, timeResults[name], fig.metric)
+		}
+	}
+
+	summarizeShape(out, seqResults)
+}

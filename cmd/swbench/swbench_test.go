@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"swsketch/internal/data"
+	"swsketch/internal/eval"
+)
+
+func TestDiLevels(t *testing.T) {
+	// BIBD regime: ratio 1, eps 0.1 → small L (floored at 3).
+	if l := diLevels(1, 0.1, 1); l < 3 || l > 5 {
+		t.Fatalf("ratio=1 L=%d", l)
+	}
+	// PAMAP regime: huge ratio, clamped by the mass-skew bound.
+	l := diLevels(2.6e5, 0.1, 1000)
+	want := int(math.Ceil(math.Log2(64 * 1000)))
+	if l != want {
+		t.Fatalf("heavy-tail L=%d, want mass clamp %d", l, want)
+	}
+	// Without skew the theory value applies up to the hard clamp.
+	if l := diLevels(1e9, 0.01, 1e12); l != 22 {
+		t.Fatalf("hard clamp L=%d", l)
+	}
+	// Degenerate ratio below 1 is treated as 1.
+	if l := diLevels(0.5, 0.4, 1); l != 3 {
+		t.Fatalf("degenerate ratio L=%d", l)
+	}
+}
+
+func TestWindowOccupancy(t *testing.T) {
+	ds := &data.Dataset{
+		Rows:  [][]float64{{1}, {1}, {1}, {1}},
+		Times: []float64{0, 1, 2, 10},
+	}
+	avg, max := windowOccupancy(ds, 2.5)
+	if max != 3 {
+		t.Fatalf("max occupancy = %d, want 3", max)
+	}
+	if avg <= 1 || avg > 3 {
+		t.Fatalf("avg occupancy = %v", avg)
+	}
+	empty := &data.Dataset{}
+	if a, m := windowOccupancy(empty, 1); a != 0 || m != 0 {
+		t.Fatal("empty occupancy should be zero")
+	}
+}
+
+func TestScaleDatasets(t *testing.T) {
+	sc := defaultScale()
+	sc.seqN, sc.timeN = 500, 500
+	sc.win = 100
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		ds := sc.seqDataset(name)
+		if ds.N() != 500 {
+			t.Fatalf("%s rows = %d", name, ds.N())
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"WIKI", "RAIL"} {
+		ds, delta := sc.timeDataset(name)
+		if ds.N() != 500 || delta <= 0 {
+			t.Fatalf("%s rows=%d delta=%v", name, ds.N(), delta)
+		}
+	}
+	full := fullScale()
+	if full.seqN <= sc.seqN {
+		t.Fatal("full scale should exceed default")
+	}
+}
+
+func TestUnknownDatasetPanics(t *testing.T) {
+	sc := defaultScale()
+	for _, f := range []func(){
+		func() { sc.seqDataset("NOPE") },
+		func() { sc.timeDataset("NOPE") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarizeShapeCountsFailures(t *testing.T) {
+	// Synthetic metrics where every check passes.
+	mk := func(label string, rows int, err float64) eval.Metrics {
+		return eval.Metrics{Label: label, MaxRows: rows, AvgErr: err}
+	}
+	good := map[string][]eval.Metrics{
+		"BIBD": {
+			mk("DI-FD", 100, 0.05), mk("LM-FD", 100, 0.10),
+		},
+		"PAMAP": {
+			mk("LM-FD", 100, 0.02), mk("DI-FD", 100, 0.20),
+			mk("SWR", 100, 0.03), mk("SWOR", 100, 0.06),
+		},
+		"SYNTHETIC": {
+			mk("SWOR", 100, 0.04), mk("SWR", 100, 0.06),
+			mk("SWOR-ALL", 100, 0.02),
+			mk("BEST", 100, 0.001), mk("LM-FD", 100, 0.05),
+		},
+	}
+	var buf bytes.Buffer
+	if got := summarizeShape(&buf, good); got != 0 {
+		t.Fatalf("failures = %d on all-good metrics:\n%s", got, buf.String())
+	}
+	// Flip one comparison: DI-FD worse than LM-FD on BIBD.
+	good["BIBD"] = []eval.Metrics{mk("DI-FD", 100, 0.20), mk("LM-FD", 100, 0.10)}
+	buf.Reset()
+	if got := summarizeShape(&buf, good); got != 1 {
+		t.Fatalf("failures = %d, want 1:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "DIFF") {
+		t.Fatal("DIFF marker missing")
+	}
+}
+
+func TestFig6ExperimentShape(t *testing.T) {
+	sc := defaultScale()
+	sc.seqN, sc.win, sc.trials6 = 4000, 400, 3
+	pts := fig6Experiment(sc)
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.SWR < 0 || p.SWORPerRow < 0 {
+			t.Fatalf("negative error %+v", p)
+		}
+	}
+}
+
+func TestDatasetAvgSqNorm(t *testing.T) {
+	ds := &data.Dataset{Rows: [][]float64{{3, 4}, {0, 0}}, Times: []float64{0, 1}}
+	if got := datasetAvgSqNorm(ds); got != 12.5 {
+		t.Fatalf("avg sq norm = %v, want 12.5", got)
+	}
+	if got := datasetAvgSqNorm(&data.Dataset{}); got != 1 {
+		t.Fatalf("empty avg = %v, want fallback 1", got)
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	// A micro-scale pass through every experiment runner keeps the
+	// harness itself under test (the full scale runs via the binary).
+	sc := defaultScale()
+	sc.seqN, sc.timeN = 2500, 2500
+	sc.win = 300
+	sc.stride = 1200
+	sc.maxQ = 2
+	sc.trials6 = 2
+
+	for _, name := range []string{"SYNTHETIC", "BIBD", "PAMAP"} {
+		ms := seqExperiment(sc, name, false)
+		if len(ms) == 0 {
+			t.Fatalf("%s: no metrics", name)
+		}
+		labels := map[string]bool{}
+		for _, m := range ms {
+			labels[m.Label] = true
+			if m.Queries == 0 && m.Label != "BEST" {
+				t.Fatalf("%s/%s: no queries", name, m.Label)
+			}
+		}
+		for _, want := range []string{"SWR", "SWOR", "SWOR-ALL", "LM-FD", "DI-FD", "BEST"} {
+			if !labels[want] {
+				t.Fatalf("%s: missing %s", name, want)
+			}
+		}
+	}
+	for _, name := range []string{"WIKI", "RAIL"} {
+		if ms := timeExperiment(sc, name, false); len(ms) == 0 {
+			t.Fatalf("%s: no metrics", name)
+		}
+	}
+
+	var buf bytes.Buffer
+	printTable2(&buf, sc)
+	printTable3(&buf, sc)
+	if !strings.Contains(buf.String(), "Table 2") || !strings.Contains(buf.String(), "Table 3") {
+		t.Fatal("table output missing")
+	}
+	runDrift(&buf, sc)
+	if !strings.Contains(buf.String(), "Drift study") {
+		t.Fatal("drift output missing")
+	}
+	runProjErr(&buf, sc)
+	if !strings.Contains(buf.String(), "Projection error study") {
+		t.Fatal("projerr output missing")
+	}
+}

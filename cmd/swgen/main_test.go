@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestBuildDataset(t *testing.T) {
+	for name, wantD := range map[string]int{
+		"synthetic": 100,
+		"bibd":      231,
+		"pamap":     35,
+		"wiki":      300,
+		"rail":      250,
+	} {
+		ds, err := buildDataset(name, 50, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.N() != 50 || ds.D() != wantD {
+			t.Fatalf("%s: %d×%d, want 50×%d", name, ds.N(), ds.D(), wantD)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// Dimension override (bibd's is fixed by V).
+	ds, err := buildDataset("SYNTHETIC", 10, 12, 1)
+	if err != nil || ds.D() != 12 {
+		t.Fatalf("override: %v d=%d", err, ds.D())
+	}
+	if _, err := buildDataset("nope", 10, 0, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}

@@ -1,0 +1,97 @@
+// Command swserve exposes a sliding-window matrix sketch over HTTP.
+//
+//	swserve -algo lm-fd -d 64 -window 10000 -addr :8080
+//
+// Endpoints (JSON):
+//
+//	POST /v1/ingest         {"updates":[{"row":[...],"t":1.5},...]}
+//	GET  /v1/approximation  [?t=...]      window approximation B
+//	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
+//	GET  /v1/stats                        sketch metadata
+//	GET  /healthz
+//
+// The process shuts down cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"swsketch/internal/core"
+	"swsketch/internal/serve"
+	"swsketch/internal/window"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash")
+		d       = flag.Int("d", 0, "row dimension (required)")
+		winSize = flag.Float64("window", 10000, "window size (rows, or span with -time)")
+		useTime = flag.Bool("time", false, "time-based window")
+		ell     = flag.Int("ell", 32, "sketch size parameter ℓ")
+		b       = flag.Int("b", 8, "LM blocks per level")
+		seed    = flag.Int64("seed", 1, "random seed")
+		addr    = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *d < 1 {
+		fmt.Fprintln(os.Stderr, "swserve: -d (row dimension) is required")
+		os.Exit(2)
+	}
+
+	var spec window.Spec
+	if *useTime {
+		spec = window.TimeSpan(*winSize)
+	} else {
+		spec = window.Seq(int(*winSize))
+	}
+
+	var sk core.WindowSketch
+	switch strings.ToLower(*algo) {
+	case "swr":
+		sk = core.NewSWR(spec, *ell, *d, *seed)
+	case "swor":
+		sk = core.NewSWOR(spec, *ell, *d, *seed)
+	case "swor-all":
+		sk = core.NewSWORAll(spec, *ell, *d, *seed)
+	case "lm-fd":
+		sk = core.NewLMFD(spec, *d, *ell, *b)
+	case "lm-hash":
+		sk = core.NewLMHash(spec, *d, *ell, *b, uint64(*seed))
+	default:
+		fmt.Fprintf(os.Stderr, "swserve: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewServer(sk, *d).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("swserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		close(done)
+	}()
+
+	log.Printf("swserve: %s over %v window, d=%d, listening on %s", sk.Name(), spec, *d, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("swserve: %v", err)
+	}
+	<-done
+}

@@ -1,0 +1,174 @@
+// Command swstream streams a CSV of timestamped rows through a chosen
+// sliding-window matrix sketch and periodically prints the window
+// approximation's summary: sketch size, Frobenius mass, and the top
+// singular values (the window's PCA spectrum). The input is processed
+// one line at a time — memory stays proportional to the sketch, not
+// the stream, which is the entire point of the sketches.
+//
+// Input format: each line is "timestamp,v1,...,vd" (the format written
+// by swgen / the data package). For sequence-based windows the
+// timestamp column is ignored and the row index is used instead.
+//
+// Usage:
+//
+//	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] < stream.csv
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"swsketch/internal/core"
+	"swsketch/internal/mat"
+	"swsketch/internal/window"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | best")
+		winSize = flag.Float64("window", 1000, "window size (rows, or time span with -time)")
+		useTime = flag.Bool("time", false, "time-based window (use CSV timestamps)")
+		every   = flag.Int("every", 500, "print a summary every k rows")
+		ell     = flag.Int("ell", 24, "sketch size parameter ℓ")
+		b       = flag.Int("b", 8, "LM blocks per level")
+		levels  = flag.Int("L", 6, "DI levels")
+		rBound  = flag.Float64("R", 0, "DI norm bound R (required for di-fd)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		topK    = flag.Int("top", 5, "singular values to print")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdin, os.Stdout, options{
+		algo: *algo, winSize: *winSize, useTime: *useTime, every: *every,
+		ell: *ell, b: *b, levels: *levels, rBound: *rBound, seed: *seed, topK: *topK,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "swstream: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	algo           string
+	winSize        float64
+	useTime        bool
+	every          int
+	ell, b, levels int
+	rBound         float64
+	seed           int64
+	topK           int
+}
+
+func run(in io.Reader, out io.Writer, opt options) error {
+	if opt.every < 1 {
+		return fmt.Errorf("every must be ≥ 1")
+	}
+	cr := csv.NewReader(bufio.NewReaderSize(in, 1<<20))
+	cr.ReuseRecord = true
+
+	var (
+		sk    core.WindowSketch
+		d     int
+		spec  window.Spec
+		row   []float64
+		count int
+	)
+	if opt.useTime {
+		spec = window.TimeSpan(opt.winSize)
+	} else {
+		spec = window.Seq(int(opt.winSize))
+	}
+
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("read csv: %w", err)
+		}
+		if len(rec) < 2 {
+			return fmt.Errorf("record needs timestamp plus values, got %d fields", len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return fmt.Errorf("bad timestamp %q: %w", rec[0], err)
+		}
+		if sk == nil {
+			// First record fixes the dimension and builds the sketch.
+			d = len(rec) - 1
+			sk, err = buildSketch(opt, spec, d)
+			if err != nil {
+				return err
+			}
+			row = make([]float64, d)
+			fmt.Fprintf(w, "# algo=%s window=%v d=%d\n", sk.Name(), spec, d)
+			fmt.Fprintf(w, "%-10s %-12s %-14s %s\n", "row", "sketch-rows", "‖B‖²_F", "top singular values")
+		}
+		if len(rec)-1 != d {
+			return fmt.Errorf("row %d has %d values, want %d", count, len(rec)-1, d)
+		}
+		for j, f := range rec[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("bad value %q: %w", f, err)
+			}
+			row[j] = v
+		}
+		if !opt.useTime {
+			t = float64(count)
+		}
+		sk.Update(row, t)
+		count++
+		if count%opt.every == 0 {
+			bm := sk.Query(t)
+			svals := mat.SingularValues(bm)
+			if len(svals) > opt.topK {
+				svals = svals[:opt.topK]
+			}
+			fmt.Fprintf(w, "%-10d %-12d %-14.4g %.4g\n", count, sk.RowsStored(), bm.FrobeniusSq(), svals)
+		}
+	}
+	if count == 0 {
+		return fmt.Errorf("empty input")
+	}
+	return nil
+}
+
+func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error) {
+	switch strings.ToLower(opt.algo) {
+	case "swr":
+		return core.NewSWR(spec, opt.ell, d, opt.seed), nil
+	case "swor":
+		return core.NewSWOR(spec, opt.ell, d, opt.seed), nil
+	case "swor-all":
+		return core.NewSWORAll(spec, opt.ell, d, opt.seed), nil
+	case "lm-fd":
+		return core.NewLMFD(spec, d, opt.ell, opt.b), nil
+	case "lm-hash":
+		return core.NewLMHash(spec, d, opt.ell, opt.b, uint64(opt.seed)), nil
+	case "di-fd":
+		if opt.useTime {
+			return nil, fmt.Errorf("di-fd supports sequence windows only")
+		}
+		r := opt.rBound
+		if r == 0 {
+			return nil, fmt.Errorf("di-fd requires -R (the max squared row norm)")
+		}
+		return core.NewDIFD(core.DIConfig{
+			N: int(opt.winSize), R: r, L: opt.levels, Ell: opt.ell, RSlack: 1.01,
+		}, d), nil
+	case "best":
+		return core.NewBest(spec, opt.ell, d), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", opt.algo)
+	}
+}

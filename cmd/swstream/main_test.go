@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func csvStream(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString("0,1,0,2\n")
+	}
+	return b.String()
+}
+
+func baseOpts() options {
+	return options{algo: "lm-fd", winSize: 20, every: 10, ell: 8, b: 4, levels: 4, topK: 3, seed: 1}
+}
+
+func TestRunStreamsAndReports(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(csvStream(55)), &out, baseOpts()); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "algo=LM-FD") {
+		t.Fatalf("missing header:\n%s", s)
+	}
+	// 55 rows / every 10 = 5 report lines (plus 2 header lines).
+	if lines := strings.Count(s, "\n"); lines != 7 {
+		t.Fatalf("lines = %d, want 7:\n%s", lines, s)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"swr", "swor", "swor-all", "lm-fd", "lm-hash", "best"} {
+		opt := baseOpts()
+		opt.algo = algo
+		var out bytes.Buffer
+		if err := run(strings.NewReader(csvStream(30)), &out, opt); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	// DI needs R.
+	opt := baseOpts()
+	opt.algo = "di-fd"
+	opt.rBound = 10
+	var out bytes.Buffer
+	if err := run(strings.NewReader(csvStream(30)), &out, opt); err != nil {
+		t.Fatalf("di-fd: %v", err)
+	}
+}
+
+func TestRunTimeWindow(t *testing.T) {
+	in := "0.5,1,1\n1.5,2,0\n2.5,0,1\n9.5,1,1\n"
+	opt := baseOpts()
+	opt.useTime = true
+	opt.winSize = 3
+	opt.every = 2
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string]struct {
+		in  string
+		opt options
+	}{
+		"empty":          {"", baseOpts()},
+		"bad timestamp":  {"x,1,2\n", baseOpts()},
+		"bad value":      {"0,1,zz\n", baseOpts()},
+		"short record":   {"0\n", baseOpts()},
+		"ragged":         {"0,1,2\n0,1\n", baseOpts()},
+		"unknown algo":   {csvStream(5), func() options { o := baseOpts(); o.algo = "nope"; return o }()},
+		"di without R":   {csvStream(5), func() options { o := baseOpts(); o.algo = "di-fd"; return o }()},
+		"di time window": {csvStream(5), func() options { o := baseOpts(); o.algo = "di-fd"; o.useTime = true; o.rBound = 1; return o }()},
+		"bad every":      {csvStream(5), func() options { o := baseOpts(); o.every = 0; return o }()},
+	}
+	for name, tc := range cases {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(tc.in), &out, tc.opt); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

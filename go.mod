@@ -1,0 +1,3 @@
+module swsketch
+
+go 1.22

@@ -1,0 +1,86 @@
+package binenc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	w := NewWriter()
+	w.U64(42)
+	w.Int(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.25)
+	w.F64(math.Inf(-1))
+	w.F64s([]float64{1, 2, 3})
+	w.F64s(nil)
+	w.Blob([]byte("hello"))
+
+	r := NewReader(w.Bytes())
+	if r.U64() != 42 || r.Int() != 7 || !r.Bool() || r.Bool() {
+		t.Fatal("primitive round trip failed")
+	}
+	if r.F64() != 3.25 || !math.IsInf(r.F64(), -1) {
+		t.Fatal("float round trip failed")
+	}
+	s := r.F64s()
+	if len(s) != 3 || s[2] != 3 {
+		t.Fatalf("slice round trip: %v", s)
+	}
+	if len(r.F64s()) != 0 {
+		t.Fatal("empty slice round trip failed")
+	}
+	if string(r.Blob()) != "hello" {
+		t.Fatal("blob round trip failed")
+	}
+	if r.Err() != nil || r.Rest() != 0 {
+		t.Fatalf("err=%v rest=%d", r.Err(), r.Rest())
+	}
+}
+
+func TestReaderErrorSticks(t *testing.T) {
+	r := NewReader([]byte{1, 2}) // too short for U64
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	if r.U64() != 0 || r.F64() != 0 || r.Bool() || r.Int() != 0 {
+		t.Fatal("reads after error should return zero values")
+	}
+	if r.F64s() != nil || r.Blob() != nil {
+		t.Fatal("slice reads after error should return nil")
+	}
+}
+
+func TestReaderRejectsImplausibleLengths(t *testing.T) {
+	w := NewWriter()
+	w.U64(1 << 40) // implausible length
+	r := NewReader(w.Bytes())
+	_ = r.Int()
+	if r.Err() == nil {
+		t.Fatal("expected implausible-length error")
+	}
+
+	w2 := NewWriter()
+	w2.Int(100) // claims 100 floats, provides none
+	r2 := NewReader(w2.Bytes())
+	if r2.F64s() != nil || r2.Err() == nil {
+		t.Fatal("expected slice-overrun error")
+	}
+
+	w3 := NewWriter()
+	w3.Int(100)
+	r3 := NewReader(w3.Bytes())
+	if r3.Blob() != nil || r3.Err() == nil {
+		t.Fatal("expected blob-overrun error")
+	}
+}
+
+func TestBadBool(t *testing.T) {
+	r := NewReader([]byte{7})
+	_ = r.Bool()
+	if r.Err() == nil {
+		t.Fatal("expected bad-bool error")
+	}
+}

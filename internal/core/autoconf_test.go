@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+func TestAutoConfigValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lm eps 0": func() { AutoLMFD(window.Seq(10), 2, 0) },
+		"lm eps 1": func() { AutoLMFD(window.Seq(10), 2, 1) },
+		"di eps":   func() { AutoDIFD(10, 2, 0, 1, 1) },
+		"swr eps":  func() { AutoSWR(window.Seq(10), 2, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestAutoConfigHitsTarget drives each auto-configured sketch over a
+// benign stream and checks the observed error lands within a small
+// factor of the requested target (the calibration's contract).
+func TestAutoConfigHitsTarget(t *testing.T) {
+	const (
+		d      = 16
+		win    = 1200
+		n      = 5000
+		target = 0.08
+		slack  = 1.6 // calibration promise: within ~1.6× on benign data
+	)
+	rng := rand.New(rand.NewSource(9))
+	rows := make([][]float64, n)
+	var maxSq float64
+	for i := range rows {
+		rows[i] = randRow(rng, d)
+		if w := sqNorm(rows[i]); w > maxSq {
+			maxSq = w
+		}
+	}
+	spec := window.Seq(win)
+	sketches := []WindowSketch{
+		AutoLMFD(spec, d, target),
+		AutoSWR(spec, d, target, 3),
+		AutoDIFD(win, d, target, maxSq, 60),
+	}
+	oracle := window.NewExact(spec, d)
+	errSum := make([]float64, len(sketches))
+	queries := 0
+	for i, row := range rows {
+		tt := float64(i)
+		oracle.Update(row, tt)
+		for _, sk := range sketches {
+			sk.Update(row, tt)
+		}
+		if i > win && i%800 == 0 {
+			queries++
+			for j, sk := range sketches {
+				errSum[j] += oracle.CovaErr(sk.Query(tt))
+			}
+		}
+	}
+	for j, sk := range sketches {
+		avg := errSum[j] / float64(queries)
+		if avg > target*slack {
+			t.Fatalf("%s: avg error %v exceeds target %v × slack", sk.Name(), avg, target)
+		}
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if clampInt(5, 1, 10) != 5 || clampInt(-3, 1, 10) != 1 || clampInt(50, 1, 10) != 10 {
+		t.Fatal("clampInt broken")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"swsketch/internal/mat"
+	"swsketch/internal/window"
+)
+
+// Best is the BEST(offline) baseline of Section 8: it stores the
+// window exactly and answers queries with the best rank-k
+// approximation Σ_k·V_kᵀ computed by a full SVD. Its error is the
+// information-theoretic optimum for any k-row approximation
+// (σ²_{k+1}/‖A‖²_F), which the experiments use as the lower envelope.
+// It is not a sketch — space is linear in the window — and exists only
+// as a comparison point.
+type Best struct {
+	k   int
+	win *window.Exact
+}
+
+// NewBest returns the offline rank-k baseline for the given window.
+func NewBest(spec window.Spec, k, d int) *Best {
+	if k < 1 {
+		panic(fmt.Sprintf("core: Best needs k ≥ 1, got %d", k))
+	}
+	return &Best{k: k, win: window.NewExact(spec, d)}
+}
+
+// Update buffers the row.
+func (b *Best) Update(row []float64, t float64) { b.win.Update(row, t) }
+
+// Query computes the best rank-k approximation of the current window.
+func (b *Best) Query(t float64) *mat.Dense {
+	b.win.Advance(t)
+	return mat.RankK(b.win.Matrix(), b.k)
+}
+
+// RowsStored reports k, the size of the produced approximation (the
+// paper plots BEST at its output size, not its linear storage).
+func (b *Best) RowsStored() int { return b.k }
+
+// WindowLen reports the true number of buffered rows.
+func (b *Best) WindowLen() int { return b.win.Len() }
+
+// Name implements WindowSketch.
+func (b *Best) Name() string { return "BEST" }
+
+var _ WindowSketch = (*Best)(nil)

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"swsketch/internal/mat"
+	"swsketch/internal/window"
+)
+
+func TestNewBestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewBest(window.Seq(10), 0, 3)
+}
+
+func TestBestIsOptimalEnvelope(t *testing.T) {
+	// BEST's error must never exceed a same-k FD-derived approximation.
+	rng := rand.New(rand.NewSource(1))
+	spec := window.Seq(200)
+	k := 6
+	best := NewBest(spec, k, 8)
+	ex := window.NewExact(spec, 8)
+	for i := 0; i < 600; i++ {
+		row := randRow(rng, 8)
+		best.Update(row, float64(i))
+		ex.Update(row, float64(i))
+	}
+	bBest := best.Query(599)
+	if bBest.Rows() != k {
+		t.Fatalf("BEST rows = %d, want %d", bBest.Rows(), k)
+	}
+	errBest := ex.CovaErr(bBest)
+	// Any other rank-k matrix has at least this error; check against a
+	// k-row truncation of a larger SVD at k+2 singular values.
+	worse := mat.RankK(ex.Matrix(), k-2)
+	if errWorse := ex.CovaErr(worse); errBest > errWorse+1e-9 {
+		t.Fatalf("BEST(k=%d) err %v worse than rank-%d err %v", k, errBest, k-2, errWorse)
+	}
+}
+
+func TestBestTracksWindow(t *testing.T) {
+	best := NewBest(window.Seq(50), 2, 2)
+	for i := 0; i < 200; i++ {
+		best.Update([]float64{1, 0}, float64(i))
+	}
+	if best.WindowLen() != 50 {
+		t.Fatalf("WindowLen = %d, want 50", best.WindowLen())
+	}
+	if best.RowsStored() != 2 || best.Name() != "BEST" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestBestQueryAdvancesExpiry(t *testing.T) {
+	best := NewBest(window.TimeSpan(1.0), 2, 2)
+	best.Update([]float64{1, 0}, 0)
+	b := best.Query(100) // everything expired
+	if b.FrobeniusSq() != 0 {
+		t.Fatalf("expired window should give zero approximation, got %v", b)
+	}
+}
+
+func TestConcurrentSafety(t *testing.T) {
+	sk := NewConcurrent(NewLMFD(window.Seq(100), 4, 16, 4))
+	if sk.Name() != "LM-FD" {
+		t.Fatal("Name not forwarded")
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 2000; i++ {
+			sk.Update(randRow(rng, 4), float64(i))
+		}
+		close(stop)
+	}()
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = sk.RowsStored()
+					_ = sk.Query(1e9)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

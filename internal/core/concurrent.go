@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+
+	"swsketch/internal/mat"
+)
+
+// Concurrent wraps a WindowSketch for a one-writer/many-reader regime:
+// Update takes the write lock, Query and RowsStored take it too
+// (queries mutate internal expiry state in every implementation), so
+// all methods serialise. It exists so a monitoring goroutine can query
+// the sketch while an ingest goroutine feeds it.
+type Concurrent struct {
+	mu sync.Mutex
+	sk WindowSketch
+}
+
+// NewConcurrent wraps sk. The wrapped sketch must not be used directly
+// afterwards.
+func NewConcurrent(sk WindowSketch) *Concurrent { return &Concurrent{sk: sk} }
+
+// Update implements WindowSketch.
+func (c *Concurrent) Update(row []float64, t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sk.Update(row, t)
+}
+
+// Query implements WindowSketch.
+func (c *Concurrent) Query(t float64) *mat.Dense {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sk.Query(t)
+}
+
+// RowsStored implements WindowSketch.
+func (c *Concurrent) RowsStored() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sk.RowsStored()
+}
+
+// Name implements WindowSketch.
+func (c *Concurrent) Name() string { return c.sk.Name() }
+
+var _ WindowSketch = (*Concurrent)(nil)
+
+// UpdateSparse forwards a sparse update under the lock. When the
+// wrapped sketch lacks a sparse path the row is densified, which needs
+// the sketch's dimension — unavailable here — so that case panics;
+// wrap a SparseUpdater if you need sparse ingest.
+func (c *Concurrent) UpdateSparse(row mat.SparseRow, t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	su, ok := c.sk.(SparseUpdater)
+	if !ok {
+		panic("core: wrapped sketch does not support sparse updates")
+	}
+	su.UpdateSparse(row, t)
+}

@@ -1,0 +1,68 @@
+// Package core implements the paper's sliding-window matrix sketches:
+//
+//   - SWR and SWOR (Section 5): norm-proportional row sampling with and
+//     without replacement via priority-sampling candidate queues, plus
+//     the SWOR-ALL variant that answers with every candidate row.
+//   - LM (Section 6): the Logarithmic Method, which converts any
+//     mergeable streaming sketch (FrequentDirections, Hashing) into a
+//     sketch for both time- and sequence-based sliding windows.
+//   - DI (Section 7): the Dyadic Interval framework, which converts an
+//     arbitrary streaming sketch (FD, random projection, Hashing) into
+//     a sequence-window sketch with a better space profile when the
+//     norm ratio R is small.
+//   - Best (Section 8): the offline best rank-k baseline.
+//
+// Every sketch implements WindowSketch: feed timestamped rows with
+// Update and materialise an approximation B for the current window
+// with Query. For sequence-based windows, use the row's stream index
+// as its timestamp.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"swsketch/internal/mat"
+)
+
+// WindowSketch is a continuously maintained matrix sketch over a
+// sliding window. Implementations are not safe for concurrent use;
+// wrap them in Concurrent for a one-writer/many-reader regime.
+type WindowSketch interface {
+	// Update feeds one row arriving at timestamp t. Timestamps must be
+	// non-decreasing; for sequence windows use the stream index. The
+	// row is copied, never retained.
+	Update(row []float64, t float64)
+	// Query returns the approximation B ∈ R^{ℓ×d} for the window
+	// ending at time t (which must be ≥ the latest Update timestamp).
+	Query(t float64) *mat.Dense
+	// RowsStored reports the sketch's current space usage in rows, the
+	// measure used throughout the paper's evaluation.
+	RowsStored() int
+	// Name identifies the algorithm (e.g. "SWR", "LM-FD") in harness
+	// output.
+	Name() string
+}
+
+// checkRowFinite panics when a row contains NaN or ±Inf. Every sketch
+// calls it on ingest: a single non-finite value would otherwise poison
+// Gram accumulations, FD shrinks, and priority draws silently, and the
+// corruption only surfaces queries later — fail loudly at the source
+// instead.
+func checkRowFinite(algo string, row []float64) {
+	for i, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("core: %s row has non-finite value %v at index %d", algo, v, i))
+		}
+	}
+}
+
+// SparseUpdater is implemented by window sketches with a sparse ingest
+// path; UpdateSparse(row, t) is equivalent to Update(row.Dense(d), t).
+// LM and DI exploit sparsity end-to-end; the samplers densify on
+// candidate admission (their answers are rows of A, stored dense) but
+// still skip the O(d) norm scan.
+type SparseUpdater interface {
+	WindowSketch
+	UpdateSparse(row mat.SparseRow, t float64)
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+// rowsFromBytes decodes a fuzz payload into a row stream with values
+// in a sane range (no NaN/Inf) and dimension 3.
+func rowsFromBytes(data []byte) [][]float64 {
+	var rows [][]float64
+	for i := 0; i+2 < len(data); i += 3 {
+		rows = append(rows, []float64{
+			float64(int(data[i])-128) / 16,
+			float64(int(data[i+1])-128) / 16,
+			float64(int(data[i+2])-128) / 16,
+		})
+	}
+	return rows
+}
+
+// FuzzLMFD feeds arbitrary streams through LM-FD and cross-checks the
+// Query answer against the exact window: never panic, never NaN, and
+// never wildly exceed the window's energy.
+func FuzzLMFD(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 100, 200, 50, 0, 0, 0, 9, 9, 9})
+	f.Add([]byte{255, 255, 255, 128, 128, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := rowsFromBytes(data)
+		if len(rows) == 0 {
+			return
+		}
+		spec := window.Seq(8)
+		lm := NewLMFD(spec, 3, 6, 3)
+		ex := window.NewExact(spec, 3)
+		for i, r := range rows {
+			lm.Update(r, float64(i))
+			ex.Update(r, float64(i))
+		}
+		b := lm.Query(float64(len(rows) - 1))
+		mass := b.FrobeniusSq()
+		if math.IsNaN(mass) || math.IsInf(mass, 0) {
+			t.Fatalf("non-finite sketch mass %v", mass)
+		}
+		// FD only shrinks mass; LM can retain one straddling block, so
+		// allow slack over the window mass but not runaway growth.
+		if mass > 4*ex.FroSq()+1e-9 {
+			t.Fatalf("sketch mass %v far exceeds window mass %v", mass, ex.FroSq())
+		}
+	})
+}
+
+// FuzzSWOR drives the without-replacement sampler with arbitrary
+// streams, asserting the structural invariants hold at every step.
+func FuzzSWOR(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := rowsFromBytes(data)
+		s := NewSWOR(window.Seq(5), 3, 3, 42)
+		for i, r := range rows {
+			s.Update(r, float64(i))
+			for j, c := range s.queue {
+				if c.rank > 3 {
+					t.Fatalf("candidate %d rank %d > ℓ", j, c.rank)
+				}
+				if c.t <= float64(i)-5 {
+					t.Fatalf("expired candidate retained: t=%v now=%d", c.t, i)
+				}
+			}
+			b := s.Query(float64(i))
+			if v := b.FrobeniusSq(); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite query mass")
+			}
+		}
+	})
+}

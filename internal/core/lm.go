@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+	"swsketch/internal/window"
+)
+
+// lmBlock is one block of the Logarithmic Method. A block covers a
+// contiguous span of rows; its "size" is the total squared norm it
+// covers. Fresh blocks (the active block and large-norm singleton
+// blocks) hold their rows raw; the first merge converts them into a
+// streaming sketch — the fast path that gives LM-FD its O(d·log εNR)
+// amortised update cost.
+type lmBlock struct {
+	sk           stream.Mergeable // nil while the block is raw
+	raw          []mat.SparseRow  // raw rows when sk == nil (sparse storage)
+	rawTimes     []float64        // arrival times of the raw rows
+	start, end   float64
+	size         float64
+	singletonCap float64 // > 0 marks a single oversized row of that mass
+}
+
+// sketch materialises the block's mergeable sketch, converting raw
+// rows on first use.
+func (b *lmBlock) sketch(factory stream.MergeableFactory, d int) stream.Mergeable {
+	if b.sk == nil {
+		b.sk = factory(d)
+		feedRows(b.sk, b.raw, d)
+		b.raw, b.rawTimes = nil, nil
+	}
+	return b.sk
+}
+
+// feedRows streams sparse rows into a sketch, using its sparse ingest
+// path when available.
+func feedRows(sk stream.Sketch, rows []mat.SparseRow, d int) {
+	if su, ok := sk.(stream.SparseUpdatable); ok {
+		for _, r := range rows {
+			su.UpdateSparse(r)
+		}
+		return
+	}
+	for _, r := range rows {
+		sk.Update(r.Dense(d))
+	}
+}
+
+// rows reports the block's space usage in rows.
+func (b *lmBlock) rows() int {
+	if b.sk != nil {
+		return b.sk.RowsStored()
+	}
+	return len(b.raw)
+}
+
+// mergeFrom absorbs o into b, combining spans, sizes, and sketches.
+func (b *lmBlock) mergeFrom(o *lmBlock, factory stream.MergeableFactory, d int) {
+	b.sketch(factory, d).Merge(o.sketch(factory, d))
+	if o.start < b.start {
+		b.start = o.start
+	}
+	if o.end > b.end {
+		b.end = o.end
+	}
+	b.size += o.size
+	b.singletonCap = 0
+}
+
+// LM is the Logarithmic Method of Section 6: it maintains levels of
+// exponentially growing blocks, each holding a mergeable streaming
+// sketch of size ℓ, with b blocks per level. Level-i blocks have mass
+// in [2^{i-1}ℓ, 2^i ℓ]; when a level exceeds b blocks its two oldest
+// blocks merge into the next level. A query merges every live block
+// into one sketch of size ℓ. LM works for both sequence- and
+// time-based windows; its error guarantee is ε with b = Θ(1/ε) blocks
+// per level and per-block sketches of error ε/8 (Theorem 6.1).
+//
+// Rows with squared norm ≥ ℓ ride as singleton blocks: they stay
+// unmerged (and exact) until promoted to a level whose block capacity
+// 2^i·ℓ covers their mass, after which they merge like regular blocks
+// (the "Remark" of Section 6.2).
+type LM struct {
+	spec    window.Spec
+	d       int
+	ell     float64 // block mass threshold (= per-block sketch rows for FD)
+	b       int     // blocks per level
+	factory stream.MergeableFactory
+
+	// levels[0] is level 1 (most recent); each level holds blocks
+	// oldest-first. The active block is separate.
+	levels [][]lmBlock
+	active lmBlock
+	name   string
+	lastT  float64
+	seen   bool
+}
+
+// NewLM builds a Logarithmic Method sketch from any mergeable
+// streaming-sketch factory. ell is both the active block's mass
+// threshold and the nominal per-block sketch size; b is the number of
+// blocks per level (≈ 8/ε in the analysis).
+func NewLM(spec window.Spec, d int, ell float64, b int, name string, factory stream.MergeableFactory) *LM {
+	if d < 1 {
+		panic(fmt.Sprintf("core: LM needs d ≥ 1, got %d", d))
+	}
+	if ell < 1 {
+		panic(fmt.Sprintf("core: LM needs ell ≥ 1, got %v", ell))
+	}
+	if b < 2 {
+		panic(fmt.Sprintf("core: LM needs b ≥ 2 blocks per level, got %d", b))
+	}
+	return &LM{spec: spec, d: d, ell: ell, b: b, factory: factory, name: name}
+}
+
+// NewLMFD builds LM over FrequentDirections blocks of ℓ rows: the
+// paper's LM-FD (Corollary 6.1), its recommended general-purpose
+// sliding-window sketch.
+func NewLMFD(spec window.Spec, d, ell, b int) *LM {
+	return NewLM(spec, d, float64(ell), b, "LM-FD", func(dim int) stream.Mergeable {
+		return stream.NewFD(ell, dim)
+	})
+}
+
+// NewLMHash builds LM over feature-hashing blocks of ℓ buckets: the
+// appendix's LM-HASH (Corollary A.1). All blocks share one hash
+// family, which is what makes their merges exact additions.
+func NewLMHash(spec window.Spec, d, ell, b int, seed uint64) *LM {
+	fam := stream.NewHashFamily(seed)
+	return NewLM(spec, d, float64(ell), b, "LM-HASH", func(dim int) stream.Mergeable {
+		return fam.NewSketch(ell, dim)
+	})
+}
+
+// Update implements Algorithm 6.1.
+func (l *LM) Update(row []float64, t float64) {
+	if len(row) != l.d {
+		panic(fmt.Sprintf("core: LM row length %d, want %d", len(row), l.d))
+	}
+	checkRowFinite("LM", row)
+	l.ingest(mat.SparseFromDense(row), t)
+}
+
+// UpdateSparse ingests a sparse row, equivalent to Update on its dense
+// form but storing the raw-block copy sparsely — the memory and
+// sketch-feed win for high-dimensional sparse streams. The row's
+// slices are copied.
+func (l *LM) UpdateSparse(row mat.SparseRow, t float64) {
+	if m := row.MaxIdx(); m >= l.d {
+		panic(fmt.Sprintf("core: LM sparse row index %d, dimension %d", m, l.d))
+	}
+	checkRowFinite("LM", row.Val)
+	idx := make([]int, len(row.Idx))
+	val := make([]float64, len(row.Val))
+	copy(idx, row.Idx)
+	copy(val, row.Val)
+	l.ingest(mat.SparseRow{Idx: idx, Val: val}, t)
+}
+
+// ingest owns r (already copied).
+func (l *LM) ingest(r mat.SparseRow, t float64) {
+	if l.seen && t < l.lastT {
+		panic(fmt.Sprintf("core: LM timestamp %v precedes %v", t, l.lastT))
+	}
+	l.lastT, l.seen = t, true
+	l.expire(l.spec.Cutoff(t))
+
+	w := r.SqNorm()
+	if w == 0 {
+		return
+	}
+
+	if w >= l.ell {
+		// Oversized row: close the active block first (to preserve
+		// arrival order across blocks), then push a singleton block.
+		l.closeActive(t)
+		l.pushLevel1(lmBlock{raw: []mat.SparseRow{r}, rawTimes: []float64{t}, start: t, end: t, size: w, singletonCap: w})
+		l.rebalance()
+		return
+	}
+
+	if len(l.active.raw) == 0 {
+		l.active.start = t
+	}
+	l.active.raw = append(l.active.raw, r)
+	l.active.rawTimes = append(l.active.rawTimes, t)
+	l.active.end = t
+	l.active.size += w
+	if l.active.size > l.ell {
+		l.closeActive(t)
+		l.rebalance()
+	}
+}
+
+// closeActive moves a non-empty active block to level 1.
+func (l *LM) closeActive(t float64) {
+	if len(l.active.raw) == 0 {
+		return
+	}
+	blk := l.active
+	l.active = lmBlock{start: t, end: t}
+	l.pushLevel1(blk)
+}
+
+func (l *LM) pushLevel1(blk lmBlock) {
+	if len(l.levels) == 0 {
+		l.levels = append(l.levels, nil)
+	}
+	l.levels[0] = append(l.levels[0], blk)
+}
+
+// rebalance restores the ≤ b blocks-per-level invariant bottom-up:
+// while a level overflows, its two oldest blocks merge into a block of
+// the next level (levels[i] is paper level i+1, with block mass
+// capacity 2^{i+1}·ℓ). A singleton block whose mass exceeds the next
+// level's capacity is promoted alone — the Section 6.2 remark — until
+// a level large enough to absorb it is reached.
+func (l *LM) rebalance() {
+	for i := 0; i < len(l.levels); i++ {
+		for len(l.levels[i]) > l.b {
+			capacity := l.ell * float64(uint64(1)<<uint(i+1))
+			lv := l.levels[i]
+			if lv[0].singletonCap > capacity || lv[1].singletonCap > capacity {
+				// One of the two oldest cannot merge at this level:
+				// promote the oldest alone, preserving arrival order.
+				promoted := lv[0]
+				l.levels[i] = lv[1:]
+				l.appendLevel(i+1, promoted)
+				continue
+			}
+			lv[0].mergeFrom(&lv[1], l.factory, l.d)
+			merged := lv[0]
+			l.levels[i] = lv[2:]
+			l.appendLevel(i+1, merged)
+		}
+	}
+}
+
+func (l *LM) appendLevel(i int, blk lmBlock) {
+	for len(l.levels) <= i {
+		l.levels = append(l.levels, nil)
+	}
+	l.levels[i] = append(l.levels[i], blk)
+}
+
+// expire removes blocks that lie entirely outside the window and
+// trims expired rows out of the (raw, timestamped) active block.
+// Levels hold blocks oldest-first, so expiry pops from each level's
+// front; a sketched block that merely straddles the cutoff is kept
+// whole — its stale rows are the algorithm's budgeted expiring-block
+// error. Emptied trailing levels are dropped.
+func (l *LM) expire(cutoff float64) {
+	for i := range l.levels {
+		lv := l.levels[i]
+		drop := 0
+		for drop < len(lv) && lv[drop].end <= cutoff {
+			drop++
+		}
+		if drop > 0 {
+			l.levels[i] = lv[drop:]
+		}
+	}
+	for n := len(l.levels); n > 0 && len(l.levels[n-1]) == 0; n = len(l.levels) {
+		l.levels = l.levels[:n-1]
+	}
+	// The active block is raw, so it can be trimmed exactly.
+	a := &l.active
+	drop := 0
+	for drop < len(a.raw) && a.rawTimes[drop] <= cutoff {
+		a.size -= a.raw[drop].SqNorm()
+		drop++
+	}
+	if drop > 0 {
+		a.raw = a.raw[drop:]
+		a.rawTimes = a.rawTimes[drop:]
+		if len(a.raw) == 0 {
+			a.size = 0
+		} else {
+			a.start = a.rawTimes[0]
+			if a.size < 0 {
+				a.size = 0
+			}
+		}
+	}
+}
+
+// Query implements Algorithm 6.2: merge every live block sketch (plus
+// the active block's raw rows) into a fresh sketch of size ℓ.
+func (l *LM) Query(t float64) *mat.Dense {
+	l.expire(l.spec.Cutoff(t))
+	acc := l.factory(l.d)
+	// Merge oldest (highest level) first so FD's shrinking treats the
+	// window as a stream in arrival order.
+	for i := len(l.levels) - 1; i >= 0; i-- {
+		for j := range l.levels[i] {
+			blk := &l.levels[i][j]
+			if blk.sk == nil {
+				// Raw block: feed rows directly; cheaper than building
+				// a throwaway sketch.
+				feedRows(acc, blk.raw, l.d)
+				continue
+			}
+			acc.Merge(blk.sk)
+		}
+	}
+	feedRows(acc, l.active.raw, l.d)
+	return acc.Matrix()
+}
+
+// RowsStored reports the total rows across all block sketches, raw
+// blocks, and the active block.
+func (l *LM) RowsStored() int {
+	n := len(l.active.raw)
+	for i := range l.levels {
+		for j := range l.levels[i] {
+			n += l.levels[i][j].rows()
+		}
+	}
+	return n
+}
+
+// Levels reports the current number of levels (for tests and
+// instrumentation).
+func (l *LM) Levels() int { return len(l.levels) }
+
+// blocksAt returns the block count of 1-based level i (0 if absent).
+func (l *LM) blocksAt(i int) int {
+	if i < 1 || i > len(l.levels) {
+		return 0
+	}
+	return len(l.levels[i-1])
+}
+
+// Name implements WindowSketch.
+func (l *LM) Name() string { return l.name }
+
+var _ WindowSketch = (*LM)(nil)
+
+// NewLMRP builds LM over random-projection blocks. The paper's
+// appendix only pairs RP with the DI framework, but RP is mergeable
+// too (the sum of projections built from independent random columns is
+// a projection of the concatenated stream), so LM-RP is provided as a
+// natural extension; it trades LM-FD's determinism for O(ℓd) updates
+// with no SVD in the merge path.
+func NewLMRP(spec window.Spec, d, ell, b int, seed int64) *LM {
+	next := seed
+	return NewLM(spec, d, float64(ell), b, "LM-RP", func(dim int) stream.Mergeable {
+		next++
+		return stream.NewRP(ell, dim, next)
+	})
+}

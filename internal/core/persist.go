@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"swsketch/internal/binenc"
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+	"swsketch/internal/window"
+)
+
+// Snapshot/restore support for the sketches a long-lived process would
+// run: SWR, SWOR (and SWOR-ALL), and LM-FD. Snapshots capture the full
+// deterministic state; the samplers' random source is reseeded on
+// restore (future priority draws only need independence from each
+// other, not continuity with the pre-snapshot stream, so the sampling
+// guarantees are unaffected).
+//
+// Formats are versioned with magic numbers; restoring rejects foreign
+// or truncated data.
+
+const (
+	swrMagic  = uint64(0x53575253_00000001) // "SWRS" v1
+	sworMagic = uint64(0x53574F52_00000001) // "SWOR" v1
+	lmfdMagic = uint64(0x4C4D4644_00000001) // "LMFD" v1
+)
+
+func writeSpec(w *binenc.Writer, spec window.Spec) {
+	w.Int(int(spec.Kind))
+	w.F64(spec.Size)
+}
+
+func readSpec(r *binenc.Reader) (window.Spec, error) {
+	kind := window.Kind(r.Int())
+	size := r.F64()
+	if r.Err() != nil {
+		return window.Spec{}, r.Err()
+	}
+	if kind != window.Sequence && kind != window.Time {
+		return window.Spec{}, fmt.Errorf("core: snapshot has bad window kind %d", int(kind))
+	}
+	if size <= 0 {
+		return window.Spec{}, fmt.Errorf("core: snapshot has bad window size %v", size)
+	}
+	return window.Spec{Kind: kind, Size: size}, nil
+}
+
+func writeCandidate(w *binenc.Writer, c candidate) {
+	w.F64s(c.row)
+	w.F64(c.t)
+	w.F64(c.w)
+	w.F64(c.key)
+}
+
+func readCandidate(r *binenc.Reader, d int) (candidate, error) {
+	c := candidate{row: r.F64s(), t: r.F64(), w: r.F64(), key: r.F64()}
+	if r.Err() != nil {
+		return c, r.Err()
+	}
+	if len(c.row) != d {
+		return c, fmt.Errorf("core: snapshot candidate row length %d, want %d", len(c.row), d)
+	}
+	return c, nil
+}
+
+// exactNormsOrErr extracts the ExactNorms tracker; snapshots do not
+// cover custom trackers (the EH tracker is cheap to rebuild and
+// approximate anyway).
+func exactNormsOrErr(nt window.NormTracker, algo string) (*window.ExactNorms, error) {
+	x, ok := nt.(*window.ExactNorms)
+	if !ok {
+		return nil, fmt.Errorf("core: %s snapshot requires the exact norm tracker, have %T", algo, nt)
+	}
+	return x, nil
+}
+
+// MarshalBinary snapshots the SWR sampler.
+func (s *SWR) MarshalBinary() ([]byte, error) {
+	norms, err := exactNormsOrErr(s.norms, "SWR")
+	if err != nil {
+		return nil, err
+	}
+	w := binenc.NewWriter()
+	w.U64(swrMagic)
+	writeSpec(w, s.spec)
+	w.Int(s.d)
+	w.Int(s.ell)
+	w.F64(s.lastT)
+	w.Bool(s.seen)
+	for q := range s.queues {
+		w.Int(len(s.queues[q].items))
+		for _, c := range s.queues[q].items {
+			writeCandidate(w, c)
+		}
+	}
+	nb, err := norms.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(nb)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores an SWR snapshot into the receiver.
+func (s *SWR) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if magic := r.U64(); magic != swrMagic && r.Err() == nil {
+		return fmt.Errorf("core: SWR snapshot magic %#x unrecognised", magic)
+	}
+	spec, err := readSpec(r)
+	if err != nil {
+		return fmt.Errorf("core: SWR snapshot: %w", err)
+	}
+	d := r.Int()
+	ell := r.Int()
+	lastT := r.F64()
+	seen := r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: SWR snapshot: %w", err)
+	}
+	if d < 1 || ell < 1 {
+		return fmt.Errorf("core: SWR snapshot shape ell=%d d=%d", ell, d)
+	}
+	restored := NewSWR(spec, ell, d, time.Now().UnixNano())
+	restored.lastT, restored.seen = lastT, seen
+	for q := 0; q < ell; q++ {
+		n := r.Int()
+		if r.Err() != nil {
+			return fmt.Errorf("core: SWR snapshot: %w", r.Err())
+		}
+		items := make([]candidate, 0, n)
+		for i := 0; i < n; i++ {
+			c, err := readCandidate(r, d)
+			if err != nil {
+				return fmt.Errorf("core: SWR snapshot: %w", err)
+			}
+			items = append(items, c)
+		}
+		restored.queues[q].items = items
+	}
+	norms := window.NewExactNorms(spec)
+	if err := norms.UnmarshalBinary(r.Blob()); err != nil {
+		return fmt.Errorf("core: SWR snapshot: %w", err)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: SWR snapshot: %w", err)
+	}
+	if r.Rest() != 0 {
+		return fmt.Errorf("core: SWR snapshot has %d trailing bytes", r.Rest())
+	}
+	restored.norms = norms
+	*s = *restored
+	return nil
+}
+
+// MarshalBinary snapshots the SWOR sampler (including the SWOR-ALL and
+// uniform-scale flags).
+func (s *SWOR) MarshalBinary() ([]byte, error) {
+	norms, err := exactNormsOrErr(s.norms, "SWOR")
+	if err != nil {
+		return nil, err
+	}
+	w := binenc.NewWriter()
+	w.U64(sworMagic)
+	writeSpec(w, s.spec)
+	w.Int(s.d)
+	w.Int(s.ell)
+	w.Bool(s.UniformScale)
+	w.Bool(s.All)
+	w.F64(s.lastT)
+	w.Bool(s.seen)
+	w.Int(len(s.queue))
+	for _, c := range s.queue {
+		writeCandidate(w, c.candidate)
+		w.Int(c.rank)
+	}
+	nb, err := norms.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(nb)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a SWOR snapshot into the receiver.
+func (s *SWOR) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if magic := r.U64(); magic != sworMagic && r.Err() == nil {
+		return fmt.Errorf("core: SWOR snapshot magic %#x unrecognised", magic)
+	}
+	spec, err := readSpec(r)
+	if err != nil {
+		return fmt.Errorf("core: SWOR snapshot: %w", err)
+	}
+	d := r.Int()
+	ell := r.Int()
+	uniform := r.Bool()
+	all := r.Bool()
+	lastT := r.F64()
+	seen := r.Bool()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: SWOR snapshot: %w", err)
+	}
+	if d < 1 || ell < 1 {
+		return fmt.Errorf("core: SWOR snapshot shape ell=%d d=%d", ell, d)
+	}
+	restored := NewSWOR(spec, ell, d, time.Now().UnixNano())
+	restored.UniformScale, restored.All = uniform, all
+	restored.lastT, restored.seen = lastT, seen
+	for i := 0; i < n; i++ {
+		c, err := readCandidate(r, d)
+		if err != nil {
+			return fmt.Errorf("core: SWOR snapshot: %w", err)
+		}
+		rank := r.Int()
+		if rank < 1 || rank > ell {
+			return fmt.Errorf("core: SWOR snapshot rank %d outside [1,%d]", rank, ell)
+		}
+		restored.queue = append(restored.queue, sworCandidate{candidate: c, rank: rank})
+	}
+	norms := window.NewExactNorms(spec)
+	if err := norms.UnmarshalBinary(r.Blob()); err != nil {
+		return fmt.Errorf("core: SWOR snapshot: %w", err)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: SWOR snapshot: %w", err)
+	}
+	if r.Rest() != 0 {
+		return fmt.Errorf("core: SWOR snapshot has %d trailing bytes", r.Rest())
+	}
+	restored.norms = norms
+	*s = *restored
+	return nil
+}
+
+// MarshalBinary snapshots an LM-FD sketch. Only the FrequentDirections
+// backing is supported: restoring must rebuild the block factory, and
+// FD's is fully determined by (ℓ, d).
+func (l *LM) MarshalBinary() ([]byte, error) {
+	if l.name != "LM-FD" {
+		return nil, fmt.Errorf("core: LM snapshots support LM-FD only, have %s", l.name)
+	}
+	w := binenc.NewWriter()
+	w.U64(lmfdMagic)
+	writeSpec(w, l.spec)
+	w.Int(l.d)
+	w.F64(l.ell)
+	w.Int(l.b)
+	w.F64(l.lastT)
+	w.Bool(l.seen)
+	w.Int(len(l.levels))
+	for _, lv := range l.levels {
+		w.Int(len(lv))
+		for i := range lv {
+			if err := writeLMBlock(w, &lv[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := writeLMBlock(w, &l.active); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func writeLMBlock(w *binenc.Writer, blk *lmBlock) error {
+	w.F64(blk.start)
+	w.F64(blk.end)
+	w.F64(blk.size)
+	w.F64(blk.singletonCap)
+	if blk.sk == nil {
+		w.Bool(false)
+		w.Int(len(blk.raw))
+		for i, row := range blk.raw {
+			w.Int(len(row.Idx))
+			for _, ix := range row.Idx {
+				w.Int(ix)
+			}
+			w.F64s(row.Val)
+			w.F64(blk.rawTimes[i])
+		}
+		return nil
+	}
+	w.Bool(true)
+	fd, ok := blk.sk.(*stream.FD)
+	if !ok {
+		return fmt.Errorf("core: LM snapshot found non-FD block sketch %T", blk.sk)
+	}
+	b, err := fd.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	w.Blob(b)
+	return nil
+}
+
+func readLMBlock(r *binenc.Reader, d int) (lmBlock, error) {
+	blk := lmBlock{
+		start:        r.F64(),
+		end:          r.F64(),
+		size:         r.F64(),
+		singletonCap: r.F64(),
+	}
+	sketched := r.Bool()
+	if r.Err() != nil {
+		return blk, r.Err()
+	}
+	if !sketched {
+		n := r.Int()
+		for i := 0; i < n; i++ {
+			nnz := r.Int()
+			if r.Err() != nil {
+				return blk, r.Err()
+			}
+			idx := make([]int, nnz)
+			prev := -1
+			for k := range idx {
+				idx[k] = r.Int()
+				if r.Err() == nil && (idx[k] <= prev || idx[k] >= d) {
+					return blk, fmt.Errorf("core: LM snapshot sparse index %d invalid for d=%d", idx[k], d)
+				}
+				prev = idx[k]
+			}
+			val := r.F64s()
+			t := r.F64()
+			if r.Err() != nil {
+				return blk, r.Err()
+			}
+			if len(val) != nnz {
+				return blk, fmt.Errorf("core: LM snapshot row has %d indices, %d values", nnz, len(val))
+			}
+			blk.raw = append(blk.raw, mat.SparseRow{Idx: idx, Val: val})
+			blk.rawTimes = append(blk.rawTimes, t)
+		}
+		return blk, r.Err()
+	}
+	fd := stream.NewFD(2, d) // shape overwritten by the snapshot
+	if err := fd.UnmarshalBinary(r.Blob()); err != nil {
+		return blk, err
+	}
+	blk.sk = fd
+	return blk, nil
+}
+
+// UnmarshalBinary restores an LM-FD snapshot into the receiver.
+func (l *LM) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if magic := r.U64(); magic != lmfdMagic && r.Err() == nil {
+		return fmt.Errorf("core: LM snapshot magic %#x unrecognised", magic)
+	}
+	spec, err := readSpec(r)
+	if err != nil {
+		return fmt.Errorf("core: LM snapshot: %w", err)
+	}
+	d := r.Int()
+	ell := r.F64()
+	b := r.Int()
+	lastT := r.F64()
+	seen := r.Bool()
+	nLevels := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: LM snapshot: %w", err)
+	}
+	if d < 1 || ell < 1 || b < 2 || nLevels < 0 {
+		return fmt.Errorf("core: LM snapshot shape d=%d ell=%v b=%d levels=%d", d, ell, b, nLevels)
+	}
+	restored := NewLMFD(spec, d, int(ell), b)
+	restored.lastT, restored.seen = lastT, seen
+	for i := 0; i < nLevels; i++ {
+		n := r.Int()
+		if r.Err() != nil {
+			return fmt.Errorf("core: LM snapshot: %w", r.Err())
+		}
+		var lv []lmBlock
+		for j := 0; j < n; j++ {
+			blk, err := readLMBlock(r, d)
+			if err != nil {
+				return fmt.Errorf("core: LM snapshot: %w", err)
+			}
+			lv = append(lv, blk)
+		}
+		restored.levels = append(restored.levels, lv)
+	}
+	active, err := readLMBlock(r, d)
+	if err != nil {
+		return fmt.Errorf("core: LM snapshot: %w", err)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: LM snapshot: %w", err)
+	}
+	if r.Rest() != 0 {
+		return fmt.Errorf("core: LM snapshot has %d trailing bytes", r.Rest())
+	}
+	restored.active = active
+	*l = *restored
+	return nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/mat"
+	"swsketch/internal/window"
+)
+
+func sparseStream(rng *rand.Rand, n, d int) ([][]float64, []mat.SparseRow) {
+	dense := make([][]float64, n)
+	sparse := make([]mat.SparseRow, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			row[rng.Intn(d)] = rng.NormFloat64()
+		}
+		dense[i] = row
+		sparse[i] = mat.SparseFromDense(row)
+	}
+	return dense, sparse
+}
+
+func TestLMSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := 16
+	dense, sparse := sparseStream(rng, 1200, d)
+	spec := window.Seq(300)
+	l1, l2 := NewLMFD(spec, d, 16, 4), NewLMFD(spec, d, 16, 4)
+	for i := range dense {
+		l1.Update(dense[i], float64(i))
+		l2.UpdateSparse(sparse[i], float64(i))
+	}
+	// LM-FD is deterministic: the two ingest paths must agree exactly.
+	if !l1.Query(1199).Equal(l2.Query(1199), 1e-12) {
+		t.Fatal("LM sparse path diverges from dense path")
+	}
+	if l1.RowsStored() != l2.RowsStored() {
+		t.Fatalf("rows stored differ: %d vs %d", l1.RowsStored(), l2.RowsStored())
+	}
+}
+
+func TestDISparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := 12
+	dense, sparse := sparseStream(rng, 900, d)
+	cfg := DIConfig{N: 200, R: 50, L: 4, Ell: 32, RSlack: 2}
+	d1, d2 := NewDIFD(cfg, d), NewDIFD(cfg, d)
+	for i := range dense {
+		d1.Update(dense[i], float64(i))
+		d2.UpdateSparse(sparse[i], float64(i))
+	}
+	if !d1.Query(899).Equal(d2.Query(899), 1e-12) {
+		t.Fatal("DI sparse path diverges from dense path")
+	}
+}
+
+func TestSamplerSparseEquivalence(t *testing.T) {
+	// Samplers are randomised; with identical seeds and identical
+	// admitted rows the resulting candidate sets match.
+	rng := rand.New(rand.NewSource(3))
+	d := 10
+	dense, sparse := sparseStream(rng, 500, d)
+	spec := window.Seq(100)
+	s1, s2 := NewSWR(spec, 5, d, 7), NewSWR(spec, 5, d, 7)
+	w1, w2 := NewSWOR(spec, 5, d, 8), NewSWOR(spec, 5, d, 8)
+	for i := range dense {
+		tt := float64(i)
+		s1.Update(dense[i], tt)
+		s2.UpdateSparse(sparse[i], tt)
+		w1.Update(dense[i], tt)
+		w2.UpdateSparse(sparse[i], tt)
+	}
+	if !s1.Query(499).Equal(s2.Query(499), 1e-12) {
+		t.Fatal("SWR sparse path diverges")
+	}
+	if !w1.Query(499).Equal(w2.Query(499), 1e-12) {
+		t.Fatal("SWOR sparse path diverges")
+	}
+}
+
+func TestSparseUpdaterValidation(t *testing.T) {
+	row := mat.NewSparseRow([]int{99}, []float64{1}, -1)
+	for name, sk := range map[string]SparseUpdater{
+		"SWR":   NewSWR(window.Seq(5), 2, 4, 1),
+		"SWOR":  NewSWOR(window.Seq(5), 2, 4, 1),
+		"LM-FD": NewLMFD(window.Seq(5), 4, 4, 3),
+		"DI-FD": NewDIFD(DIConfig{N: 5, R: 100, L: 3, Ell: 4, RSlack: 2}, 4),
+	} {
+		sk := sk
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic for out-of-range index", name)
+				}
+			}()
+			sk.UpdateSparse(row, 0)
+		}()
+	}
+}
+
+func TestLMSparseSnapshotRoundTrip(t *testing.T) {
+	// Sparse-stored raw blocks must survive persistence.
+	rng := rand.New(rand.NewSource(4))
+	_, sparse := sparseStream(rng, 300, 8)
+	l := NewLMFD(window.Seq(100), 8, 8, 4)
+	for i, r := range sparse {
+		l.UpdateSparse(r, float64(i))
+	}
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored LM
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Query(299).Equal(restored.Query(299), 1e-12) {
+		t.Fatal("sparse snapshot round trip diverges")
+	}
+}
+
+func TestConcurrentSparsePassthrough(t *testing.T) {
+	c := NewConcurrent(NewLMFD(window.Seq(10), 3, 4, 3))
+	c.UpdateSparse(mat.NewSparseRow([]int{1}, []float64{2}, 3), 0)
+	if b := c.Query(0); b.FrobeniusSq() != 4 {
+		t.Fatalf("sparse update lost: mass %v", b.FrobeniusSq())
+	}
+	// Wrapping a non-sparse sketch panics on sparse use.
+	bad := NewConcurrent(NewBest(window.Seq(10), 2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad.UpdateSparse(mat.NewSparseRow([]int{0}, []float64{1}, 3), 0)
+}

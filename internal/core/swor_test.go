@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+func TestNewSWORValidation(t *testing.T) {
+	for _, c := range [][2]int{{0, 5}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for ell=%d d=%d", c[0], c[1])
+				}
+			}()
+			NewSWOR(window.Seq(10), c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestSWORRowLengthPanics(t *testing.T) {
+	s := NewSWOR(window.Seq(10), 2, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Update([]float64{1}, 0)
+}
+
+func TestSWORRankInvariant(t *testing.T) {
+	// Every candidate's rank must be ≤ ℓ, and ranks count exactly the
+	// higher-priority candidates that arrived later.
+	rng := rand.New(rand.NewSource(1))
+	ell := 5
+	s := NewSWOR(window.Seq(100), ell, 3, 2)
+	for i := 0; i < 500; i++ {
+		s.Update(randRow(rng, 3), float64(i))
+		for j, c := range s.queue {
+			if c.rank > ell {
+				t.Fatalf("candidate %d has rank %d > ℓ=%d", j, c.rank, ell)
+			}
+			// Recount: candidates after j with larger key, plus one.
+			cnt := 1
+			for k := j + 1; k < len(s.queue); k++ {
+				if s.queue[k].key > c.key {
+					cnt++
+				}
+			}
+			if cnt != c.rank {
+				t.Fatalf("candidate %d rank %d but recount %d", j, c.rank, cnt)
+			}
+		}
+	}
+}
+
+func TestSWORQueryTopEll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSWOR(window.Seq(200), 7, 4, 3)
+	for i := 0; i < 300; i++ {
+		s.Update(randRow(rng, 4), float64(i))
+	}
+	b := s.Query(299)
+	if b.Rows() != 7 {
+		t.Fatalf("Query rows = %d, want 7", b.Rows())
+	}
+}
+
+func TestSWORAllUsesAllCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSWORAll(window.Seq(200), 7, 4, 4)
+	for i := 0; i < 300; i++ {
+		s.Update(randRow(rng, 4), float64(i))
+	}
+	b := s.Query(299)
+	if b.Rows() != s.RowsStored() {
+		t.Fatalf("SWOR-ALL rows %d != candidates %d", b.Rows(), s.RowsStored())
+	}
+	if b.Rows() <= 7 {
+		t.Fatalf("SWOR-ALL should have more than ℓ rows, got %d", b.Rows())
+	}
+	if s.Name() != "SWOR-ALL" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestSWORCandidateCountLogarithmic(t *testing.T) {
+	// Lemma 5.2: E[candidates] = O(ℓ·log NR).
+	rng := rand.New(rand.NewSource(4))
+	ell := 10
+	s := NewSWOR(window.Seq(1000), ell, 4, 5)
+	var peak int
+	for i := 0; i < 5000; i++ {
+		s.Update(randRow(rng, 4), float64(i))
+		if i > 1000 {
+			if n := s.RowsStored(); n > peak {
+				peak = n
+			}
+		}
+	}
+	if peak > ell*40 {
+		t.Fatalf("peak candidates %d suggests linear growth", peak)
+	}
+	if peak < ell {
+		t.Fatalf("peak candidates %d below ℓ", peak)
+	}
+}
+
+func TestSWORExpiry(t *testing.T) {
+	s := NewSWOR(window.Seq(10), 3, 2, 6)
+	for i := 0; i < 50; i++ {
+		s.Update([]float64{1, 1}, float64(i))
+	}
+	for _, c := range s.queue {
+		if c.t <= 39 {
+			t.Fatalf("expired candidate at t=%v survives", c.t)
+		}
+	}
+}
+
+func TestSWORApproximatesWindowNotStream(t *testing.T) {
+	s := NewSWOR(window.Seq(100), 20, 2, 7)
+	for i := 0; i < 500; i++ {
+		s.Update([]float64{1, 0}, float64(i))
+	}
+	for i := 500; i < 1000; i++ {
+		s.Update([]float64{0, 1}, float64(i))
+	}
+	b := s.Query(999)
+	for i := 0; i < b.Rows(); i++ {
+		if b.At(i, 0) != 0 {
+			t.Fatal("sketch retains expired direction")
+		}
+	}
+}
+
+func TestSWORUniformScaleExactOnUniformNorms(t *testing.T) {
+	// With all norms equal and ℓ ≥ window, both scalings agree and the
+	// estimate is exact.
+	spec := window.Seq(20)
+	per := NewSWOR(spec, 30, 2, 8)
+	uni := NewSWOR(spec, 30, 2, 8)
+	uni.UniformScale = true
+	ex := window.NewExact(spec, 2)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		row := []float64{math.Cos(theta), math.Sin(theta)}
+		per.Update(row, float64(i))
+		uni.Update(row, float64(i))
+		ex.Update(row, float64(i))
+	}
+	if e := ex.CovaErr(per.Query(99)); e > 1e-8 {
+		t.Fatalf("per-row SWOR with full coverage err = %v", e)
+	}
+	if e := ex.CovaErr(uni.Query(99)); e > 1e-8 {
+		t.Fatalf("uniform SWOR with full coverage err = %v", e)
+	}
+}
+
+func TestSWORErrorDecreasesWithEll(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d, n, win := 8, 1500, 300
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = randRow(rng, d)
+	}
+	errAt := func(ell int) float64 {
+		var sum float64
+		const seeds = 3
+		for sd := int64(0); sd < seeds; sd++ {
+			s := NewSWOR(window.Seq(win), ell, d, 100+sd)
+			ex := window.NewExact(window.Seq(win), d)
+			var e float64
+			cnt := 0
+			for i := 0; i < n; i++ {
+				s.Update(rows[i], float64(i))
+				ex.Update(rows[i], float64(i))
+				if i >= win && i%100 == 0 {
+					e += ex.CovaErr(s.Query(float64(i)))
+					cnt++
+				}
+			}
+			sum += e / float64(cnt)
+		}
+		return sum / seeds
+	}
+	small, large := errAt(10), errAt(150)
+	if large >= small {
+		t.Fatalf("SWOR error did not decrease with ell: ℓ=10→%v, ℓ=150→%v", small, large)
+	}
+}
+
+func TestSWORSkewedWindowDegradesWithEll(t *testing.T) {
+	// The Figure 6 phenomenon end-to-end: per-row-scaled SWOR error
+	// grows with ℓ when the window has few huge and many tiny rows.
+	d := 4
+	build := func(ell int, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		spec := window.Seq(400)
+		s := NewSWOR(spec, ell, d, seed)
+		ex := window.NewExact(spec, d)
+		for i := 0; i < 400; i++ {
+			row := randRow(rng, d)
+			scale := 0.05
+			if i >= 380 { // 20 huge rows at the end
+				scale = 30
+			}
+			for j := range row {
+				row[j] *= scale
+			}
+			s.Update(row, float64(i))
+			ex.Update(row, float64(i))
+		}
+		return ex.CovaErr(s.Query(399))
+	}
+	var small, large float64
+	const seeds = 6
+	for sd := int64(0); sd < seeds; sd++ {
+		small += build(20, 200+sd)
+		large += build(120, 300+sd)
+	}
+	if large <= small {
+		t.Fatalf("per-row SWOR error did not grow with ℓ on skewed window: ℓ=20→%v, ℓ=120→%v",
+			small/seeds, large/seeds)
+	}
+}
+
+func TestSWORTimeWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := window.TimeSpan(10.0)
+	s := NewSWOR(spec, 30, 4, 12)
+	ex := window.NewExact(spec, 4)
+	tt := 0.0
+	var errSum float64
+	cnt := 0
+	for i := 0; i < 2000; i++ {
+		tt += rng.ExpFloat64() * 0.1
+		row := randRow(rng, 4)
+		s.Update(row, tt)
+		ex.Update(row, tt)
+		if i > 300 && i%200 == 0 {
+			errSum += ex.CovaErr(s.Query(tt))
+			cnt++
+		}
+	}
+	if avg := errSum / float64(cnt); avg > 0.6 {
+		t.Fatalf("time-window SWOR avg error = %v", avg)
+	}
+}
+
+func TestSWOREmptyQuery(t *testing.T) {
+	s := NewSWOR(window.Seq(10), 4, 3, 13)
+	if b := s.Query(0); b.Rows() != 0 {
+		t.Fatalf("empty sketch query rows = %d", b.Rows())
+	}
+}
+
+func TestSWORZeroRowSkipped(t *testing.T) {
+	s := NewSWOR(window.Seq(10), 4, 2, 14)
+	s.Update([]float64{0, 0}, 0)
+	if s.RowsStored() != 0 {
+		t.Fatal("zero row should not become a candidate")
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+	"swsketch/internal/window"
+)
+
+// candidate is a row retained by a sampler queue: the row, its arrival
+// timestamp, its squared norm, and its priority key (log-space, larger
+// is higher priority).
+type candidate struct {
+	row []float64
+	t   float64
+	w   float64
+	key float64
+}
+
+// swrQueue is the monotone candidate deque of Algorithm 5.1 for one
+// independent sample: keys are strictly decreasing from front to back,
+// so the front is the current top-priority row of the window and every
+// later element is the top-priority row of some suffix.
+type swrQueue struct {
+	items []candidate
+}
+
+// push inserts a new candidate, evicting trailing candidates whose
+// priority it dominates (they can never become the window maximum).
+func (q *swrQueue) push(c candidate) {
+	for n := len(q.items); n > 0 && q.items[n-1].key < c.key; n = len(q.items) {
+		q.items = q.items[:n-1]
+	}
+	q.items = append(q.items, c)
+}
+
+// expire drops candidates with timestamps at or before the cutoff.
+func (q *swrQueue) expire(cutoff float64) {
+	drop := 0
+	for drop < len(q.items) && q.items[drop].t <= cutoff {
+		drop++
+	}
+	if drop > 0 {
+		q.items = q.items[drop:]
+	}
+}
+
+// top returns the current sample (the highest-priority live row).
+func (q *swrQueue) top() (candidate, bool) {
+	if len(q.items) == 0 {
+		return candidate{}, false
+	}
+	return q.items[0], true
+}
+
+// SWR samples ℓ rows with replacement, with probability proportional
+// to squared norms, over a sliding window (Algorithm 5.1). It keeps ℓ
+// independent candidate deques; the expected total number of
+// candidates is O(ℓ·log NR) (Lemma 5.1). SWR works for both window
+// types and its output rows are (rescaled) rows of A — the sketch is
+// interpretable.
+type SWR struct {
+	spec   window.Spec
+	d      int
+	ell    int
+	rng    *rand.Rand
+	queues []swrQueue
+	norms  window.NormTracker
+	lastT  float64
+	seen   bool
+}
+
+// NewSWR returns an SWR sampler of ℓ rows over dimension d. The
+// Frobenius mass used for rescaling is tracked exactly (one scalar per
+// live row); use SetNormTracker to switch to the EH approximation.
+func NewSWR(spec window.Spec, ell, d int, seed int64) *SWR {
+	if ell < 1 || d < 1 {
+		panic(fmt.Sprintf("core: SWR needs ell ≥ 1 and d ≥ 1, got %d, %d", ell, d))
+	}
+	return &SWR{
+		spec:   spec,
+		d:      d,
+		ell:    ell,
+		rng:    rand.New(rand.NewSource(seed)),
+		queues: make([]swrQueue, ell),
+		norms:  window.NewExactNorms(spec),
+	}
+}
+
+// SetNormTracker replaces the Frobenius-mass tracker (e.g. with the
+// exponential-histogram approximation). Call before the first Update.
+func (s *SWR) SetNormTracker(nt window.NormTracker) { s.norms = nt }
+
+// Update feeds one row. Zero rows carry no sampling mass and are only
+// used to advance the expiry clock.
+func (s *SWR) Update(row []float64, t float64) {
+	if len(row) != s.d {
+		panic(fmt.Sprintf("core: SWR row length %d, want %d", len(row), s.d))
+	}
+	checkRowFinite("SWR", row)
+	if s.seen && t < s.lastT {
+		panic(fmt.Sprintf("core: SWR timestamp %v precedes %v", t, s.lastT))
+	}
+	s.lastT, s.seen = t, true
+	cutoff := s.spec.Cutoff(t)
+	w := mat.SqNorm(row)
+	if w == 0 {
+		for i := range s.queues {
+			s.queues[i].expire(cutoff)
+		}
+		return
+	}
+	s.norms.Add(t, w)
+	var shared []float64 // lazily copied, shared across queues (read-only)
+	for i := range s.queues {
+		q := &s.queues[i]
+		q.expire(cutoff)
+		key := stream.PriorityKey(s.rng, w)
+		// Fast path: if the new key does not beat the back of a
+		// non-empty queue it still must be appended (it is the max of
+		// its own suffix), so a copy is always needed once.
+		if shared == nil {
+			shared = make([]float64, s.d)
+			copy(shared, row)
+		}
+		q.push(candidate{row: shared, t: t, w: w, key: key})
+	}
+}
+
+// Query returns the rescaled ℓ-row sample for the window ending at t:
+// each sampled row a is scaled by ‖Â‖_F/(√ℓ‖a‖), the unbiased
+// with-replacement factor, with ‖Â‖_F from the norm tracker.
+func (s *SWR) Query(t float64) *mat.Dense {
+	cutoff := s.spec.Cutoff(t)
+	froSq := s.norms.FroSq(t)
+	if froSq <= 0 {
+		return mat.NewDense(0, s.d)
+	}
+	fro := math.Sqrt(froSq)
+	sqrtEll := math.Sqrt(float64(s.ell))
+	rows := make([][]float64, 0, s.ell)
+	for i := range s.queues {
+		s.queues[i].expire(cutoff)
+		c, ok := s.queues[i].top()
+		if !ok {
+			continue
+		}
+		f := fro / (sqrtEll * math.Sqrt(c.w))
+		r := make([]float64, s.d)
+		for j, v := range c.row {
+			r[j] = f * v
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return mat.NewDense(0, s.d)
+	}
+	return mat.FromRows(rows)
+}
+
+// RowsStored reports the total number of candidate rows across all ℓ
+// deques (rows shared between deques are counted once per deque, the
+// paper's space accounting: it bounds E[candidates] per deque).
+func (s *SWR) RowsStored() int {
+	n := 0
+	for i := range s.queues {
+		n += len(s.queues[i].items)
+	}
+	return n
+}
+
+// Name implements WindowSketch.
+func (s *SWR) Name() string { return "SWR" }
+
+var _ WindowSketch = (*SWR)(nil)
+
+// UpdateSparse ingests a sparse row; the candidate copy is stored
+// dense (sampler answers are rows of A), but norm computation and
+// admission use the sparse form.
+func (s *SWR) UpdateSparse(row mat.SparseRow, t float64) {
+	if m := row.MaxIdx(); m >= s.d {
+		panic(fmt.Sprintf("core: SWR sparse row index %d, dimension %d", m, s.d))
+	}
+	checkRowFinite("SWR", row.Val)
+	s.Update(row.Dense(s.d), t)
+}
+
+var _ SparseUpdater = (*SWR)(nil)

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+func randRow(rng *rand.Rand, d int) []float64 {
+	r := make([]float64, d)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	return r
+}
+
+// driveSeq feeds n random rows through sk and a parallel exact window,
+// returning the oracle.
+func driveSeq(t *testing.T, sk WindowSketch, spec window.Spec, rng *rand.Rand, n, d int) *window.Exact {
+	t.Helper()
+	ex := window.NewExact(spec, d)
+	for i := 0; i < n; i++ {
+		row := randRow(rng, d)
+		sk.Update(row, float64(i))
+		ex.Update(row, float64(i))
+	}
+	return ex
+}
+
+func TestNewSWRValidation(t *testing.T) {
+	for _, c := range [][2]int{{0, 5}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for ell=%d d=%d", c[0], c[1])
+				}
+			}()
+			NewSWR(window.Seq(10), c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestSWRRowLengthPanics(t *testing.T) {
+	s := NewSWR(window.Seq(10), 2, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Update([]float64{1}, 0)
+}
+
+func TestSWRQueryShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSWR(window.Seq(50), 8, 4, 2)
+	driveSeq(t, s, window.Seq(50), rng, 200, 4)
+	b := s.Query(199)
+	if b.Rows() != 8 || b.Cols() != 4 {
+		t.Fatalf("Query dims = %d×%d, want 8×4", b.Rows(), b.Cols())
+	}
+}
+
+func TestSWREmptyQuery(t *testing.T) {
+	s := NewSWR(window.Seq(10), 4, 3, 3)
+	if b := s.Query(0); b.Rows() != 0 {
+		t.Fatalf("empty sketch query rows = %d", b.Rows())
+	}
+}
+
+func TestSWRZeroRowsAdvanceClock(t *testing.T) {
+	s := NewSWR(window.Seq(2), 1, 2, 4)
+	s.Update([]float64{1, 0}, 0)
+	s.Update([]float64{0, 0}, 1)
+	s.Update([]float64{0, 0}, 2) // row at t=0 expires (cutoff = 0)
+	if b := s.Query(2); b.Rows() != 0 {
+		t.Fatalf("expired sample still returned: %d rows", b.Rows())
+	}
+}
+
+func TestSWRSampleAlwaysInWindow(t *testing.T) {
+	// Each sampled row must carry the timestamp of a live row. We mark
+	// rows with their index to detect expired samples.
+	rng := rand.New(rand.NewSource(5))
+	n, d, win := 500, 3, 40
+	s := NewSWR(window.Seq(win), 6, d, 6)
+	for i := 0; i < n; i++ {
+		row := []float64{float64(i + 1), rng.Float64(), rng.Float64()}
+		s.Update(row, float64(i))
+		b := s.Query(float64(i))
+		for r := 0; r < b.Rows(); r++ {
+			// Undo the rescale via the marker ratio: column 0 over the
+			// row's norm identifies the original index monotonically —
+			// instead just bound: rescaled row keeps the sign/order of
+			// the marker; recover index bounds via the queue directly.
+			_ = r
+		}
+		// Structural check: every candidate in every deque is live.
+		cutoff := float64(i - win)
+		for q := range s.queues {
+			for _, c := range s.queues[q].items {
+				if c.t <= cutoff {
+					t.Fatalf("at t=%d: expired candidate with t=%v", i, c.t)
+				}
+			}
+		}
+	}
+}
+
+func TestSWRDequeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := NewSWR(window.Seq(100), 4, 3, 7)
+	for i := 0; i < 400; i++ {
+		s.Update(randRow(rng, 3), float64(i))
+		for q := range s.queues {
+			items := s.queues[q].items
+			for j := 1; j < len(items); j++ {
+				if items[j].key >= items[j-1].key {
+					t.Fatalf("deque %d not strictly decreasing at %d", q, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSWRCandidateCountLogarithmic(t *testing.T) {
+	// Lemma 5.1: E[candidates per deque] = O(log NR). With N=1000 and
+	// unit-ish norms, each deque should hold ≈ ln(1000) ≈ 7 rows, far
+	// below the window size.
+	rng := rand.New(rand.NewSource(7))
+	ell := 10
+	s := NewSWR(window.Seq(1000), ell, 4, 8)
+	var peak int
+	for i := 0; i < 5000; i++ {
+		s.Update(randRow(rng, 4), float64(i))
+		if i > 1000 {
+			if n := s.RowsStored(); n > peak {
+				peak = n
+			}
+		}
+	}
+	if peak > ell*40 { // 40 ≫ log(NR) ≈ 10; catches linear blowups
+		t.Fatalf("peak candidates %d suggests linear growth (ell=%d)", peak, ell)
+	}
+	if peak < ell { // must at least keep one sample per deque
+		t.Fatalf("peak candidates %d below ell=%d", peak, ell)
+	}
+}
+
+func TestSWRErrorDecreasesWithEll(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d, n, win := 8, 1500, 300
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = randRow(rng, d)
+	}
+	errAt := func(ell int) float64 {
+		var sum float64
+		const seeds = 3
+		for sd := int64(0); sd < seeds; sd++ {
+			s := NewSWR(window.Seq(win), ell, d, 80+sd)
+			ex := window.NewExact(window.Seq(win), d)
+			var e float64
+			cnt := 0
+			for i := 0; i < n; i++ {
+				s.Update(rows[i], float64(i))
+				ex.Update(rows[i], float64(i))
+				if i >= win && i%100 == 0 {
+					e += ex.CovaErr(s.Query(float64(i)))
+					cnt++
+				}
+			}
+			sum += e / float64(cnt)
+		}
+		return sum / seeds
+	}
+	small, large := errAt(10), errAt(150)
+	if large >= small {
+		t.Fatalf("SWR error did not decrease with ell: ℓ=10→%v, ℓ=150→%v", small, large)
+	}
+}
+
+func TestSWRApproximatesWindowNotStream(t *testing.T) {
+	// Two-phase stream: early rows along e₀, window rows along e₁. The
+	// sketch must reflect only the window's direction.
+	s := NewSWR(window.Seq(100), 20, 2, 9)
+	for i := 0; i < 500; i++ {
+		s.Update([]float64{1, 0}, float64(i))
+	}
+	for i := 500; i < 1000; i++ {
+		s.Update([]float64{0, 1}, float64(i))
+	}
+	b := s.Query(999)
+	var col0, col1 float64
+	for i := 0; i < b.Rows(); i++ {
+		col0 += b.At(i, 0) * b.At(i, 0)
+		col1 += b.At(i, 1) * b.At(i, 1)
+	}
+	if col0 != 0 {
+		t.Fatalf("sketch retains expired direction: ‖Be₀‖²=%v", col0)
+	}
+	if math.Abs(col1-100) > 1e-6 { // window mass = 100
+		t.Fatalf("window mass = %v, want 100", col1)
+	}
+}
+
+func TestSWRTimeWindow(t *testing.T) {
+	// Time-based window with irregular arrivals.
+	rng := rand.New(rand.NewSource(10))
+	spec := window.TimeSpan(10.0)
+	s := NewSWR(spec, 30, 4, 11)
+	ex := window.NewExact(spec, 4)
+	tt := 0.0
+	var errSum float64
+	cnt := 0
+	for i := 0; i < 2000; i++ {
+		tt += rng.ExpFloat64() * 0.1
+		row := randRow(rng, 4)
+		s.Update(row, tt)
+		ex.Update(row, tt)
+		if i > 300 && i%200 == 0 {
+			errSum += ex.CovaErr(s.Query(tt))
+			cnt++
+		}
+	}
+	if avg := errSum / float64(cnt); avg > 0.6 {
+		t.Fatalf("time-window SWR avg error = %v", avg)
+	}
+}
+
+func TestSWRWithEHNormTracker(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	spec := window.Seq(200)
+	s := NewSWR(spec, 40, 4, 13)
+	s.SetNormTracker(window.NewEHNorms(spec, 0.05))
+	ex := window.NewExact(spec, 4)
+	var errSum float64
+	cnt := 0
+	for i := 0; i < 1500; i++ {
+		row := randRow(rng, 4)
+		s.Update(row, float64(i))
+		ex.Update(row, float64(i))
+		if i > 300 && i%150 == 0 {
+			errSum += ex.CovaErr(s.Query(float64(i)))
+			cnt++
+		}
+	}
+	if avg := errSum / float64(cnt); avg > 0.6 {
+		t.Fatalf("EH-tracked SWR avg error = %v", avg)
+	}
+}
+
+func TestSWRName(t *testing.T) {
+	if NewSWR(window.Seq(5), 1, 1, 0).Name() != "SWR" {
+		t.Fatal("Name wrong")
+	}
+}

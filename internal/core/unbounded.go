@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+)
+
+// Unbounded adapts a streaming (whole-history) matrix sketch to the
+// WindowSketch interface, ignoring the window entirely. It is the
+// "what if we just used FrequentDirections" baseline for the paper's
+// motivating argument: on drifting streams its answers keep averaging
+// over stale regimes, while the true sliding-window sketches track the
+// recent distribution. Used by `swbench drift`.
+type Unbounded struct {
+	sk   stream.Sketch
+	d    int
+	name string
+}
+
+// NewUnbounded wraps sk (of dimension d) under the given display name.
+func NewUnbounded(name string, d int, sk stream.Sketch) *Unbounded {
+	if d < 1 {
+		panic(fmt.Sprintf("core: Unbounded needs d ≥ 1, got %d", d))
+	}
+	return &Unbounded{sk: sk, d: d, name: name}
+}
+
+// NewUnboundedFD wraps a FrequentDirections sketch of ℓ rows.
+func NewUnboundedFD(ell, d int) *Unbounded {
+	return NewUnbounded("STREAM-FD", d, stream.NewFD(ell, d))
+}
+
+// Update feeds the row to the streaming sketch; the timestamp is
+// ignored.
+func (u *Unbounded) Update(row []float64, _ float64) {
+	if len(row) != u.d {
+		panic(fmt.Sprintf("core: Unbounded row length %d, want %d", len(row), u.d))
+	}
+	checkRowFinite("Unbounded", row)
+	u.sk.Update(row)
+}
+
+// Query returns the whole-history approximation.
+func (u *Unbounded) Query(_ float64) *mat.Dense { return u.sk.Matrix() }
+
+// RowsStored reports the streaming sketch's size.
+func (u *Unbounded) RowsStored() int { return u.sk.RowsStored() }
+
+// Name implements WindowSketch.
+func (u *Unbounded) Name() string { return u.name }
+
+var _ WindowSketch = (*Unbounded)(nil)

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+func TestZeroBaseline(t *testing.T) {
+	z := NewZero(3)
+	z.Update([]float64{1, 2, 3}, 0)
+	if z.RowsStored() != 0 || z.Name() != "ZERO" {
+		t.Fatal("metadata wrong")
+	}
+	b := z.Query(0)
+	if b.Rows() != 0 || b.Cols() != 3 {
+		t.Fatalf("Query dims = %d×%d", b.Rows(), b.Cols())
+	}
+	ex := window.NewExact(window.Seq(10), 3)
+	ex.Update([]float64{1, 0, 0}, 0)
+	ex.Update([]float64{0, 1, 0}, 1)
+	// Two orthogonal unit rows: ‖AᵀA‖ = 1, ‖A‖²_F = 2 ⇒ error 0.5.
+	if e := ex.CovaErr(z.Query(1)); e < 0.49 || e > 0.51 {
+		t.Fatalf("zero-baseline error = %v, want 0.5", e)
+	}
+}
+
+func TestZeroValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZero(0)
+}
+
+func TestMonotoneTimestampsEnforced(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sk   WindowSketch
+	}{
+		{"SWR", NewSWR(window.Seq(5), 2, 2, 1)},
+		{"SWOR", NewSWOR(window.Seq(5), 2, 2, 1)},
+		{"LM-FD", NewLMFD(window.Seq(5), 2, 4, 3)},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.sk.Update([]float64{1, 1}, 5)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for decreasing timestamp")
+				}
+			}()
+			tc.sk.Update([]float64{1, 1}, 4)
+		})
+	}
+}
+
+func TestNonFiniteRowsRejected(t *testing.T) {
+	nan := []float64{1, math.NaN()}
+	inf := []float64{math.Inf(1), 0}
+	for _, tc := range []struct {
+		name string
+		sk   WindowSketch
+	}{
+		{"SWR", NewSWR(window.Seq(5), 2, 2, 1)},
+		{"SWOR", NewSWOR(window.Seq(5), 2, 2, 1)},
+		{"LM-FD", NewLMFD(window.Seq(5), 2, 4, 3)},
+		{"DI-FD", NewDIFD(DIConfig{N: 5, R: 100, L: 3, Ell: 4, RSlack: 2}, 2)},
+	} {
+		for _, row := range [][]float64{nan, inf} {
+			tc := tc
+			row := row
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("%s: expected panic for row %v", tc.name, row)
+					}
+				}()
+				tc.sk.Update(row, 0)
+			}()
+		}
+	}
+}
+
+func TestUnboundedFDTracksWholeStream(t *testing.T) {
+	// The adaptor must behave exactly like the wrapped streaming FD.
+	rng := rand.New(rand.NewSource(8))
+	u := NewUnboundedFD(16, 4)
+	ex := window.NewExact(window.Seq(1000000), 4) // effectively unbounded
+	for i := 0; i < 500; i++ {
+		row := randRow(rng, 4)
+		u.Update(row, float64(i))
+		ex.Update(row, float64(i))
+	}
+	if e := ex.CovaErr(u.Query(499)); e > 0.3 {
+		t.Fatalf("unbounded FD error vs whole stream = %v", e)
+	}
+	if u.Name() != "STREAM-FD" || u.RowsStored() != 16 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestUnboundedIgnoresWindow(t *testing.T) {
+	u := NewUnboundedFD(8, 2)
+	u.Update([]float64{1, 0}, 0)
+	// Query far in the future: the whole-history sketch must NOT expire.
+	b := u.Query(1e12)
+	if b.FrobeniusSq() == 0 {
+		t.Fatal("unbounded sketch expired data")
+	}
+}
+
+func TestUnboundedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUnboundedFD(8, 0)
+}

@@ -1,0 +1,72 @@
+package data
+
+import "fmt"
+
+// BIBDConfig parameterises the balanced-incomplete-block-design
+// incidence stream. The paper's bibd_22_8 matrix has v = 22 points and
+// k = 8 points per block: columns are the C(22,2) = 231 point pairs
+// and each row is the pair-incidence vector of one block, so every row
+// has exactly C(8,2) = 28 ones — constant squared norm, ratio R = 1.
+type BIBDConfig struct {
+	// V is the number of design points (paper: 22).
+	V int
+	// K is the block size (paper: 8).
+	K int
+	// N is the number of rows (blocks) to emit.
+	N int
+	// Seed keys the block sampler.
+	Seed uint64
+}
+
+// BIBD generates an incidence stream: each row corresponds to a
+// uniformly random k-subset of [v] and marks the pairs it contains.
+// The paper's matrix enumerates all C(22,8) blocks; sampling blocks
+// uniformly preserves the properties the experiment exercises
+// (0/1 entries, constant row norm, pair-covariance structure).
+func BIBD(cfg BIBDConfig) *Dataset {
+	if cfg.V < 2 || cfg.K < 2 || cfg.K > cfg.V {
+		panic(fmt.Sprintf("data: BIBD needs 2 ≤ K ≤ V, got V=%d K=%d", cfg.V, cfg.K))
+	}
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("data: BIBD needs N ≥ 1, got %d", cfg.N))
+	}
+	r := newRNG(cfg.Seed)
+	d := cfg.V * (cfg.V - 1) / 2
+
+	// pairIndex maps point pair (i < j) to its column.
+	pairIndex := make([][]int, cfg.V)
+	col := 0
+	for i := 0; i < cfg.V; i++ {
+		pairIndex[i] = make([]int, cfg.V)
+		for j := i + 1; j < cfg.V; j++ {
+			pairIndex[i][j] = col
+			col++
+		}
+	}
+
+	ds := &Dataset{Name: "BIBD", Rows: make([][]float64, cfg.N), Times: make([]float64, cfg.N)}
+	points := make([]int, cfg.V)
+	for i := range points {
+		points[i] = i
+	}
+	for n := 0; n < cfg.N; n++ {
+		// Partial Fisher-Yates: the first K entries become the block.
+		for i := 0; i < cfg.K; i++ {
+			j := i + r.Intn(cfg.V-i)
+			points[i], points[j] = points[j], points[i]
+		}
+		row := make([]float64, d)
+		for a := 0; a < cfg.K; a++ {
+			for b := a + 1; b < cfg.K; b++ {
+				i, j := points[a], points[b]
+				if i > j {
+					i, j = j, i
+				}
+				row[pairIndex[i][j]] = 1
+			}
+		}
+		ds.Rows[n] = row
+		ds.Times[n] = float64(n)
+	}
+	return ds
+}

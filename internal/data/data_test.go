@@ -1,0 +1,336 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func sq(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	return s
+}
+
+func TestSyntheticShapeAndValidate(t *testing.T) {
+	ds := Synthetic(SyntheticConfig{N: 500, D: 30, Seed: 1})
+	if ds.N() != 500 || ds.D() != 30 {
+		t.Fatalf("dims = %d×%d", ds.N(), ds.D())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "SYNTHETIC" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestSyntheticSignalDominatesNoise(t *testing.T) {
+	// With ζ=10 the signal mass should dwarf the noise: the expected
+	// squared row norm is ≈ Σ(1−(i−1)/k)² ≈ k/3 versus noise d/ζ².
+	ds := Synthetic(SyntheticConfig{N: 2000, D: 30, Seed: 2})
+	var mean float64
+	for _, r := range ds.Rows {
+		mean += sq(r)
+	}
+	mean /= float64(ds.N())
+	signal := float64(30) / 3
+	if mean < signal/2 || mean > signal*3 {
+		t.Fatalf("mean squared norm %v far from signal level %v", mean, signal)
+	}
+}
+
+func TestSyntheticSignalDimConcentration(t *testing.T) {
+	// Low signal dim: covariance spectrum should drop sharply after k.
+	ds := Synthetic(SyntheticConfig{N: 3000, D: 20, SignalDim: 3, Seed: 3})
+	// Column second-moment matrix eigenvalue proxy: total mass should
+	// sit mostly in a 3-dimensional subspace; compare top-3 column
+	// norms of AᵀA... cheap proxy: mean squared norm ≈ Σ_{i≤3}(1−(i−1)/3)² + d/ζ².
+	var mean float64
+	for _, r := range ds.Rows {
+		mean += sq(r)
+	}
+	mean /= float64(ds.N())
+	want := (1.0 + 4.0/9 + 1.0/9) + 20.0/100
+	if math.Abs(mean-want) > want/2 {
+		t.Fatalf("mean squared norm %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SyntheticConfig{N: 10, D: 5, Seed: 7})
+	b := Synthetic(SyntheticConfig{N: 10, D: 5, Seed: 7})
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	for _, cfg := range []SyntheticConfig{
+		{N: 0, D: 5},
+		{N: 5, D: 0},
+		{N: 5, D: 5, SignalDim: 6},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", cfg)
+				}
+			}()
+			Synthetic(cfg)
+		}()
+	}
+}
+
+func TestBIBDConstantNorm(t *testing.T) {
+	ds := BIBD(BIBDConfig{V: 22, K: 8, N: 300, Seed: 4})
+	if ds.D() != 231 {
+		t.Fatalf("D = %d, want C(22,2) = 231", ds.D())
+	}
+	want := float64(8 * 7 / 2)
+	for i, r := range ds.Rows {
+		if got := sq(r); got != want {
+			t.Fatalf("row %d squared norm %v, want %v", i, got, want)
+		}
+		for _, v := range r {
+			if v != 0 && v != 1 {
+				t.Fatalf("row %d has non-binary entry %v", i, v)
+			}
+		}
+	}
+	ratio, _ := ds.NormRatio()
+	if ratio != 1 {
+		t.Fatalf("norm ratio = %v, want 1", ratio)
+	}
+}
+
+func TestBIBDValidation(t *testing.T) {
+	for _, cfg := range []BIBDConfig{
+		{V: 1, K: 1, N: 5},
+		{V: 5, K: 6, N: 5},
+		{V: 5, K: 2, N: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", cfg)
+				}
+			}()
+			BIBD(cfg)
+		}()
+	}
+}
+
+func TestPAMAPNormRatioHuge(t *testing.T) {
+	ds := PAMAP(PAMAPConfig{N: 20000, D: 35, SkewAt: 10000, Seed: 5})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ratio, _ := ds.NormRatio()
+	if ratio < 1e3 {
+		t.Fatalf("PAMAP norm ratio = %v, want heavy tail (≥ 10³)", ratio)
+	}
+}
+
+func TestPAMAPSkewedSegment(t *testing.T) {
+	// Inside the skewed segment there must be both huge and tiny rows.
+	skewAt, skewLen := 5000, 1000
+	ds := PAMAP(PAMAPConfig{N: 10000, D: 10, SkewAt: skewAt, SkewLen: skewLen, Seed: 6})
+	var mx, mn float64
+	mn = math.Inf(1)
+	for i := skewAt; i < skewAt+skewLen; i++ {
+		s := sq(ds.Rows[i])
+		if s > mx {
+			mx = s
+		}
+		if s < mn {
+			mn = s
+		}
+	}
+	if mx/mn < 1e3 {
+		t.Fatalf("skewed segment ratio %v too mild", mx/mn)
+	}
+}
+
+func TestWikiSparseAndAccelerating(t *testing.T) {
+	ds := Wiki(WikiConfig{N: 3000, D: 400, Seed: 7})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sparsity: average nnz well below D.
+	var nnz int
+	for _, r := range ds.Rows {
+		for _, v := range r {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	avg := float64(nnz) / float64(ds.N())
+	if avg > float64(ds.D())/4 {
+		t.Fatalf("rows too dense: avg nnz %v of %d", avg, ds.D())
+	}
+	// Acceleration: the last 10% of documents span less time than the
+	// first 10%.
+	n := ds.N()
+	early := ds.Times[n/10] - ds.Times[0]
+	late := ds.Times[n-1] - ds.Times[n-1-n/10]
+	if late >= early {
+		t.Fatalf("arrivals not accelerating: early span %v, late span %v", early, late)
+	}
+	// Non-negative tf-idf entries.
+	for i, r := range ds.Rows[:100] {
+		for _, v := range r {
+			if v < 0 {
+				t.Fatalf("row %d has negative tf-idf %v", i, v)
+			}
+		}
+	}
+}
+
+func TestRailPoissonArrivalsAndIntegerCosts(t *testing.T) {
+	ds := Rail(RailConfig{N: 5000, D: 200, Seed: 8})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean gap ≈ 1/λ = 2.
+	gap := ds.Times[ds.N()-1] / float64(ds.N()-1)
+	if gap < 1.5 || gap > 2.5 {
+		t.Fatalf("mean arrival gap %v, want ≈ 2", gap)
+	}
+	for i, r := range ds.Rows[:200] {
+		for _, v := range r {
+			if v != 0 && v != 1 && v != 2 {
+				t.Fatalf("row %d has non-integer cost %v", i, v)
+			}
+		}
+	}
+	ratio, _ := ds.NormRatio()
+	if ratio < 2 || ratio > 100 {
+		t.Fatalf("RAIL norm ratio %v outside the modest regime", ratio)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := Synthetic(SyntheticConfig{N: 20, D: 4, Seed: 9})
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("SYNTHETIC", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.D() != ds.D() {
+		t.Fatalf("round trip dims %d×%d vs %d×%d", back.N(), back.D(), ds.N(), ds.D())
+	}
+	for i := range ds.Rows {
+		if back.Times[i] != ds.Times[i] {
+			t.Fatalf("timestamp %d changed", i)
+		}
+		for j := range ds.Rows[i] {
+			if back.Rows[i][j] != ds.Rows[i][j] {
+				t.Fatalf("value (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"notanumber,1,2\n",
+		"1,notanumber\n",
+		"1\n",
+	} {
+		if _, err := ReadCSV("x", bytes.NewBufferString(in)); err == nil {
+			t.Fatalf("expected error for %q", in)
+		}
+	}
+}
+
+func TestNormRatioEdgeCases(t *testing.T) {
+	empty := &Dataset{}
+	if r, m := empty.NormRatio(); r != 0 || m != 0 {
+		t.Fatal("empty dataset should have zero ratio")
+	}
+	zeros := &Dataset{Rows: [][]float64{{0, 0}}, Times: []float64{0}}
+	if r, _ := zeros.NormRatio(); r != 0 {
+		t.Fatal("all-zero dataset should have zero ratio")
+	}
+}
+
+func TestValidateCatchesRagged(t *testing.T) {
+	ds := &Dataset{Rows: [][]float64{{1, 2}, {3}}, Times: []float64{0, 1}}
+	if ds.Validate() == nil {
+		t.Fatal("expected ragged-row error")
+	}
+	ds2 := &Dataset{Rows: [][]float64{{1}, {2}}, Times: []float64{1, 0}}
+	if ds2.Validate() == nil {
+		t.Fatal("expected timestamp-order error")
+	}
+	ds3 := &Dataset{Rows: [][]float64{{1}}, Times: []float64{}}
+	if ds3.Validate() == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestRNGStatistics(t *testing.T) {
+	r := newRNG(123)
+	var sum, sumSq float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("Norm() mean %v var %v", mean, variance)
+	}
+	var esum float64
+	for i := 0; i < n; i++ {
+		esum += r.Exp()
+	}
+	if m := esum / float64(n); math.Abs(m-1) > 0.05 {
+		t.Fatalf("Exp() mean %v", m)
+	}
+}
+
+func TestPAMAPSpikesKeepEveryWindowSkewed(t *testing.T) {
+	// Sporadic transients must make every large window norm-skewed:
+	// a handful of huge rows amid ordinary ones, with within-window
+	// ratio at least two orders of magnitude.
+	ds := PAMAP(PAMAPConfig{N: 20000, D: 35, SkewAt: -1, Seed: 7})
+	for start := 0; start+2000 <= ds.N(); start += 2000 {
+		mn, mx := math.Inf(1), 0.0
+		for i := start; i < start+2000; i++ {
+			s := sq(ds.Rows[i])
+			if s < mn {
+				mn = s
+			}
+			if s > mx {
+				mx = s
+			}
+		}
+		if mx/mn < 1e2 {
+			t.Fatalf("window at %d has ratio %v, want ≥ 10²", start, mx/mn)
+		}
+	}
+	// Spikes are sporadic, not the bulk (spike mass ≈ d·(30·O(1))²).
+	var heavy int
+	for _, r := range ds.Rows {
+		if sq(r) > 3e4 {
+			heavy++
+		}
+	}
+	if heavy == 0 || heavy > ds.N()/10 {
+		t.Fatalf("heavy rows = %d of %d; want sporadic", heavy, ds.N())
+	}
+}

@@ -1,0 +1,196 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file — the format
+// the UFlorida Sparse Matrix Collection distributes bibd_22_8 and
+// rail2586 in — into a row stream. Supported headers:
+//
+//	%%MatrixMarket matrix coordinate real    general
+//	%%MatrixMarket matrix coordinate integer general
+//	%%MatrixMarket matrix coordinate pattern general
+//
+// Pattern entries read as 1. Rows are emitted in row order with the
+// row index as timestamp, matching how the paper streams these
+// matrices. Symmetric/array variants are rejected explicitly.
+func ReadMatrixMarket(name string, r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("data: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("data: not a MatrixMarket file: %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("data: only coordinate MatrixMarket supported, got %q", header[2])
+	}
+	valueType := header[3]
+	switch valueType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("data: unsupported MatrixMarket value type %q", valueType)
+	}
+	if len(header) >= 5 && header[4] != "general" {
+		return nil, fmt.Errorf("data: only general (non-symmetric) MatrixMarket supported, got %q", header[4])
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("data: bad MatrixMarket size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("data: bad MatrixMarket dimensions %d×%d nnz=%d", rows, cols, nnz)
+	}
+
+	ds := &Dataset{Name: name, Rows: make([][]float64, rows), Times: make([]float64, rows)}
+	for i := range ds.Rows {
+		ds.Rows[i] = make([]float64, cols)
+		ds.Times[i] = float64(i)
+	}
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 3
+		if valueType == "pattern" {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("data: bad MatrixMarket entry %q", line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("data: bad MatrixMarket indices in %q", line)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("data: MatrixMarket entry (%d,%d) outside %d×%d", i, j, rows, cols)
+		}
+		v := 1.0
+		if valueType != "pattern" {
+			v, err1 = strconv.ParseFloat(fields[2], 64)
+			if err1 != nil {
+				return nil, fmt.Errorf("data: bad MatrixMarket value in %q", line)
+			}
+		}
+		ds.Rows[i-1][j-1] = v
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: reading MatrixMarket: %w", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("data: MatrixMarket declared %d entries, found %d", nnz, read)
+	}
+	return ds, nil
+}
+
+// ReadPAMAP parses the space-separated PAMAP/PAMAP2 .dat format: one
+// sample per line, first column a timestamp in seconds, second the
+// activity ID, remaining columns raw sensor values with "NaN" for
+// missing readings. Mirroring the paper's preprocessing, the timestamp
+// and activity columns are dropped, columns with any missing value are
+// removed entirely, and the surviving columns form the row stream
+// (timestamps retained from column 0).
+func ReadPAMAP(name string, r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var raw [][]float64
+	var times []float64
+	width := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("data: PAMAP line has %d fields, need ≥ 3: %q", len(fields), line)
+		}
+		if width == -1 {
+			width = len(fields)
+		} else if len(fields) != width {
+			return nil, fmt.Errorf("data: PAMAP line has %d fields, want %d", len(fields), width)
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: bad PAMAP timestamp %q", fields[0])
+		}
+		row := make([]float64, width-2)
+		for j, f := range fields[2:] {
+			if strings.EqualFold(f, "nan") {
+				row[j] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: bad PAMAP value %q", f)
+			}
+			row[j] = v
+		}
+		raw = append(raw, row)
+		times = append(times, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: reading PAMAP: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("data: empty PAMAP input")
+	}
+
+	// Drop columns containing any missing value (the paper's rule).
+	d := len(raw[0])
+	keep := make([]bool, d)
+	kept := 0
+	for j := 0; j < d; j++ {
+		keep[j] = true
+		for _, row := range raw {
+			if math.IsNaN(row[j]) {
+				keep[j] = false
+				break
+			}
+		}
+		if keep[j] {
+			kept++
+		}
+	}
+	if kept == 0 {
+		return nil, fmt.Errorf("data: every PAMAP column has missing values")
+	}
+	ds := &Dataset{Name: name, Rows: make([][]float64, len(raw)), Times: times}
+	for i, row := range raw {
+		out := make([]float64, 0, kept)
+		for j, v := range row {
+			if keep[j] {
+				out = append(out, v)
+			}
+		}
+		ds.Rows[i] = out
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

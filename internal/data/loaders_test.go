@@ -1,0 +1,114 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketReal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 5
+1 1 2.5
+1 4 1
+2 2 -3
+3 1 7
+3 3 0.5
+`
+	ds, err := ReadMatrixMarket("mm", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 || ds.D() != 4 {
+		t.Fatalf("dims %d×%d", ds.N(), ds.D())
+	}
+	if ds.Rows[0][0] != 2.5 || ds.Rows[0][3] != 1 || ds.Rows[1][1] != -3 || ds.Rows[2][2] != 0.5 {
+		t.Fatalf("entries wrong: %v", ds.Rows)
+	}
+	if ds.Times[2] != 2 {
+		t.Fatalf("timestamps wrong: %v", ds.Times)
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	ds, err := ReadMatrixMarket("p", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows[0][1] != 1 || ds.Rows[1][0] != 1 || ds.Rows[0][0] != 0 {
+		t.Fatalf("pattern entries wrong: %v", ds.Rows)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"not mm":         "hello\n1 1 1\n",
+		"array":          "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"symmetric":      "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 1\n",
+		"complex":        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"oob index":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"missing fields": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"nnz mismatch":   "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket("x", strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadPAMAP(t *testing.T) {
+	// Column 3 (sensor 1) has a NaN → dropped; sensors 0 and 2 kept.
+	in := `8.38 0 104 30.1 2.4
+8.39 0 105 NaN 2.5
+8.40 1 106 30.3 2.6
+`
+	ds, err := ReadPAMAP("pamap", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 || ds.D() != 2 {
+		t.Fatalf("dims %d×%d, want 3×2", ds.N(), ds.D())
+	}
+	if ds.Rows[0][0] != 104 || ds.Rows[0][1] != 2.4 || ds.Rows[2][1] != 2.6 {
+		t.Fatalf("rows wrong: %v", ds.Rows)
+	}
+	if ds.Times[0] != 8.38 || ds.Times[2] != 8.40 {
+		t.Fatalf("times wrong: %v", ds.Times)
+	}
+}
+
+func TestReadPAMAPErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"short line":     "1.0 0\n",
+		"ragged":         "1 0 2 3\n2 0 2\n",
+		"bad timestamp":  "x 0 2\n",
+		"bad value":      "1 0 zz\n",
+		"all nan column": "1 0 NaN\n2 0 NaN\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadPAMAP("x", strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadPAMAPAllColumnsClean(t *testing.T) {
+	in := "1 0 5 6\n2 1 7 8\n"
+	ds, err := ReadPAMAP("x", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D() != 2 || ds.Rows[1][1] != 8 {
+		t.Fatalf("clean parse wrong: %v", ds.Rows)
+	}
+}

@@ -1,0 +1,123 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// PAMAPConfig parameterises the physical-activity-monitoring-like
+// sensor stream. The paper's PAMAP subset has 35 raw sensor columns
+// (heart rate, 3-axis IMU accelerations, gyroscope, magnetometer,
+// temperatures) over 14 activities, with a squared-norm ratio around
+// 9·10⁴ between rest and vigorous segments.
+type PAMAPConfig struct {
+	// N is the number of rows (the paper used 198,000).
+	N int
+	// D is the number of sensor columns (the paper used 35).
+	D int
+	// Activities is the number of distinct activity regimes (paper: 14).
+	Activities int
+	// SegmentLen is the mean activity segment length in rows.
+	SegmentLen int
+	// SkewAt, if ≥ 0, plants a strongly skewed segment (a handful of
+	// huge rows amid tiny ones) starting at this row index — the
+	// regime of the paper's Figure 6 window (rows 125,000–135,000).
+	SkewAt int
+	// SkewLen is the skewed segment's length (default N/20).
+	SkewLen int
+	// SpikeProb is the per-row probability of a high-amplitude
+	// transient (sensor impact) regardless of the activity — the
+	// property that makes real accelerometer windows norm-skewed:
+	// a few huge rows amid ordinary ones. Default 0.02; set negative
+	// to disable.
+	SpikeProb float64
+	// Seed keys the generator.
+	Seed uint64
+}
+
+func (c PAMAPConfig) withDefaults() PAMAPConfig {
+	if c.Activities == 0 {
+		c.Activities = 14
+	}
+	if c.SegmentLen == 0 {
+		c.SegmentLen = 800
+	}
+	if c.SkewLen == 0 {
+		c.SkewLen = c.N / 20
+	}
+	if c.SpikeProb == 0 {
+		c.SpikeProb = 0.02
+	}
+	return c
+}
+
+// PAMAP generates a piecewise-stationary multivariate sensor stream.
+// Each activity has a mean vector, per-column oscillation frequencies,
+// and an intensity scale drawn log-uniformly so the stream's squared
+// norms span roughly five orders of magnitude (rest ≈ 0.1, vigorous ≈
+// 30 per-column amplitude), matching the paper's R ≈ 9·10⁴. Rows are
+// sampled at fixed 0.5-unit ticks like the real PAMAP (so the stream
+// works naturally with sequence windows).
+func PAMAP(cfg PAMAPConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	if cfg.N < 1 || cfg.D < 1 {
+		panic(fmt.Sprintf("data: PAMAP needs N ≥ 1 and D ≥ 1, got %d, %d", cfg.N, cfg.D))
+	}
+	r := newRNG(cfg.Seed)
+
+	type activity struct {
+		mean  []float64
+		freq  []float64
+		scale float64
+	}
+	acts := make([]activity, cfg.Activities)
+	for a := range acts {
+		mean := make([]float64, cfg.D)
+		freq := make([]float64, cfg.D)
+		for j := range mean {
+			mean[j] = r.Norm() * 0.5
+			freq[j] = 0.02 + 0.3*r.Float64()
+		}
+		// Intensity scales log-uniform over [0.1, 30]: squared-norm
+		// ratio up to (300)² = 9·10⁴ across activities.
+		logLo, logHi := math.Log(0.1), math.Log(30)
+		acts[a] = activity{mean: mean, freq: freq, scale: math.Exp(logLo + (logHi-logLo)*r.Float64())}
+	}
+
+	ds := &Dataset{Name: "PAMAP", Rows: make([][]float64, cfg.N), Times: make([]float64, cfg.N)}
+	cur := r.Intn(cfg.Activities)
+	segLeft := 1 + r.Intn(2*cfg.SegmentLen)
+	for i := 0; i < cfg.N; i++ {
+		if segLeft == 0 {
+			cur = r.Intn(cfg.Activities)
+			segLeft = 1 + r.Intn(2*cfg.SegmentLen)
+		}
+		segLeft--
+
+		act := acts[cur]
+		scale := act.scale
+		if cfg.SpikeProb > 0 && r.Float64() < cfg.SpikeProb {
+			// High-amplitude transient: a sensor impact dwarfing the
+			// surrounding activity. These sporadic heavy rows are what
+			// keep every window norm-skewed, the regime behind the
+			// paper's SWR-vs-SWOR ordering on PAMAP.
+			scale = 30
+		}
+		if cfg.SkewAt >= 0 && i >= cfg.SkewAt && i < cfg.SkewAt+cfg.SkewLen {
+			// Skewed segment: a few huge rows among near-silent ones.
+			if r.Float64() < 0.03 {
+				scale = 30
+			} else {
+				scale = 0.1
+			}
+		}
+		row := make([]float64, cfg.D)
+		phase := float64(i)
+		for j := range row {
+			row[j] = scale * (act.mean[j] + math.Sin(phase*act.freq[j]) + 0.3*r.Norm())
+		}
+		ds.Rows[i] = row
+		ds.Times[i] = float64(i) // fixed 0.5 s ticks ⇒ index timestamps
+	}
+	return ds
+}

@@ -1,0 +1,70 @@
+package data
+
+import "fmt"
+
+// RailConfig parameterises the crew-scheduling-like cost stream of
+// Section 8.2. The paper's RAIL2586 matrix has 2586 trip columns and
+// ~8.7 non-zeros per row with small integer costs (norm ratio R = 12);
+// the paper adds synthetic Poisson(λ=0.5) timestamps to make it a
+// time-based stream.
+type RailConfig struct {
+	// N is the number of rows (the paper used 923,269).
+	N int
+	// D is the number of trip columns (the paper used 2586).
+	D int
+	// MeanNnz is the mean non-zeros per row (paper ≈ 8.7).
+	MeanNnz int
+	// Lambda is the Poisson arrival rate (paper: 0.5, i.e. mean
+	// inter-arrival gap 2 time units).
+	Lambda float64
+	// Seed keys the generator.
+	Seed uint64
+}
+
+func (c RailConfig) withDefaults() RailConfig {
+	if c.MeanNnz == 0 {
+		c.MeanNnz = 9
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.5
+	}
+	return c
+}
+
+// Rail generates the cost stream: each row assigns small integer costs
+// (1 or 2) to a handful of trips, with trip popularity Zipf-skewed so
+// the covariance structure is non-trivial. Inter-arrival gaps are
+// exponential with rate Lambda (a Poisson arrival process).
+func Rail(cfg RailConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	if cfg.N < 1 || cfg.D < 1 {
+		panic(fmt.Sprintf("data: Rail needs N ≥ 1 and D ≥ 1, got %d, %d", cfg.N, cfg.D))
+	}
+	if cfg.Lambda <= 0 {
+		panic(fmt.Sprintf("data: Rail needs Lambda > 0, got %v", cfg.Lambda))
+	}
+	r := newRNG(cfg.Seed)
+
+	ds := &Dataset{Name: "RAIL", Rows: make([][]float64, cfg.N), Times: make([]float64, cfg.N)}
+	t := 0.0
+	for i := 0; i < cfg.N; i++ {
+		nnz := 3 + r.Intn(2*cfg.MeanNnz-5) // 3 .. 2·MeanNnz−3, mean ≈ MeanNnz
+		row := make([]float64, cfg.D)
+		for k := 0; k < nnz; k++ {
+			// Zipf-skewed trip popularity: low column indexes are hot.
+			col := int(float64(cfg.D) * r.Float64() * r.Float64())
+			if col >= cfg.D {
+				col = cfg.D - 1
+			}
+			cost := 1.0
+			if r.Float64() < 0.3 {
+				cost = 2
+			}
+			row[col] = cost
+		}
+		ds.Rows[i] = row
+		t += r.Exp() / cfg.Lambda
+		ds.Times[i] = t
+	}
+	return ds
+}

@@ -1,0 +1,114 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// WikiConfig parameterises the Wikipedia-like tf-idf document stream
+// of Section 8.2: sparse non-negative rows (one per article) with
+// real-valued tf-idf weights and timestamps that accelerate over the
+// stream (articles are published more frequently in recent time, the
+// effect behind Figure 9b).
+type WikiConfig struct {
+	// N is the number of documents (the paper used 68,319).
+	N int
+	// D is the vocabulary size (the paper used 7047).
+	D int
+	// Topics is the number of latent topics mixing the vocabulary.
+	Topics int
+	// MeanWords is the mean number of distinct terms per document.
+	MeanWords int
+	// Span is the total time horizon (the paper's stream spans years,
+	// measured in days).
+	Span float64
+	// Acceleration ≥ 1 controls how much denser arrivals get toward
+	// the end of the stream (1 = uniform; the paper's corpus is
+	// strongly accelerating).
+	Acceleration float64
+	// Seed keys the generator.
+	Seed uint64
+}
+
+func (c WikiConfig) withDefaults() WikiConfig {
+	if c.Topics == 0 {
+		c.Topics = 20
+	}
+	if c.MeanWords == 0 {
+		c.MeanWords = 40
+	}
+	if c.Span == 0 {
+		c.Span = 3000
+	}
+	if c.Acceleration == 0 {
+		c.Acceleration = 3
+	}
+	return c
+}
+
+// Wiki generates the document stream. Each document draws a topic,
+// then MeanWords-ish terms from that topic's Zipf-weighted term
+// distribution; term weights are tf·idf-like (term frequency damped by
+// log, scaled by an idf drawn per term). Document timestamps follow
+// t(i) = Span·(i/N)^(1/Acceleration), so equal time windows hold few
+// early documents and many late ones.
+func Wiki(cfg WikiConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	if cfg.N < 1 || cfg.D < 1 {
+		panic(fmt.Sprintf("data: Wiki needs N ≥ 1 and D ≥ 1, got %d, %d", cfg.N, cfg.D))
+	}
+	if cfg.Acceleration < 1 {
+		panic(fmt.Sprintf("data: Wiki needs Acceleration ≥ 1, got %v", cfg.Acceleration))
+	}
+	r := newRNG(cfg.Seed)
+
+	// Per-term idf weights, drawn uniformly over the [0.5, 4.5] range
+	// that log(N/df) spans for document frequencies between ~60% and
+	// ~1% of the corpus.
+	idf := make([]float64, cfg.D)
+	for j := range idf {
+		idf[j] = 0.5 + 4*r.Float64()
+	}
+	// Each topic concentrates on a random subset of terms with
+	// Zipf-decaying emphasis.
+	topicTerms := make([][]int, cfg.Topics)
+	perm := make([]int, cfg.D)
+	for j := range perm {
+		perm[j] = j
+	}
+	for k := range topicTerms {
+		// Partial shuffle: take a topic vocabulary of D/4 terms.
+		size := cfg.D / 4
+		if size < 1 {
+			size = 1
+		}
+		for i := 0; i < size; i++ {
+			j := i + r.Intn(cfg.D-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		terms := make([]int, size)
+		copy(terms, perm[:size])
+		topicTerms[k] = terms
+	}
+
+	ds := &Dataset{Name: "WIKI", Rows: make([][]float64, cfg.N), Times: make([]float64, cfg.N)}
+	for i := 0; i < cfg.N; i++ {
+		topic := topicTerms[r.Intn(cfg.Topics)]
+		nWords := 1 + int(float64(cfg.MeanWords)*(0.25+1.5*r.Float64()))
+		row := make([]float64, cfg.D)
+		for w := 0; w < nWords; w++ {
+			// Zipf-decaying rank within the topic vocabulary.
+			rank := int(float64(len(topic)) * math.Pow(r.Float64(), 2.5))
+			if rank >= len(topic) {
+				rank = len(topic) - 1
+			}
+			term := topic[rank]
+			tf := 1 + r.Intn(8)
+			row[term] += (1 + math.Log(float64(tf))) * idf[term]
+		}
+		ds.Rows[i] = row
+		frac := (float64(i) + 1) / float64(cfg.N)
+		ds.Times[i] = cfg.Span * math.Pow(frac, 1/cfg.Acceleration)
+	}
+	return ds
+}

@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+func randRow(rng *rand.Rand, d int) []float64 {
+	r := make([]float64, d)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	return r
+}
+
+// simulate drives a global stream of n rows through m sites
+// (round-robin) into one coordinator, returning the coordinator and an
+// exact global-window oracle.
+func simulate(t *testing.T, m, n, d, win int, seed int64) (*Coordinator, *window.Exact, []*Site) {
+	t.Helper()
+	const (
+		ell = 16
+		// d=8 Gaussian rows carry mass ≈ 8, so each block covers ≈ 100
+		// raw rows and ships at most 16 — a real communication win.
+		blockMass = 800.0
+	)
+	spec := window.Seq(win)
+	coord := NewCoordinator(spec, d, 2*ell, 6, blockMass)
+	sites := make([]*Site, m)
+	for i := range sites {
+		sites[i] = NewSite(i, d, ell, blockMass, coord.Receive)
+	}
+	oracle := window.NewExact(spec, d)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		row := randRow(rng, d)
+		tt := float64(i)
+		sites[i%m].Observe(row, tt)
+		oracle.Update(row, tt)
+	}
+	for _, s := range sites {
+		s.Flush()
+	}
+	return coord, oracle, sites
+}
+
+func TestDistributedWindowApproximation(t *testing.T) {
+	coord, oracle, _ := simulate(t, 4, 6000, 8, 1500, 1)
+	b := coord.Query(5999)
+	if e := oracle.CovaErr(b); e > 0.3 {
+		t.Fatalf("distributed window error = %v", e)
+	}
+}
+
+func TestDistributedCommunicationSavings(t *testing.T) {
+	_, _, sites := simulate(t, 4, 6000, 8, 1500, 2)
+	var shipped, observed int
+	for _, s := range sites {
+		shipped += s.RowsShipped()
+		observed += s.RowsObserved()
+	}
+	if observed != 6000 {
+		t.Fatalf("observed = %d", observed)
+	}
+	if shipped >= observed/2 {
+		t.Fatalf("shipped %d rows of %d observed — no communication win", shipped, observed)
+	}
+}
+
+func TestDistributedExpiry(t *testing.T) {
+	coord, _, _ := simulate(t, 3, 4000, 4, 500, 3)
+	// Query far in the future: everything expires.
+	b := coord.Query(1e9)
+	if b.FrobeniusSq() != 0 {
+		t.Fatalf("expired distributed window still has mass %v", b.FrobeniusSq())
+	}
+}
+
+func TestDistributedSpaceSublinear(t *testing.T) {
+	coord, _, _ := simulate(t, 4, 12000, 6, 3000, 4)
+	if n := coord.RowsStored(); n > 3000/2 {
+		t.Fatalf("coordinator stores %d rows for a 3000-row window", n)
+	}
+	if coord.Blocks() == 0 {
+		t.Fatal("no live blocks")
+	}
+}
+
+func TestDistributedSkewedSites(t *testing.T) {
+	// One hot site, others almost idle: the coordinator must still
+	// track the union window.
+	const d, win = 6, 1200
+	spec := window.Seq(win)
+	coord := NewCoordinator(spec, d, 32, 6, 480)
+	hot := NewSite(0, d, 16, 480, coord.Receive)
+	cold := NewSite(1, d, 16, 480, coord.Receive)
+	oracle := window.NewExact(spec, d)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		row := randRow(rng, d)
+		tt := float64(i)
+		if i%50 == 0 {
+			cold.Observe(row, tt)
+		} else {
+			hot.Observe(row, tt)
+		}
+		oracle.Update(row, tt)
+	}
+	hot.Flush()
+	cold.Flush()
+	if e := oracle.CovaErr(coord.Query(4999)); e > 0.35 {
+		t.Fatalf("skewed-site error = %v", e)
+	}
+}
+
+func TestSiteValidation(t *testing.T) {
+	ship := func(Block) {}
+	for name, f := range map[string]func(){
+		"bad d":     func() { NewSite(0, 0, 4, 1, ship) },
+		"bad ell":   func() { NewSite(0, 2, 1, 1, ship) },
+		"bad mass":  func() { NewSite(0, 2, 4, 0, ship) },
+		"nil ship":  func() { NewSite(0, 2, 4, 1, nil) },
+		"bad coord": func() { NewCoordinator(window.Seq(5), 0, 4, 4, 1) },
+		"bad level": func() { NewCoordinator(window.Seq(5), 2, 4, 1, 1) },
+		"bad cmass": func() { NewCoordinator(window.Seq(5), 2, 4, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	site := NewSite(0, 2, 4, 10, ship)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for wrong row length")
+			}
+		}()
+		site.Observe([]float64{1}, 0)
+	}()
+	// Zero rows skipped; empty flush is a no-op.
+	site.Observe([]float64{0, 0}, 0)
+	site.Flush()
+	if site.RowsShipped() != 0 {
+		t.Fatal("zero row produced shipment")
+	}
+}
+
+func TestCoordinatorRejectsNilSketch(t *testing.T) {
+	coord := NewCoordinator(window.Seq(5), 2, 4, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	coord.Receive(Block{})
+}
+
+func TestDistributedOutOfOrderBlocks(t *testing.T) {
+	// Sites with clock skew deliver overlapping, out-of-order blocks;
+	// the coordinator must stay consistent.
+	const d, win = 4, 800
+	spec := window.Seq(win)
+	coord := NewCoordinator(spec, d, 32, 4, 240)
+	a := NewSite(0, d, 16, 240, coord.Receive)
+	b := NewSite(1, d, 16, 240, coord.Receive)
+	oracle := window.NewExact(spec, d)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i += 2 {
+		r1, r2 := randRow(rng, d), randRow(rng, d)
+		// Site b lags by 5 ticks worth of buffered rows.
+		a.Observe(r1, float64(i))
+		b.Observe(r2, float64(i+1))
+		oracle.Update(r1, float64(i))
+		oracle.Update(r2, float64(i+1))
+	}
+	a.Flush()
+	b.Flush()
+	if e := oracle.CovaErr(coord.Query(2999)); e > 0.35 {
+		t.Fatalf("out-of-order error = %v", e)
+	}
+}

@@ -1,0 +1,190 @@
+// Package eh implements an exponential histogram (Datar, Gionis,
+// Indyk, Motwani; SICOMP 2002) for maintaining an ε-approximate sum of
+// non-negative weights over a sliding window, generalised to real
+// weights as in the paper's use of EH to track ‖A‖²_F (Section 5.1).
+//
+// The histogram keeps a queue of buckets, each covering a contiguous
+// span of the stream and holding the sum of its weights. Buckets are
+// grouped into geometric size classes; whenever a class holds more
+// than k buckets the two oldest of the class merge. The estimate at
+// query time is the sum of all fully-live buckets plus half of the
+// single straddling bucket, giving relative error at most 1/k on the
+// window sum provided every weight is at most the window sum / k
+// (guaranteed here by also never letting a bucket contain more than
+// one "oversized" item).
+package eh
+
+import (
+	"fmt"
+	"math"
+)
+
+// bucket covers rows with timestamps in (start, end]; sum is the total
+// weight it holds, and count the number of items merged into it.
+type bucket struct {
+	start, end float64
+	sum        float64
+	count      int
+}
+
+// Histogram approximates the sum of weights inside a sliding window.
+// It works for both sequence-based windows (use the row index as the
+// timestamp) and time-based windows (use real timestamps).
+type Histogram struct {
+	k       int // buckets allowed per size class; rel. error ≈ 1/k
+	buckets []bucket
+	// total is the sum over all buckets, maintained incrementally so
+	// Estimate is O(1) plus the straddling correction.
+	total float64
+}
+
+// New returns a histogram with relative error approximately 1/k.
+// It panics if k < 1.
+func New(k int) *Histogram {
+	if k < 1 {
+		panic(fmt.Sprintf("eh: k must be ≥ 1, got %d", k))
+	}
+	return &Histogram{k: k}
+}
+
+// NewForError returns a histogram targeting relative error eps,
+// i.e. k = ⌈1/eps⌉. It panics if eps ≤ 0 or eps > 1.
+func NewForError(eps float64) *Histogram {
+	if eps <= 0 || eps > 1 {
+		panic(fmt.Sprintf("eh: error parameter must be in (0,1], got %v", eps))
+	}
+	return New(int(math.Ceil(1 / eps)))
+}
+
+// Add records an item with the given weight (must be ≥ 0) arriving at
+// timestamp t. Timestamps must be non-decreasing.
+func (h *Histogram) Add(t, weight float64) {
+	if weight < 0 {
+		panic(fmt.Sprintf("eh: negative weight %v", weight))
+	}
+	if n := len(h.buckets); n > 0 && t < h.buckets[n-1].end {
+		panic(fmt.Sprintf("eh: timestamp %v precedes previous %v", t, h.buckets[n-1].end))
+	}
+	if weight == 0 {
+		return
+	}
+	h.buckets = append(h.buckets, bucket{start: t, end: t, sum: weight, count: 1})
+	h.total += weight
+	h.canonicalize()
+}
+
+// canonicalize restores the ≤ k buckets-per-class invariant. Because
+// weights are arbitrary reals (not created at class 0 as in classic
+// DGIM), the two oldest buckets of an over-full class may not be
+// adjacent; merging non-adjacent buckets would corrupt the time spans.
+// We therefore merge the oldest *adjacent* same-class pair within the
+// over-full class, falling back to merging the class's oldest bucket
+// with its right neighbour (cross-class) when no such pair exists.
+// Every step removes one bucket, so the total stays O(k·log(sum)).
+func (h *Histogram) canonicalize() {
+	for {
+		over := h.overFullClass()
+		if over == noClass {
+			return
+		}
+		// Oldest adjacent same-class pair within the class.
+		prev := -1
+		mergedAt := -1
+		for i, b := range h.buckets {
+			if sizeClass(b.sum) != over {
+				continue
+			}
+			if prev >= 0 && prev == i-1 {
+				mergedAt = prev
+				break
+			}
+			prev = i
+		}
+		if mergedAt < 0 {
+			// Fallback: merge the class's oldest bucket rightward.
+			for i, b := range h.buckets {
+				if sizeClass(b.sum) == over {
+					mergedAt = i
+					break
+				}
+			}
+			if mergedAt >= len(h.buckets)-1 {
+				// Oldest-of-class is the newest bucket: merge leftward
+				// instead (always possible since the class is over-full
+				// only when ≥ 2 buckets exist).
+				mergedAt--
+			}
+		}
+		h.mergeWithNext(mergedAt)
+	}
+}
+
+const noClass = math.MinInt32
+
+// overFullClass returns a size class holding more than k buckets, or
+// noClass when the invariant holds.
+func (h *Histogram) overFullClass() int {
+	counts := make(map[int]int, 8)
+	for _, b := range h.buckets {
+		c := sizeClass(b.sum)
+		counts[c]++
+		if counts[c] > h.k {
+			return c
+		}
+	}
+	return noClass
+}
+
+func sizeClass(sum float64) int {
+	if sum < 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(sum)))
+}
+
+// mergeWithNext merges bucket i+1 into bucket i, preserving the
+// contiguous, time-ordered span structure of the queue.
+func (h *Histogram) mergeWithNext(i int) {
+	j := i + 1
+	h.buckets[i].end = h.buckets[j].end
+	h.buckets[i].sum += h.buckets[j].sum
+	h.buckets[i].count += h.buckets[j].count
+	h.buckets = append(h.buckets[:j], h.buckets[j+1:]...)
+}
+
+// Expire drops buckets that ended at or before the cutoff timestamp.
+// A bucket straddling the cutoff (start ≤ cutoff < end) is retained;
+// Estimate discounts it by half.
+func (h *Histogram) Expire(cutoff float64) {
+	drop := 0
+	for drop < len(h.buckets) && h.buckets[drop].end <= cutoff {
+		h.total -= h.buckets[drop].sum
+		drop++
+	}
+	if drop > 0 {
+		h.buckets = h.buckets[drop:]
+	}
+}
+
+// Estimate returns the approximate sum of weights with timestamps in
+// (cutoff, now]. It first expires buckets at or before cutoff, then
+// returns all live bucket sums with the oldest (possibly straddling)
+// bucket discounted by half when it straddles the cutoff.
+func (h *Histogram) Estimate(cutoff float64) float64 {
+	h.Expire(cutoff)
+	if len(h.buckets) == 0 {
+		return 0
+	}
+	est := h.total
+	if b := h.buckets[0]; b.start <= cutoff && b.count > 1 {
+		est -= b.sum / 2
+	}
+	return est
+}
+
+// Buckets returns the current number of buckets (the space used).
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Total returns the sum over every live bucket (no straddling
+// correction); useful when the caller knows nothing has expired.
+func (h *Histogram) Total() float64 { return h.total }

@@ -1,0 +1,254 @@
+package eh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// exactWindowSum is the reference: sum of weights with t in (cutoff, now].
+type item struct{ t, w float64 }
+
+func exactSum(items []item, cutoff float64) float64 {
+	var s float64
+	for _, it := range items {
+		if it.t > cutoff {
+			s += it.w
+		}
+	}
+	return s
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	New(0)
+}
+
+func TestNewForError(t *testing.T) {
+	h := NewForError(0.1)
+	if h.k != 10 {
+		t.Fatalf("k = %d, want 10", h.k)
+	}
+	for _, eps := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for eps=%v", eps)
+				}
+			}()
+			NewForError(eps)
+		}()
+	}
+}
+
+func TestAddNegativeWeightPanics(t *testing.T) {
+	h := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative weight")
+		}
+	}()
+	h.Add(1, -1)
+}
+
+func TestAddOutOfOrderPanics(t *testing.T) {
+	h := New(4)
+	h.Add(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for decreasing timestamp")
+		}
+	}()
+	h.Add(4, 1)
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	h := New(4)
+	h.Add(1, 0)
+	if h.Buckets() != 0 {
+		t.Fatal("zero weight should not create a bucket")
+	}
+}
+
+func TestExactWhenFewItems(t *testing.T) {
+	// With fewer than k items per class, nothing merges: exact sums.
+	h := New(100)
+	var want float64
+	for i := 0; i < 50; i++ {
+		h.Add(float64(i), 2)
+		want += 2
+	}
+	if got := h.Estimate(-1); got != want {
+		t.Fatalf("Estimate = %v, want %v", got, want)
+	}
+}
+
+func TestTotalTracksAllBuckets(t *testing.T) {
+	h := New(3)
+	var want float64
+	for i := 0; i < 200; i++ {
+		w := float64(1 + i%5)
+		h.Add(float64(i), w)
+		want += w
+	}
+	if math.Abs(h.Total()-want) > 1e-9 {
+		t.Fatalf("Total = %v, want %v", h.Total(), want)
+	}
+}
+
+func TestExpireDropsOldBuckets(t *testing.T) {
+	h := New(2)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i), 1)
+	}
+	before := h.Buckets()
+	h.Expire(90)
+	if h.Buckets() >= before {
+		t.Fatalf("Expire did not drop buckets: %d → %d", before, h.Buckets())
+	}
+	// Everything expired.
+	h.Expire(1000)
+	if h.Buckets() != 0 || h.Total() != 0 {
+		t.Fatalf("full expiry left %d buckets, total %v", h.Buckets(), h.Total())
+	}
+	if h.Estimate(1000) != 0 {
+		t.Fatal("estimate after full expiry should be 0")
+	}
+}
+
+func TestSpaceIsLogarithmic(t *testing.T) {
+	h := New(8)
+	n := 100000
+	for i := 0; i < n; i++ {
+		h.Add(float64(i), 1)
+	}
+	// Expect O(k log n) buckets; generous bound.
+	limit := 8 * (int(math.Log2(float64(n))) + 3)
+	if h.Buckets() > limit {
+		t.Fatalf("bucket count %d exceeds O(k log n) bound %d", h.Buckets(), limit)
+	}
+}
+
+func TestRelativeErrorUnitWeights(t *testing.T) {
+	// Sliding window of size 1000 over unit weights: estimate must be
+	// within ~2/k relative error of the true count.
+	k := 16
+	h := New(k)
+	window := 1000.0
+	for i := 0; i < 20000; i++ {
+		tt := float64(i)
+		h.Add(tt, 1)
+		if i > 2000 && i%77 == 0 {
+			got := h.Estimate(tt - window)
+			want := window
+			rel := math.Abs(got-want) / want
+			if rel > 2.5/float64(k) {
+				t.Fatalf("at t=%v: estimate %v vs %v (rel %.4f > %.4f)", tt, got, want, rel, 2.5/float64(k))
+			}
+		}
+	}
+}
+
+func TestRelativeErrorSkewedWeights(t *testing.T) {
+	// Weights in [1, 1000], window 500 items.
+	rng := rand.New(rand.NewSource(42))
+	k := 32
+	h := New(k)
+	var items []item
+	for i := 0; i < 8000; i++ {
+		w := 1 + rng.Float64()*999
+		tt := float64(i)
+		items = append(items, item{tt, w})
+		h.Add(tt, w)
+		if i > 1000 && i%113 == 0 {
+			cutoff := tt - 500
+			got := h.Estimate(cutoff)
+			want := exactSum(items, cutoff)
+			rel := math.Abs(got-want) / want
+			// Generous: real-weight EH with adjacent-merge fallback.
+			if rel > 4.0/float64(k) {
+				t.Fatalf("at t=%v: estimate %v vs %v (rel %.4f)", tt, got, want, rel)
+			}
+		}
+	}
+}
+
+func TestTimeBasedIrregularArrivals(t *testing.T) {
+	// Poisson-ish arrival gaps, time-based window of span 100.
+	rng := rand.New(rand.NewSource(7))
+	k := 24
+	h := New(k)
+	var items []item
+	tt := 0.0
+	for i := 0; i < 6000; i++ {
+		tt += rng.ExpFloat64() * 0.5
+		w := 1 + rng.Float64()*9
+		items = append(items, item{tt, w})
+		h.Add(tt, w)
+		if i > 1000 && i%97 == 0 {
+			cutoff := tt - 100
+			got := h.Estimate(cutoff)
+			want := exactSum(items, cutoff)
+			if want == 0 {
+				continue
+			}
+			rel := math.Abs(got-want) / want
+			if rel > 4.0/float64(k) {
+				t.Fatalf("at t=%v: estimate %v vs %v (rel %.4f)", tt, got, want, rel)
+			}
+		}
+	}
+}
+
+func TestEstimateIdempotent(t *testing.T) {
+	h := New(4)
+	for i := 0; i < 500; i++ {
+		h.Add(float64(i), 1)
+	}
+	a := h.Estimate(250)
+	b := h.Estimate(250)
+	if a != b {
+		t.Fatalf("Estimate not idempotent: %v then %v", a, b)
+	}
+}
+
+func TestBucketSpansStayOrdered(t *testing.T) {
+	// Invariant: bucket spans are contiguous and time-ordered even with
+	// wildly varying weights (the adjacency-preserving merge rule).
+	rng := rand.New(rand.NewSource(99))
+	h := New(4)
+	for i := 0; i < 3000; i++ {
+		w := math.Pow(10, rng.Float64()*4) // 1..10000
+		h.Add(float64(i), w)
+		for j := 1; j < len(h.buckets); j++ {
+			if h.buckets[j].start < h.buckets[j-1].end {
+				t.Fatalf("bucket %d span [%v,%v] overlaps previous end %v",
+					j, h.buckets[j].start, h.buckets[j].end, h.buckets[j-1].end)
+			}
+		}
+	}
+}
+
+// Property: the estimate never exceeds the total of live buckets and is
+// never negative.
+func TestEstimateBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(1 + rng.Intn(8))
+		n := 100 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			h.Add(float64(i), 1+rng.Float64()*50)
+		}
+		cutoff := float64(rng.Intn(n))
+		est := h.Estimate(cutoff)
+		return est >= 0 && est <= h.Total()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package eh
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEstimate drives the histogram with an arbitrary byte-derived
+// schedule of adds and expiries, checking the estimate against an
+// exact replay. Run with `go test -fuzz FuzzEstimate ./internal/eh`;
+// the seed corpus executes in normal test runs.
+func FuzzEstimate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{255, 0, 255, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Add([]byte{10, 10, 10, 10, 10, 10, 10, 10, 10, 10})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		h := New(4)
+		type it struct{ t, w float64 }
+		var items []it
+		now := 0.0
+		for _, b := range ops {
+			now++
+			w := 1 + float64(b%100)
+			h.Add(now, w)
+			items = append(items, it{now, w})
+
+			cutoff := now - 16
+			got := h.Estimate(cutoff)
+			var want float64
+			for _, x := range items {
+				if x.t > cutoff {
+					want += x.w
+				}
+			}
+			if got < 0 {
+				t.Fatalf("negative estimate %v", got)
+			}
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("estimate %v for empty window", got)
+				}
+				continue
+			}
+			// Generous bound: the class-merge EH with the adjacency
+			// fallback guarantees roughly 2/k relative error; allow 1.
+			if rel := math.Abs(got-want) / want; rel > 1.0 {
+				t.Fatalf("estimate %v vs exact %v (rel %v)", got, want, rel)
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+// Package eval is the experiment harness behind Section 8: it streams
+// a dataset through a set of sliding-window sketches next to an exact
+// window oracle, querying at a fixed stride, and reports the paper's
+// three metrics per sketch — maximum sketch size (rows), average and
+// maximum observed covariance error, and update cost (ns/row). The
+// cmd/swbench binary composes these runs into the series behind every
+// figure and table.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/mat"
+	"swsketch/internal/window"
+)
+
+// SketchSpec names a sketch configuration under evaluation and knows
+// how to build a fresh instance.
+type SketchSpec struct {
+	// Label identifies the algorithm (e.g. "LM-FD").
+	Label string
+	// Param is the swept size parameter, recorded in the output (the
+	// x-axis of the figures is the *measured* max sketch size, but the
+	// sweep knob is reported for reproducibility).
+	Param string
+	// New builds a fresh sketch.
+	New func() core.WindowSketch
+}
+
+// Config controls a run.
+type Config struct {
+	// Spec is the sliding window under evaluation.
+	Spec window.Spec
+	// QueryStride queries every k-th row (after Warmup rows).
+	QueryStride int
+	// Warmup delays the first query, letting the window fill.
+	Warmup int
+	// MaxQueries caps the number of evaluated windows (0 = unlimited);
+	// the expensive exact-error computation dominates run time.
+	MaxQueries int
+	// SkipTiming disables the separate update-cost pass.
+	SkipTiming bool
+	// ProjK, when > 0, additionally measures the rank-ProjK projection
+	// error at each query (the "different error metrics" extension).
+	ProjK int
+}
+
+func (c Config) validate() Config {
+	if c.QueryStride < 1 {
+		panic(fmt.Sprintf("eval: QueryStride must be ≥ 1, got %d", c.QueryStride))
+	}
+	if c.Warmup < 0 {
+		panic(fmt.Sprintf("eval: negative Warmup %d", c.Warmup))
+	}
+	return c
+}
+
+// Metrics is the outcome of evaluating one sketch configuration.
+type Metrics struct {
+	Label       string
+	Param       string
+	MaxRows     int     // maximum RowsStored observed over the run
+	AvgErr      float64 // mean covariance error over queried windows
+	MaxErr      float64 // maximum covariance error over queried windows
+	AvgProjErr  float64 // mean rank-k projection error (Config.ProjK > 0)
+	NsPerUpdate float64 // average update cost, ns per row
+	Queries     int     // number of evaluated windows
+}
+
+// Evaluate runs every spec over the dataset and reports metrics. All
+// sketches see the identical stream; errors are measured against one
+// shared exact-window oracle. Update cost is measured in a separate
+// pass over fresh sketch instances so query-time work and oracle costs
+// do not pollute it.
+func Evaluate(ds *data.Dataset, specs []SketchSpec, cfg Config) []Metrics {
+	cfg = cfg.validate()
+	if err := ds.Validate(); err != nil {
+		panic(fmt.Sprintf("eval: invalid dataset: %v", err))
+	}
+	d := ds.D()
+
+	sketches := make([]core.WindowSketch, len(specs))
+	results := make([]Metrics, len(specs))
+	for i, s := range specs {
+		sketches[i] = s.New()
+		results[i] = Metrics{Label: s.Label, Param: s.Param}
+	}
+
+	oracle := window.NewExact(cfg.Spec, d)
+	queries := 0
+	for i, row := range ds.Rows {
+		t := ds.Times[i]
+		oracle.Update(row, t)
+		for j, sk := range sketches {
+			sk.Update(row, t)
+			if n := sk.RowsStored(); n > results[j].MaxRows {
+				results[j].MaxRows = n
+			}
+		}
+		if i < cfg.Warmup || (i-cfg.Warmup)%cfg.QueryStride != 0 {
+			continue
+		}
+		if cfg.MaxQueries > 0 && queries >= cfg.MaxQueries {
+			continue
+		}
+		queries++
+		// One Gram snapshot serves every sketch at this query point.
+		gram := oracle.Gram()
+		froSq := oracle.FroSq()
+		var aWin *mat.Dense
+		var tailMass float64
+		if cfg.ProjK > 0 {
+			aWin = oracle.Matrix()
+			sa := mat.SingularValues(aWin)
+			for i := cfg.ProjK; i < len(sa); i++ {
+				tailMass += sa[i] * sa[i]
+			}
+		}
+		// The per-sketch query + spectral-norm work is independent;
+		// spread it across cores (it dominates harness run time).
+		evalSketchesParallel(sketches, results, t, gram, froSq, aWin, tailMass, cfg.ProjK)
+	}
+	for j := range results {
+		if results[j].Queries > 0 {
+			results[j].AvgErr /= float64(results[j].Queries)
+			results[j].AvgProjErr /= float64(results[j].Queries)
+		}
+	}
+
+	if !cfg.SkipTiming {
+		for j, s := range specs {
+			results[j].NsPerUpdate = MeasureUpdateCost(ds, s.New)
+		}
+	}
+	return results
+}
+
+// MeasureUpdateCost streams the dataset through a fresh sketch and
+// returns the average wall-clock cost per row in nanoseconds.
+func MeasureUpdateCost(ds *data.Dataset, newSketch func() core.WindowSketch) float64 {
+	sk := newSketch()
+	start := time.Now()
+	for i, row := range ds.Rows {
+		sk.Update(row, ds.Times[i])
+	}
+	elapsed := time.Since(start)
+	if len(ds.Rows) == 0 {
+		return 0
+	}
+	return float64(elapsed.Nanoseconds()) / float64(len(ds.Rows))
+}
+
+// EvaluateBestRanks computes the BEST(offline) baseline's error curve
+// in one pass: at each query point it eigendecomposes the exact window
+// Gram matrix once, reading off the optimal rank-k covariance error
+// σ²_{k+1}/‖A‖²_F for every requested k simultaneously — the identity
+// the paper's lower envelope relies on. This is orders of magnitude
+// cheaper than materialising a rank-k approximation per k.
+func EvaluateBestRanks(ds *data.Dataset, ks []int, cfg Config) []Metrics {
+	cfg = cfg.validate()
+	if err := ds.Validate(); err != nil {
+		panic(fmt.Sprintf("eval: invalid dataset: %v", err))
+	}
+	d := ds.D()
+	results := make([]Metrics, len(ks))
+	for i, k := range ks {
+		results[i] = Metrics{Label: "BEST", Param: fmt.Sprintf("k=%d", k), MaxRows: k}
+	}
+
+	oracle := window.NewExact(cfg.Spec, d)
+	queries := 0
+	for i, row := range ds.Rows {
+		t := ds.Times[i]
+		oracle.Update(row, t)
+		if i < cfg.Warmup || (i-cfg.Warmup)%cfg.QueryStride != 0 {
+			continue
+		}
+		if cfg.MaxQueries > 0 && queries >= cfg.MaxQueries {
+			continue
+		}
+		queries++
+		froSq := oracle.FroSq()
+		if froSq == 0 {
+			continue
+		}
+		vals, _ := mat.EigenSym(oracle.Gram())
+		for j, k := range ks {
+			var e float64
+			if k < len(vals) && vals[k] > 0 {
+				e = vals[k] / froSq
+			}
+			results[j].AvgErr += e
+			if e > results[j].MaxErr {
+				results[j].MaxErr = e
+			}
+			results[j].Queries++
+		}
+	}
+	for j := range results {
+		if results[j].Queries > 0 {
+			results[j].AvgErr /= float64(results[j].Queries)
+		}
+	}
+	return results
+}
+
+// evalSketchesParallel queries every sketch at time t and accumulates
+// its error metrics, fanning the independent per-sketch work across
+// GOMAXPROCS workers.
+func evalSketchesParallel(sketches []core.WindowSketch, results []Metrics, t float64,
+	gram *mat.Dense, froSq float64, aWin *mat.Dense, tailMass float64, projK int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sketches) {
+		workers = len(sketches)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				b := sketches[j].Query(t)
+				e := mat.CovarianceError(gram, froSq, b)
+				results[j].AvgErr += e
+				if e > results[j].MaxErr {
+					results[j].MaxErr = e
+				}
+				if projK > 0 {
+					results[j].AvgProjErr += mat.ProjectionErrorGivenTail(aWin, tailMass, b, projK)
+				}
+				results[j].Queries++
+			}
+		}()
+	}
+	for j := range sketches {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/window"
+)
+
+func smallDataset() *data.Dataset {
+	return data.Synthetic(data.SyntheticConfig{N: 1200, D: 12, SignalDim: 6, Seed: 1})
+}
+
+func specsFor(spec window.Spec, d int) []SketchSpec {
+	return []SketchSpec{
+		{Label: "SWR", Param: "ell=20", New: func() core.WindowSketch {
+			return core.NewSWR(spec, 20, d, 1)
+		}},
+		{Label: "LM-FD", Param: "ell=16,b=6", New: func() core.WindowSketch {
+			return core.NewLMFD(spec, d, 16, 6)
+		}},
+	}
+}
+
+func TestEvaluateProducesSaneMetrics(t *testing.T) {
+	ds := smallDataset()
+	spec := window.Seq(300)
+	ms := Evaluate(ds, specsFor(spec, ds.D()), Config{
+		Spec:        spec,
+		QueryStride: 200,
+		Warmup:      300,
+	})
+	if len(ms) != 2 {
+		t.Fatalf("got %d metrics", len(ms))
+	}
+	for _, m := range ms {
+		if m.Queries == 0 {
+			t.Fatalf("%s: no queries evaluated", m.Label)
+		}
+		if m.MaxRows <= 0 {
+			t.Fatalf("%s: MaxRows = %d", m.Label, m.MaxRows)
+		}
+		if m.AvgErr < 0 || m.MaxErr < m.AvgErr {
+			t.Fatalf("%s: inconsistent errors avg=%v max=%v", m.Label, m.AvgErr, m.MaxErr)
+		}
+		if m.NsPerUpdate <= 0 {
+			t.Fatalf("%s: NsPerUpdate = %v", m.Label, m.NsPerUpdate)
+		}
+	}
+}
+
+func TestEvaluateMaxQueriesCap(t *testing.T) {
+	ds := smallDataset()
+	spec := window.Seq(300)
+	ms := Evaluate(ds, specsFor(spec, ds.D()), Config{
+		Spec:        spec,
+		QueryStride: 50,
+		Warmup:      300,
+		MaxQueries:  3,
+		SkipTiming:  true,
+	})
+	for _, m := range ms {
+		if m.Queries != 3 {
+			t.Fatalf("%s: queries = %d, want 3", m.Label, m.Queries)
+		}
+		if m.NsPerUpdate != 0 {
+			t.Fatalf("%s: timing should be skipped", m.Label)
+		}
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	ds := smallDataset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for QueryStride=0")
+		}
+	}()
+	Evaluate(ds, nil, Config{Spec: window.Seq(10), QueryStride: 0})
+}
+
+func TestMeasureUpdateCostPositive(t *testing.T) {
+	ds := smallDataset()
+	ns := MeasureUpdateCost(ds, func() core.WindowSketch {
+		return core.NewSWR(window.Seq(300), 10, ds.D(), 2)
+	})
+	if ns <= 0 {
+		t.Fatalf("ns/update = %v", ns)
+	}
+}
+
+func TestMeasureUpdateCostEmptyDataset(t *testing.T) {
+	empty := &data.Dataset{Name: "empty"}
+	if ns := MeasureUpdateCost(empty, func() core.WindowSketch {
+		return core.NewSWR(window.Seq(10), 2, 1, 3)
+	}); ns != 0 {
+		t.Fatalf("empty dataset ns = %v", ns)
+	}
+}
+
+func TestGroupSeriesSortsByRows(t *testing.T) {
+	ms := []Metrics{
+		{Label: "B", MaxRows: 50},
+		{Label: "A", MaxRows: 30},
+		{Label: "A", MaxRows: 10},
+	}
+	ss := GroupSeries(ms)
+	if len(ss) != 2 || ss[0].Label != "A" || ss[1].Label != "B" {
+		t.Fatalf("series = %+v", ss)
+	}
+	if ss[0].Points[0].MaxRows != 10 || ss[0].Points[1].MaxRows != 30 {
+		t.Fatal("points not sorted by MaxRows")
+	}
+}
+
+func TestMetricSelectors(t *testing.T) {
+	m := Metrics{AvgErr: 1, MaxErr: 2, NsPerUpdate: 3}
+	if AvgErr.value(m) != 1 || MaxErr.value(m) != 2 || UpdateNs.value(m) != 3 {
+		t.Fatal("metric selectors broken")
+	}
+	for _, mm := range []Metric{AvgErr, MaxErr, UpdateNs} {
+		if mm.String() == "" || mm.short() == "" {
+			t.Fatal("metric names broken")
+		}
+	}
+}
+
+func TestWriteFigureAndCSV(t *testing.T) {
+	ms := []Metrics{
+		{Label: "SWR", Param: "ell=10", MaxRows: 40, AvgErr: 0.1, MaxErr: 0.2, NsPerUpdate: 123},
+		{Label: "LM-FD", Param: "ell=8,b=4", MaxRows: 30, AvgErr: 0.05, MaxErr: 0.1, NsPerUpdate: 45},
+	}
+	var fig bytes.Buffer
+	WriteFigure(&fig, "Fig 3a SYNTHETIC", ms, AvgErr)
+	out := fig.String()
+	for _, want := range []string{"Fig 3a SYNTHETIC", "SWR", "LM-FD", "avg cova-err"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	var csvb bytes.Buffer
+	WriteCSVSeries(&csvb, "fig3a", ms)
+	lines := strings.Split(strings.TrimSpace(csvb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "fig3a,LM-FD,") {
+		t.Fatalf("csv order/format: %q", lines[0])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("a,b") != `"a,b"` || csvEscape(`x"y`) != `"x""y"` || csvEscape("plain") != "plain" {
+		t.Fatal("csvEscape broken")
+	}
+}
+
+func TestOfflineSampling(t *testing.T) {
+	ds := data.PAMAP(data.PAMAPConfig{N: 3000, D: 8, SkewAt: 1000, SkewLen: 500, Seed: 3})
+	pts := OfflineSampling(ds, 1000, 1500, []int{10, 40}, 5, 7)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.SWR < 0 || p.SWORPerRow < 0 || p.SWORUni < 0 {
+			t.Fatalf("negative error: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteOffline(&buf, "Fig 6", pts)
+	if !strings.Contains(buf.String(), "SWOR(per-row)") {
+		t.Fatal("offline rendering missing columns")
+	}
+}
+
+func TestOfflineSamplingValidation(t *testing.T) {
+	ds := smallDataset()
+	for _, f := range []func(){
+		func() { OfflineSampling(ds, -1, 10, []int{1}, 1, 0) },
+		func() { OfflineSampling(ds, 5, 5, []int{1}, 1, 0) },
+		func() { OfflineSampling(ds, 0, ds.N()+1, []int{1}, 1, 0) },
+		func() { OfflineSampling(ds, 0, 10, []int{1}, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEvaluateBestRanksMonotone(t *testing.T) {
+	ds := smallDataset()
+	ms := EvaluateBestRanks(ds, []int{2, 4, 8}, Config{
+		Spec:        window.Seq(300),
+		QueryStride: 300,
+		Warmup:      300,
+	})
+	if len(ms) != 3 {
+		t.Fatalf("metrics = %d", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].AvgErr > ms[i-1].AvgErr+1e-12 {
+			t.Fatalf("BEST error not monotone in k: %v then %v", ms[i-1].AvgErr, ms[i].AvgErr)
+		}
+	}
+	for _, m := range ms {
+		if m.Queries == 0 || m.Label != "BEST" {
+			t.Fatalf("bad metrics: %+v", m)
+		}
+	}
+}
+
+func TestEvaluateBestRanksMatchesBestSketch(t *testing.T) {
+	// The spectrum shortcut must agree with the explicit rank-k sketch.
+	ds := smallDataset()
+	spec := window.Seq(300)
+	cfg := Config{Spec: spec, QueryStride: 500, Warmup: 300, MaxQueries: 2, SkipTiming: true}
+	fast := EvaluateBestRanks(ds, []int{4}, cfg)
+	slow := Evaluate(ds, []SketchSpec{{
+		Label: "BEST", Param: "k=4",
+		New: func() core.WindowSketch { return core.NewBest(spec, 4, ds.D()) },
+	}}, cfg)
+	if diff := fast[0].AvgErr - slow[0].AvgErr; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("spectrum shortcut %v vs explicit %v", fast[0].AvgErr, slow[0].AvgErr)
+	}
+}

@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swsketch/internal/data"
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+)
+
+// OfflinePoint is one point of the Figure 6 experiment: the average
+// covariance error of the offline samplers at a given sample size ℓ.
+type OfflinePoint struct {
+	Ell                      int
+	SWR, SWORPerRow, SWORUni float64
+}
+
+// OfflineSampling reproduces Figure 6: extract the window rows
+// [from, to) of the dataset, then for each ℓ run the offline
+// with-replacement sampler, the paper's per-row-rescaled
+// without-replacement sampler, and the uniform-rescaled variant,
+// averaging covariance error over trials.
+func OfflineSampling(ds *data.Dataset, from, to int, ells []int, trials int, seed int64) []OfflinePoint {
+	if from < 0 || to > ds.N() || from >= to {
+		panic(fmt.Sprintf("eval: offline window [%d,%d) out of range n=%d", from, to, ds.N()))
+	}
+	if trials < 1 {
+		panic(fmt.Sprintf("eval: trials must be ≥ 1, got %d", trials))
+	}
+	a := mat.FromRows(ds.Rows[from:to])
+	gram := a.Gram()
+	froSq := a.FrobeniusSq()
+	rng := rand.New(rand.NewSource(seed))
+
+	points := make([]OfflinePoint, 0, len(ells))
+	for _, ell := range ells {
+		p := OfflinePoint{Ell: ell}
+		for tr := 0; tr < trials; tr++ {
+			p.SWR += mat.CovarianceError(gram, froSq, stream.SampleOfflineWR(a, ell, rng))
+			p.SWORPerRow += mat.CovarianceError(gram, froSq, stream.SampleOfflineWORPerRow(a, ell, rng))
+			p.SWORUni += mat.CovarianceError(gram, froSq, stream.SampleOfflineWOR(a, ell, rng))
+		}
+		p.SWR /= float64(trials)
+		p.SWORPerRow /= float64(trials)
+		p.SWORUni /= float64(trials)
+		points = append(points, p)
+	}
+	return points
+}

@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series groups the metrics of one algorithm across a size sweep, the
+// unit the paper plots: one line per algorithm per figure panel.
+type Series struct {
+	Label  string
+	Points []Metrics
+}
+
+// GroupSeries splits a flat metrics list into per-algorithm series,
+// ordered by measured max sketch size within each series and by label
+// across series.
+func GroupSeries(ms []Metrics) []Series {
+	byLabel := map[string][]Metrics{}
+	var labels []string
+	for _, m := range ms {
+		if _, ok := byLabel[m.Label]; !ok {
+			labels = append(labels, m.Label)
+		}
+		byLabel[m.Label] = append(byLabel[m.Label], m)
+	}
+	sort.Strings(labels)
+	out := make([]Series, 0, len(labels))
+	for _, l := range labels {
+		pts := byLabel[l]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].MaxRows < pts[j].MaxRows })
+		out = append(out, Series{Label: l, Points: pts})
+	}
+	return out
+}
+
+// Metric selects which quantity a rendered figure reports.
+type Metric int
+
+const (
+	// AvgErr is the mean covariance error (Figures 3, 7).
+	AvgErr Metric = iota
+	// MaxErr is the maximum covariance error (Figures 4, 8).
+	MaxErr
+	// UpdateNs is the update cost in ns/row (Figures 5, 9).
+	UpdateNs
+)
+
+func (m Metric) String() string {
+	switch m {
+	case AvgErr:
+		return "avg cova-err"
+	case MaxErr:
+		return "max cova-err"
+	case UpdateNs:
+		return "update ns/row"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+func (m Metric) value(p Metrics) float64 {
+	switch m {
+	case AvgErr:
+		return p.AvgErr
+	case MaxErr:
+		return p.MaxErr
+	case UpdateNs:
+		return p.NsPerUpdate
+	default:
+		panic(fmt.Sprintf("eval: unknown metric %d", int(m)))
+	}
+}
+
+// WriteFigure renders one figure panel — metric versus measured max
+// sketch size, one block per algorithm — in an aligned text format
+// that mirrors the paper's plots.
+func WriteFigure(w io.Writer, title string, ms []Metrics, metric Metric) {
+	fmt.Fprintf(w, "== %s — %s vs max sketch size ==\n", title, metric)
+	for _, s := range GroupSeries(ms) {
+		fmt.Fprintf(w, "%s:\n", s.Label)
+		fmt.Fprintf(w, "  %-12s %-14s %s\n", "max-rows", metric.short(), "param")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "  %-12d %-14.6g %s\n", p.MaxRows, metric.value(p), p.Param)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func (m Metric) short() string {
+	switch m {
+	case AvgErr:
+		return "avg-err"
+	case MaxErr:
+		return "max-err"
+	case UpdateNs:
+		return "ns/update"
+	default:
+		return "value"
+	}
+}
+
+// WriteCSVSeries renders metrics as CSV rows:
+// figure,algorithm,param,max_rows,avg_err,max_err,ns_per_update.
+func WriteCSVSeries(w io.Writer, figure string, ms []Metrics) {
+	for _, s := range GroupSeries(ms) {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%s,%s,%s,%d,%.8g,%.8g,%.8g\n",
+				figure, s.Label, csvEscape(p.Param), p.MaxRows, p.AvgErr, p.MaxErr, p.NsPerUpdate)
+		}
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteOffline renders the Figure 6 points.
+func WriteOffline(w io.Writer, title string, pts []OfflinePoint) {
+	fmt.Fprintf(w, "== %s — offline sampling error vs ℓ ==\n", title)
+	fmt.Fprintf(w, "  %-8s %-14s %-16s %s\n", "ell", "SWR", "SWOR(per-row)", "SWOR(uniform)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-8d %-14.6g %-16.6g %.6g\n", p.Ell, p.SWR, p.SWORPerRow, p.SWORUni)
+	}
+	fmt.Fprintln(w)
+}

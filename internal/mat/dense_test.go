@@ -1,0 +1,347 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("dims = %d×%d, want 3×4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("entry (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseDataMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	NewDenseData(2, 2, []float64{1, 2, 3})
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for index %v", idx)
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %d×%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v", m.At(2, 1))
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("dims = %d×%d, want 0×0", m.Rows(), m.Cols())
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestRowIsView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Row(0)[1] = 9
+	if m.At(0, 1) != 9 {
+		t.Fatal("Row should alias the backing store")
+	}
+}
+
+func TestRowCopyIsCopy(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	r := m.RowCopy(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("RowCopy should not alias")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone should be independent")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T dims = %d×%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randDense(rng, 5, 7)
+	if !m.T().T().Equal(m, 0) {
+		t.Fatal("Tᵀᵀ != identity")
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randDense(rng, 4, 4)
+	if !Mul(m, Identity(4)).Equal(m, 1e-12) {
+		t.Fatal("M·I != M")
+	}
+	if !Mul(Identity(4), m).Equal(m, 1e-12) {
+		t.Fatal("I·M != M")
+	}
+}
+
+func TestGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 6, 4)
+	want := Mul(a.T(), a)
+	if !a.Gram().Equal(want, 1e-10) {
+		t.Fatal("Gram != AᵀA")
+	}
+}
+
+func TestGramTMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 4, 6)
+	want := Mul(a, a.T())
+	if !a.GramT().Equal(want, 1e-10) {
+		t.Fatal("GramT != AAᵀ")
+	}
+}
+
+func TestAddOuterTo(t *testing.T) {
+	g := NewDense(2, 2)
+	AddOuterTo(g, []float64{1, 2}, 1)
+	AddOuterTo(g, []float64{3, -1}, 2)
+	want := FromRows([][]float64{
+		{1 + 2*9, 2 + 2*(-3)},
+		{2 + 2*(-3), 4 + 2*1},
+	})
+	if !g.Equal(want, 1e-12) {
+		t.Fatalf("AddOuterTo = %v, want %v", g, want)
+	}
+}
+
+func TestAddOuterToShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AddOuterTo(NewDense(2, 2), []float64{1, 2, 3}, 1)
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, -1})
+	if got[0] != -1 || got[1] != -1 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if SqNorm([]float64{3, 4}) != 25 {
+		t.Fatal("SqNorm wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}})
+	a.Add(b)
+	if a.At(0, 0) != 4 || a.At(0, 1) != 6 {
+		t.Fatalf("Add = %v", a)
+	}
+	a.Sub(b)
+	if a.At(0, 0) != 1 || a.At(0, 1) != 2 {
+		t.Fatalf("Sub = %v", a)
+	}
+	a.Scale(3)
+	if a.At(0, 0) != 3 || a.At(0, 1) != 6 {
+		t.Fatalf("Scale = %v", a)
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 4}})
+	if a.FrobeniusSq() != 25 {
+		t.Fatalf("FrobeniusSq = %v", a.FrobeniusSq())
+	}
+	if a.Frobenius() != 5 {
+		t.Fatalf("Frobenius = %v", a.Frobenius())
+	}
+}
+
+func TestStack(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	s := Stack(a, b)
+	if s.Rows() != 3 || s.At(2, 1) != 6 || s.At(0, 0) != 1 {
+		t.Fatalf("Stack = %v", s)
+	}
+}
+
+func TestStackNilAndEmpty(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	if s := Stack(nil, a); !s.Equal(a, 0) {
+		t.Fatal("Stack(nil, a) != a")
+	}
+	if s := Stack(a, nil); !s.Equal(a, 0) {
+		t.Fatal("Stack(a, nil) != a")
+	}
+	if s := Stack(nil, nil); s.Rows() != 0 {
+		t.Fatal("Stack(nil, nil) not empty")
+	}
+	if s := Stack(NewDense(0, 5), a); !s.Equal(a, 0) {
+		t.Fatal("Stack(empty, a) != a")
+	}
+}
+
+func TestStackColumnMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Stack(NewDense(1, 2), NewDense(1, 3))
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromRows([][]float64{{-7, 2}, {3, 4}})
+	if a.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+	if NewDense(0, 0).MaxAbs() != 0 {
+		t.Fatal("MaxAbs of empty should be 0")
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	for _, m := range []*Dense{NewDense(0, 0), NewDense(2, 2), NewDense(20, 20)} {
+		if s := m.String(); s == "" {
+			t.Fatal("empty String()")
+		}
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b := randDense(rng, m, k), randDense(rng, k, n)
+		return Mul(a, b).T().Equal(Mul(b.T(), a.T()), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖A‖²_F equals the trace of AᵀA.
+func TestFrobeniusTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randDense(r, 1+r.Intn(8), 1+r.Intn(8))
+		g := a.Gram()
+		var trace float64
+		for i := 0; i < g.Rows(); i++ {
+			trace += g.At(i, i)
+		}
+		return almostEqual(trace, a.FrobeniusSq(), 1e-9*(1+a.FrobeniusSq()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSym returns a random symmetric n×n matrix.
+func randSym(rng *rand.Rand, n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func reconstructEigen(vals []float64, v *Dense) *Dense {
+	n := len(vals)
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, vals[i])
+	}
+	return Mul(Mul(v, d), v.T())
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 2}})
+	vals, v := EigenSym(a)
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if !almostEqual(vals[i], want[i], 1e-12) {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	if !reconstructEigen(vals, v).Equal(a, 1e-10) {
+		t.Fatal("reconstruction failed")
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _ := EigenSym(a)
+	if !almostEqual(vals[0], 3, 1e-12) || !almostEqual(vals[1], 1, 1e-12) {
+		t.Fatalf("vals = %v, want [3 1]", vals)
+	}
+}
+
+func TestEigenSymZeroMatrix(t *testing.T) {
+	vals, v := EigenSym(NewDense(4, 4))
+	for _, val := range vals {
+		if val != 0 {
+			t.Fatalf("vals = %v, want zeros", vals)
+		}
+	}
+	if !v.Equal(Identity(4), 0) {
+		t.Fatal("eigenvectors of zero matrix should be identity")
+	}
+}
+
+func TestEigenSymSizeZeroAndOne(t *testing.T) {
+	vals, _ := EigenSym(NewDense(0, 0))
+	if len(vals) != 0 {
+		t.Fatal("0×0 should give no eigenvalues")
+	}
+	vals, v := EigenSym(FromRows([][]float64{{-5}}))
+	if vals[0] != -5 || v.At(0, 0) != 1 {
+		t.Fatalf("1×1: vals=%v v=%v", vals, v)
+	}
+}
+
+func TestEigenSymNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EigenSym(NewDense(2, 3))
+}
+
+func TestEigenSymReconstructionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 5, 10, 25, 60} {
+		a := randSym(rng, n)
+		vals, v := EigenSymJacobi(a)
+		if !reconstructEigen(vals, v).Equal(a, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: reconstruction failed", n)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("n=%d: eigenvalues not sorted: %v", n, vals)
+			}
+		}
+		// Orthogonality of eigenvectors: VᵀV = I.
+		if !Mul(v.T(), v).Equal(Identity(n), 1e-9*float64(n)) {
+			t.Fatalf("n=%d: eigenvectors not orthonormal", n)
+		}
+	}
+}
+
+func TestEigenSymPSDNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randDense(rng, 8, 5)
+	vals, _ := EigenSym(a.Gram())
+	for _, v := range vals {
+		if v < -1e-9 {
+			t.Fatalf("PSD Gram matrix has negative eigenvalue %v", v)
+		}
+	}
+}
+
+func TestEigenSymTraceInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		a := randSym(r, n)
+		var traceA float64
+		for i := 0; i < n; i++ {
+			traceA += a.At(i, i)
+		}
+		vals, _ := EigenSym(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return almostEqual(traceA, sum, 1e-8*(1+math.Abs(traceA)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenSymRepeatedEigenvalues(t *testing.T) {
+	// I scaled: all eigenvalues identical.
+	a := Identity(5).Scale(4)
+	vals, v := EigenSym(a)
+	for _, val := range vals {
+		if !almostEqual(val, 4, 1e-12) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	if !reconstructEigen(vals, v).Equal(a, 1e-10) {
+		t.Fatal("reconstruction failed for repeated eigenvalues")
+	}
+}
+
+func TestEigenSymIllConditioned(t *testing.T) {
+	// Widely spread eigenvalues through a rotation.
+	rng := rand.New(rand.NewSource(13))
+	n := 6
+	q := orthonormalize(randDense(rng, n, n))
+	d := NewDense(n, n)
+	want := []float64{1e8, 1e4, 1, 1e-2, 1e-5, 0}
+	for i, v := range want {
+		d.Set(i, i, v)
+	}
+	a := Mul(Mul(q, d), q.T())
+	// Symmetrize against round-off before decomposing.
+	at := a.T()
+	a.Add(at).Scale(0.5)
+	vals, _ := EigenSym(a)
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-6*(1+w) {
+			t.Fatalf("eigenvalue %d = %v, want %v", i, vals[i], w)
+		}
+	}
+}
+
+// orthonormalize runs modified Gram-Schmidt over the columns of m.
+func orthonormalize(m *Dense) *Dense {
+	n := m.Rows()
+	q := m.Clone()
+	for j := 0; j < n; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = q.At(i, j)
+		}
+		for k := 0; k < j; k++ {
+			prev := make([]float64, n)
+			for i := 0; i < n; i++ {
+				prev[i] = q.At(i, k)
+			}
+			d := Dot(col, prev)
+			for i := range col {
+				col[i] -= d * prev[i]
+			}
+		}
+		nrm := Norm2(col)
+		for i := 0; i < n; i++ {
+			q.Set(i, j, col[i]/nrm)
+		}
+	}
+	return q
+}

@@ -1,0 +1,143 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRResult holds a thin QR decomposition A = Q·R with Q (rows×k,
+// orthonormal columns) and R (k×cols, upper triangular), k = min(rows,
+// cols).
+type QRResult struct {
+	Q *Dense
+	R *Dense
+}
+
+// QR computes a thin QR decomposition by Householder reflections —
+// numerically stabler than Gram-Schmidt for the near-degenerate inputs
+// the sketches produce (e.g. FD buffers right after a shrink).
+func QR(a *Dense) QRResult {
+	m, n := a.Dims()
+	k := m
+	if n < k {
+		k = n
+	}
+	r := a.Clone()
+	// vs stores the Householder vectors; applied later to build Q.
+	vs := make([][]float64, 0, k)
+
+	for j := 0; j < k; j++ {
+		// Build the reflector for column j below the diagonal.
+		v := make([]float64, m-j)
+		var norm float64
+		for i := j; i < m; i++ {
+			v[i-j] = r.At(i, j)
+			norm += v[i-j] * v[i-j]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		if v[0] >= 0 {
+			v[0] += norm
+		} else {
+			v[0] -= norm
+		}
+		var vsq float64
+		for _, x := range v {
+			vsq += x * x
+		}
+		if vsq == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		// Apply (I − 2vvᵀ/vᵀv) to the trailing submatrix of R.
+		for c := j; c < n; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += v[i-j] * r.At(i, c)
+			}
+			f := 2 * dot / vsq
+			for i := j; i < m; i++ {
+				r.Set(i, c, r.At(i, c)-f*v[i-j])
+			}
+		}
+		vs = append(vs, v)
+	}
+
+	// Zero the strictly-lower part of R (round-off residue) and trim.
+	rOut := NewDense(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			rOut.Set(i, j, r.At(i, j))
+		}
+	}
+
+	// Build Q by applying the reflectors in reverse to the first k
+	// columns of the identity.
+	q := NewDense(m, k)
+	for j := 0; j < k; j++ {
+		q.Set(j, j, 1)
+	}
+	for j := len(vs) - 1; j >= 0; j-- {
+		v := vs[j]
+		if v == nil {
+			continue
+		}
+		var vsq float64
+		for _, x := range v {
+			vsq += x * x
+		}
+		for c := 0; c < k; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += v[i-j] * q.At(i, c)
+			}
+			f := 2 * dot / vsq
+			for i := j; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-f*v[i-j])
+			}
+		}
+	}
+	return QRResult{Q: q, R: rOut}
+}
+
+// OrthonormalRows returns a k×d matrix with orthonormal rows spanning
+// the row space of a's first k rows (k = min(rows, cols) when k ≤ 0).
+// It is the library's canonical way to build orthonormal bases (used
+// by the synthetic data generator and the PCA utilities).
+func OrthonormalRows(a *Dense, k int) *Dense {
+	m, d := a.Dims()
+	lim := m
+	if d < lim {
+		lim = d
+	}
+	if k <= 0 || k > lim {
+		k = lim
+	}
+	qr := QR(a.T())
+	out := NewDense(k, d)
+	for i := 0; i < k; i++ {
+		for j := 0; j < d; j++ {
+			out.Set(i, j, qr.Q.At(j, i))
+		}
+	}
+	return out
+}
+
+// checkQRShapes is used by tests; exported logic stays above.
+func checkQRShapes(a *Dense, res QRResult) error {
+	m, n := a.Dims()
+	k := m
+	if n < k {
+		k = n
+	}
+	if qr, qc := res.Q.Dims(); qr != m || qc != k {
+		return fmt.Errorf("mat: Q is %d×%d, want %d×%d", qr, qc, m, k)
+	}
+	if rr, rc := res.R.Dims(); rr != k || rc != n {
+		return fmt.Errorf("mat: R is %d×%d, want %d×%d", rr, rc, k, n)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{5, 3}, {3, 5}, {4, 4}, {1, 6}, {6, 1}, {10, 7}} {
+		a := randDense(rng, dims[0], dims[1])
+		res := QR(a)
+		if err := checkQRShapes(a, res); err != nil {
+			t.Fatal(err)
+		}
+		if !Mul(res.Q, res.R).Equal(a, 1e-10) {
+			t.Fatalf("%v: QR reconstruction failed", dims)
+		}
+	}
+}
+
+func TestQROrthonormalQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randDense(rng, 8, 5)
+	res := QR(a)
+	if !Mul(res.Q.T(), res.Q).Equal(Identity(5), 1e-10) {
+		t.Fatal("QᵀQ != I")
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 6, 6)
+	res := QR(a)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < i; j++ {
+			if math.Abs(res.R.At(i, j)) > 1e-12 {
+				t.Fatalf("R(%d,%d) = %v below diagonal", i, j, res.R.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Duplicate columns: QR must not blow up, reconstruction holds.
+	a := FromRows([][]float64{{1, 1, 2}, {2, 2, 1}, {3, 3, 0}})
+	res := QR(a)
+	if !Mul(res.Q, res.R).Equal(a, 1e-10) {
+		t.Fatal("rank-deficient reconstruction failed")
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	a := NewDense(3, 3)
+	res := QR(a)
+	if !Mul(res.Q, res.R).Equal(a, 1e-12) {
+		t.Fatal("zero-matrix QR failed")
+	}
+}
+
+func TestQRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randDense(rng, m, n)
+		res := QR(a)
+		if !Mul(res.Q, res.R).Equal(a, 1e-9) {
+			return false
+		}
+		k := res.Q.Cols()
+		return Mul(res.Q.T(), res.Q).Equal(Identity(k), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrthonormalRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 4, 10)
+	q := OrthonormalRows(a, 3)
+	if q.Rows() != 3 || q.Cols() != 10 {
+		t.Fatalf("dims %d×%d", q.Rows(), q.Cols())
+	}
+	if !q.GramT().Equal(Identity(3), 1e-10) {
+		t.Fatal("rows not orthonormal")
+	}
+	// k defaulting.
+	qd := OrthonormalRows(a, 0)
+	if qd.Rows() != 4 {
+		t.Fatalf("default k rows = %d", qd.Rows())
+	}
+	// Row space preserved: each original row is in the span of q's rows
+	// (projector reproduces it).
+	full := OrthonormalRows(a, 4)
+	for i := 0; i < 4; i++ {
+		row := a.Row(i)
+		proj := make([]float64, 10)
+		for p := 0; p < 4; p++ {
+			d := Dot(full.Row(p), row)
+			for j := range proj {
+				proj[j] += d * full.Row(p)[j]
+			}
+		}
+		for j := range proj {
+			if math.Abs(proj[j]-row[j]) > 1e-8 {
+				t.Fatalf("row %d not in span at column %d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func reconstructSVD(res SVDResult) *Dense {
+	r := len(res.S)
+	ur, _ := res.U.Dims()
+	vc, _ := res.V.Dims()
+	out := NewDense(ur, vc)
+	for k := 0; k < r; k++ {
+		if res.S[k] == 0 {
+			continue
+		}
+		for i := 0; i < ur; i++ {
+			f := res.U.At(i, k) * res.S[k]
+			for j := 0; j < vc; j++ {
+				out.Set(i, j, out.At(i, j)+f*res.V.At(j, k))
+			}
+		}
+	}
+	return out
+}
+
+func TestSVDReconstructionWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range [][2]int{{3, 8}, {5, 20}, {10, 10}, {1, 7}} {
+		a := randDense(rng, dims[0], dims[1])
+		res := SVD(a)
+		if !reconstructSVD(res).Equal(a, 1e-8) {
+			t.Fatalf("%v: SVD reconstruction failed", dims)
+		}
+	}
+}
+
+func TestSVDReconstructionTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, dims := range [][2]int{{8, 3}, {20, 5}, {7, 1}} {
+		a := randDense(rng, dims[0], dims[1])
+		res := SVD(a)
+		if !reconstructSVD(res).Equal(a, 1e-8) {
+			t.Fatalf("%v: SVD reconstruction failed", dims)
+		}
+	}
+}
+
+func TestSVDSingularValuesDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randDense(rng, 6, 9)
+	res := SVD(a)
+	for i := 1; i < len(res.S); i++ {
+		if res.S[i] > res.S[i-1]+1e-12 {
+			t.Fatalf("singular values not sorted: %v", res.S)
+		}
+	}
+	for _, s := range res.S {
+		if s < 0 {
+			t.Fatalf("negative singular value: %v", res.S)
+		}
+	}
+}
+
+func TestSVDOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randDense(rng, 4, 9)
+	res := SVD(a)
+	// U is 4×4 orthogonal; V's first 4 columns orthonormal.
+	if !Mul(res.U.T(), res.U).Equal(Identity(4), 1e-8) {
+		t.Fatal("U not orthonormal")
+	}
+	vtv := Mul(res.V.T(), res.V)
+	if !vtv.Equal(Identity(4), 1e-8) {
+		t.Fatal("V columns not orthonormal")
+	}
+}
+
+func TestSVDKnownMatrix(t *testing.T) {
+	// diag(3,2) embedded: singular values must be 3, 2.
+	a := FromRows([][]float64{{3, 0, 0}, {0, 2, 0}})
+	s := SingularValues(a)
+	if !almostEqual(s[0], 3, 1e-10) || !almostEqual(s[1], 2, 1e-10) {
+		t.Fatalf("singular values = %v, want [3 2]", s)
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	res := SVD(NewDense(0, 5))
+	if len(res.S) != 0 {
+		t.Fatal("empty matrix should have no singular values")
+	}
+	if SingularValues(NewDense(3, 0)) != nil {
+		t.Fatal("expected nil singular values")
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value ~0.
+	a := FromRows([][]float64{{1, 2, 3}, {2, 4, 6}})
+	s := SingularValues(a)
+	if s[1] > 1e-8 {
+		t.Fatalf("rank-1 matrix has σ₂ = %v", s[1])
+	}
+	res := SVD(a)
+	if !reconstructSVD(res).Equal(a, 1e-8) {
+		t.Fatal("rank-deficient reconstruction failed")
+	}
+}
+
+func TestSingularValuesFrobeniusProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randDense(r, 1+r.Intn(8), 1+r.Intn(8))
+		s := SingularValues(a)
+		var sum float64
+		for _, v := range s {
+			sum += v * v
+		}
+		return almostEqual(sum, a.FrobeniusSq(), 1e-8*(1+a.FrobeniusSq()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankK(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := randDense(rng, 12, 6)
+	for _, k := range []int{0, 1, 3, 6, 10} {
+		bk := RankK(a, k)
+		wantRows := k
+		if k > 6 {
+			wantRows = 6
+		}
+		if bk.Rows() != wantRows || bk.Cols() != 6 {
+			t.Fatalf("RankK(%d) dims = %d×%d", k, bk.Rows(), bk.Cols())
+		}
+	}
+	// Full-rank RankK must reproduce the Gram matrix.
+	full := RankK(a, 6)
+	if !full.Gram().Equal(a.Gram(), 1e-7) {
+		t.Fatal("RankK(full) Gram mismatch")
+	}
+}
+
+func TestRankKOptimality(t *testing.T) {
+	// The rank-k Gram error must equal σ_{k+1}².
+	rng := rand.New(rand.NewSource(26))
+	a := randDense(rng, 30, 6)
+	s := SingularValues(a)
+	for _, k := range []int{1, 3, 5} {
+		bk := RankK(a, k)
+		err := CovarianceError(a.Gram(), a.FrobeniusSq(), bk)
+		want := s[k] * s[k] / a.FrobeniusSq()
+		if !almostEqual(err, want, 1e-6) {
+			t.Fatalf("k=%d: cova-err = %v, want σ²_{k+1}/‖A‖²_F = %v", k, err, want)
+		}
+	}
+}
+
+func TestRankKNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RankK(NewDense(2, 2), -1)
+}
+
+func TestSpectralNormMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for _, dims := range [][2]int{{5, 9}, {9, 5}, {1, 4}, {20, 20}} {
+		a := randDense(rng, dims[0], dims[1])
+		got := SpectralNorm(a)
+		want := SingularValues(a)[0]
+		if !almostEqual(got, want, 1e-6*(1+want)) {
+			t.Fatalf("%v: SpectralNorm = %v, want %v", dims, got, want)
+		}
+	}
+}
+
+func TestSpectralNormEmptyAndZero(t *testing.T) {
+	if SpectralNorm(NewDense(0, 3)) != 0 {
+		t.Fatal("empty matrix should have zero norm")
+	}
+	if SpectralNorm(NewDense(3, 3)) != 0 {
+		t.Fatal("zero matrix should have zero norm")
+	}
+}
+
+func TestSymSpectralNormNegativeDominant(t *testing.T) {
+	// Dominant eigenvalue is negative: norm must still be its magnitude.
+	a := FromRows([][]float64{{-5, 0}, {0, 2}})
+	if got := SymSpectralNorm(a); !almostEqual(got, 5, 1e-8) {
+		t.Fatalf("SymSpectralNorm = %v, want 5", got)
+	}
+}
+
+func TestSymSpectralNormMatchesEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for _, n := range []int{2, 5, 15} {
+		a := randSym(rng, n)
+		got := SymSpectralNorm(a)
+		vals, _ := EigenSym(a)
+		want := math.Max(math.Abs(vals[0]), math.Abs(vals[n-1]))
+		if !almostEqual(got, want, 1e-6*(1+want)) {
+			t.Fatalf("n=%d: SymSpectralNorm = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSymSpectralNormNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SymSpectralNorm(NewDense(2, 3))
+}
+
+func TestCovarianceErrorExactSketch(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := randDense(rng, 10, 4)
+	// B = ΣVᵀ of the full SVD has the same Gram matrix: error 0.
+	b := RankK(a, 4)
+	if err := CovarianceError(a.Gram(), a.FrobeniusSq(), b); err > 1e-8 {
+		t.Fatalf("exact sketch error = %v, want ~0", err)
+	}
+}
+
+func TestCovarianceErrorNilB(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	a := randDense(rng, 10, 4)
+	// With B = 0, error = ‖AᵀA‖/‖A‖²_F = σ₁²/Σσᵢ² ≤ 1.
+	err := CovarianceError(a.Gram(), a.FrobeniusSq(), nil)
+	s := SingularValues(a)
+	want := s[0] * s[0] / a.FrobeniusSq()
+	if !almostEqual(err, want, 1e-7) {
+		t.Fatalf("nil-B error = %v, want %v", err, want)
+	}
+	if err2 := CovarianceError(a.Gram(), a.FrobeniusSq(), NewDense(0, 4)); !almostEqual(err2, want, 1e-7) {
+		t.Fatalf("empty-B error = %v, want %v", err2, want)
+	}
+}
+
+func TestCovarianceErrorEmptyWindow(t *testing.T) {
+	if CovarianceError(NewDense(3, 3), 0, nil) != 0 {
+		t.Fatal("empty window should have zero error by convention")
+	}
+}
+
+func TestCovarianceErrorShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CovarianceError(NewDense(3, 3), 1, NewDense(2, 4))
+}
+
+func TestIdentitySingularValues(t *testing.T) {
+	s := SingularValues(Identity(4))
+	for _, v := range s {
+		if !almostEqual(v, 1, 1e-10) {
+			t.Fatalf("identity singular values = %v", s)
+		}
+	}
+}
+
+func TestProjectionErrorOptimalSketch(t *testing.T) {
+	// B containing A's own top-k subspace gives error exactly 1.
+	rng := rand.New(rand.NewSource(40))
+	a := randDense(rng, 40, 8)
+	b := RankK(a, 3)
+	got := ProjectionError(a, b, 3)
+	if !almostEqual(got, 1, 1e-6) {
+		t.Fatalf("optimal projection error = %v, want 1", got)
+	}
+}
+
+func TestProjectionErrorWorseSubspace(t *testing.T) {
+	// A sketch aligned with the *bottom* directions must be worse than 1.
+	rng := rand.New(rand.NewSource(41))
+	a := randDense(rng, 40, 6)
+	res := SVD(a)
+	// Build B from the two weakest right singular vectors.
+	b := NewDense(2, 6)
+	for i := 0; i < 2; i++ {
+		c := len(res.S) - 1 - i
+		for j := 0; j < 6; j++ {
+			b.Set(i, j, res.V.At(j, c))
+		}
+	}
+	if got := ProjectionError(a, b, 2); got <= 1.05 {
+		t.Fatalf("bad-subspace projection error = %v, want > 1", got)
+	}
+}
+
+func TestProjectionErrorEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randDense(rng, 20, 5)
+	// Empty B but non-trivial A: +Inf.
+	if got := ProjectionError(a, NewDense(0, 5), 2); !math.IsInf(got, 1) {
+		t.Fatalf("empty-B error = %v, want +Inf", got)
+	}
+	if got := ProjectionError(a, nil, 2); !math.IsInf(got, 1) {
+		t.Fatalf("nil-B error = %v, want +Inf", got)
+	}
+	// Rank ≤ k: 0 by convention.
+	low := FromRows([][]float64{{1, 2, 0}, {2, 4, 0}})
+	if got := ProjectionError(low, NewDense(0, 3), 2); got != 0 {
+		t.Fatalf("low-rank error = %v, want 0", got)
+	}
+	// Empty A.
+	if got := ProjectionError(NewDense(0, 5), nil, 2); got != 0 {
+		t.Fatalf("empty-A error = %v, want 0", got)
+	}
+}
+
+func TestProjectionErrorValidation(t *testing.T) {
+	// Full-rank a so the rank-≤-k early return does not trigger before
+	// the shape checks.
+	a := FromRows([][]float64{{1, 0, 0}, {0, 1, 0}})
+	for _, f := range []func(){
+		func() { ProjectionError(a, NewDense(1, 4), 1) },
+		func() { ProjectionError(a, nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestProjectionErrorFDBeatsZero(t *testing.T) {
+	// FD's subspace must be far better than a random one on structured
+	// data.
+	rng := rand.New(rand.NewSource(43))
+	d, k := 12, 3
+	a := NewDense(600, d)
+	dirs := randDense(rng, k, d)
+	for i := 0; i < 600; i++ {
+		row := a.Row(i)
+		for p := 0; p < k; p++ {
+			c := rng.NormFloat64() * float64(k-p)
+			for j := 0; j < d; j++ {
+				row[j] += c * dirs.At(p, j)
+			}
+		}
+		for j := 0; j < d; j++ {
+			row[j] += 0.1 * rng.NormFloat64()
+		}
+	}
+	fdLike := RankK(a, 6) // stand-in for a good sketch
+	random := randDense(rng, 6, d)
+	if pe, pr := ProjectionError(a, fdLike, k), ProjectionError(a, random, k); pe >= pr {
+		t.Fatalf("good sketch %v not better than random %v", pe, pr)
+	}
+}

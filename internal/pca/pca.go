@@ -1,0 +1,163 @@
+// Package pca layers the paper's motivating application (Section 1)
+// on top of the sliding-window sketches: approximate principal
+// component analysis of the window from the sketch's ℓ×d answer, and
+// the reference-vs-test-window change detection scheme the paper
+// describes (compare the PCA basis of a fixed reference window with a
+// continuously tracked test window).
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"swsketch/internal/mat"
+)
+
+// Result holds the principal component analysis of a (sketched)
+// window approximation B: the top-k right singular directions of B,
+// their singular values, and the fraction of total energy each
+// explains. Because cova-err(A, B) ≤ ε guarantees ‖Bx‖² tracks ‖Ax‖²
+// in every direction x, these components approximate the window's PCA.
+type Result struct {
+	// Components is k×d; row i is the i-th principal direction.
+	Components *mat.Dense
+	// SingularValues holds the corresponding singular values of B.
+	SingularValues []float64
+	// Explained[i] is σᵢ²/Σσ², the energy fraction along component i.
+	Explained []float64
+}
+
+// Compute returns the top-k principal components of the approximation
+// b. It panics if k < 1; fewer than k components are returned when b
+// has lower rank.
+func Compute(b *mat.Dense, k int) Result {
+	if k < 1 {
+		panic(fmt.Sprintf("pca: k must be ≥ 1, got %d", k))
+	}
+	svd := mat.SVD(b)
+	r := len(svd.S)
+	if k > r {
+		k = r
+	}
+	var total float64
+	for _, s := range svd.S {
+		total += s * s
+	}
+	comp := mat.NewDense(k, b.Cols())
+	explained := make([]float64, k)
+	vals := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < b.Cols(); j++ {
+			comp.Set(i, j, svd.V.At(j, i))
+		}
+		vals[i] = svd.S[i]
+		if total > 0 {
+			explained[i] = svd.S[i] * svd.S[i] / total
+		}
+	}
+	return Result{Components: comp, SingularValues: vals, Explained: explained}
+}
+
+// Project returns the coordinates of row x in the component basis.
+func (r Result) Project(x []float64) []float64 {
+	out := make([]float64, r.Components.Rows())
+	for i := range out {
+		out[i] = mat.Dot(r.Components.Row(i), x)
+	}
+	return out
+}
+
+// ResidualEnergy returns the fraction of b's total energy lying
+// outside the subspace spanned by the components of r — the change
+// statistic of the paper's PCA-based anomaly detection: a spike means
+// the window's distribution has left the reference subspace.
+func ResidualEnergy(b *mat.Dense, r Result) float64 {
+	total := b.FrobeniusSq()
+	if total == 0 {
+		return 0
+	}
+	var inside float64
+	for i := 0; i < b.Rows(); i++ {
+		row := b.Row(i)
+		for p := 0; p < r.Components.Rows(); p++ {
+			d := mat.Dot(row, r.Components.Row(p))
+			inside += d * d
+		}
+	}
+	out := (total - inside) / total
+	if out < 0 {
+		return 0
+	}
+	if out > 1 {
+		return 1
+	}
+	return out
+}
+
+// SubspaceDistance returns sin θ_max, the sine of the largest
+// principal angle between the subspaces spanned by the components of
+// a and b (rows orthonormal). 0 means identical subspaces, 1 means
+// some direction of a is orthogonal to all of b. This is the basis-
+// comparison metric for reference-vs-test change detection.
+func SubspaceDistance(a, b Result) float64 {
+	ka, kb := a.Components.Rows(), b.Components.Rows()
+	if ka == 0 || kb == 0 {
+		if ka == kb {
+			return 0
+		}
+		return 1
+	}
+	// Principal angles: cos θᵢ are the singular values of A·Bᵀ.
+	m := mat.Mul(a.Components, b.Components.T())
+	s := mat.SingularValues(m)
+	// The smallest cosine across min(ka, kb) angles gives θ_max; if
+	// ka > kb, some direction of a is necessarily outside b's span.
+	k := ka
+	if kb < k {
+		k = kb
+	}
+	minCos := 1.0
+	if ka > kb {
+		minCos = 0
+	} else {
+		for i := 0; i < k; i++ {
+			c := s[i]
+			if c > 1 {
+				c = 1
+			}
+			if c < minCos {
+				minCos = c
+			}
+		}
+	}
+	return math.Sqrt(math.Max(0, 1-minCos*minCos))
+}
+
+// Detector implements the paper's window-based change detection: fix
+// a reference PCA basis, then repeatedly test the sliding window's
+// sketched approximation against it.
+type Detector struct {
+	ref       Result
+	threshold float64
+}
+
+// NewDetector builds a detector from the reference window's
+// approximation (or exact matrix), keeping k components. threshold is
+// the residual-energy fraction above which Test reports a change;
+// values around 2–3× the reference window's own residual work well.
+func NewDetector(reference *mat.Dense, k int, threshold float64) *Detector {
+	if threshold <= 0 || threshold >= 1 {
+		panic(fmt.Sprintf("pca: threshold must be in (0,1), got %v", threshold))
+	}
+	return &Detector{ref: Compute(reference, k), threshold: threshold}
+}
+
+// Reference exposes the reference-basis PCA.
+func (d *Detector) Reference() Result { return d.ref }
+
+// Test evaluates the test window's approximation, returning the
+// residual-energy statistic and whether it crosses the threshold.
+func (d *Detector) Test(b *mat.Dense) (stat float64, changed bool) {
+	stat = ResidualEnergy(b, d.ref)
+	return stat, stat > d.threshold
+}

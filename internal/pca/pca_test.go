@@ -1,0 +1,185 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/mat"
+)
+
+func randRows(rng *rand.Rand, n, d int) *mat.Dense {
+	m := mat.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestComputeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	Compute(mat.NewDense(2, 2), 0)
+}
+
+func TestComputeAxisAligned(t *testing.T) {
+	// Data along e₁ with a little e₀: first component must be ±e₁.
+	rows := [][]float64{}
+	for i := 0; i < 50; i++ {
+		rows = append(rows, []float64{0.01 * float64(i%3), float64(i + 1)})
+	}
+	res := Compute(mat.FromRows(rows), 2)
+	if math.Abs(math.Abs(res.Components.At(0, 1))-1) > 1e-3 {
+		t.Fatalf("first component = %v, want ±e₁", res.Components.Row(0))
+	}
+	if res.Explained[0] < 0.99 {
+		t.Fatalf("explained[0] = %v, want ≈ 1", res.Explained[0])
+	}
+	var sum float64
+	for _, e := range res.Explained {
+		sum += e
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("explained fractions sum to %v > 1", sum)
+	}
+}
+
+func TestComputeTruncatesAtRank(t *testing.T) {
+	// Rank-1 input with k=3 must return 1 component.
+	rows := mat.FromRows([][]float64{{1, 2, 3}, {2, 4, 6}})
+	res := Compute(rows, 3)
+	if res.Components.Rows() > 2 {
+		t.Fatalf("components = %d for rank-1 data", res.Components.Rows())
+	}
+}
+
+func TestProject(t *testing.T) {
+	res := Result{Components: mat.FromRows([][]float64{{1, 0}, {0, 1}})}
+	p := res.Project([]float64{3, 4})
+	if p[0] != 3 || p[1] != 4 {
+		t.Fatalf("Project = %v", p)
+	}
+}
+
+func TestResidualEnergyExtremes(t *testing.T) {
+	basis := Result{Components: mat.FromRows([][]float64{{1, 0}})}
+	inside := mat.FromRows([][]float64{{5, 0}, {-2, 0}})
+	if r := ResidualEnergy(inside, basis); r > 1e-12 {
+		t.Fatalf("in-subspace residual = %v", r)
+	}
+	outside := mat.FromRows([][]float64{{0, 3}})
+	if r := ResidualEnergy(outside, basis); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("orthogonal residual = %v, want 1", r)
+	}
+	if r := ResidualEnergy(mat.NewDense(0, 2), basis); r != 0 {
+		t.Fatalf("empty residual = %v", r)
+	}
+}
+
+func TestSubspaceDistanceIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := randRows(rng, 40, 6)
+	r1 := Compute(b, 3)
+	r2 := Compute(b.Clone(), 3)
+	if d := SubspaceDistance(r1, r2); d > 1e-6 {
+		t.Fatalf("distance between identical subspaces = %v", d)
+	}
+}
+
+func TestSubspaceDistanceOrthogonal(t *testing.T) {
+	a := Result{Components: mat.FromRows([][]float64{{1, 0, 0, 0}})}
+	b := Result{Components: mat.FromRows([][]float64{{0, 1, 0, 0}})}
+	if d := SubspaceDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("orthogonal distance = %v, want 1", d)
+	}
+}
+
+func TestSubspaceDistanceRotation(t *testing.T) {
+	// Plane spanned by e₀ rotated by θ: distance = sin θ.
+	theta := 0.3
+	a := Result{Components: mat.FromRows([][]float64{{1, 0}})}
+	b := Result{Components: mat.FromRows([][]float64{{math.Cos(theta), math.Sin(theta)}})}
+	if d := SubspaceDistance(a, b); math.Abs(d-math.Sin(theta)) > 1e-9 {
+		t.Fatalf("distance = %v, want sin θ = %v", d, math.Sin(theta))
+	}
+}
+
+func TestSubspaceDistanceDimensionMismatch(t *testing.T) {
+	// 2-dim a vs 1-dim b: some direction of a escapes b.
+	a := Result{Components: mat.FromRows([][]float64{{1, 0, 0}, {0, 1, 0}})}
+	b := Result{Components: mat.FromRows([][]float64{{1, 0, 0}})}
+	if d := SubspaceDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("distance = %v, want 1", d)
+	}
+	// Contained the other way: b inside a.
+	if d := SubspaceDistance(b, a); d > 1e-9 {
+		t.Fatalf("contained distance = %v, want 0", d)
+	}
+}
+
+func TestSubspaceDistanceEmpty(t *testing.T) {
+	empty := Result{Components: mat.NewDense(0, 3)}
+	if d := SubspaceDistance(empty, empty); d != 0 {
+		t.Fatalf("empty-vs-empty = %v", d)
+	}
+	full := Result{Components: mat.FromRows([][]float64{{1, 0, 0}})}
+	if d := SubspaceDistance(full, empty); d != 1 {
+		t.Fatalf("full-vs-empty = %v", d)
+	}
+}
+
+func TestDetectorEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := 8
+	// Reference: strong direction e₀ plus noise.
+	ref := mat.NewDense(200, d)
+	for i := 0; i < 200; i++ {
+		ref.Set(i, 0, 5+rng.NormFloat64())
+		for j := 1; j < d; j++ {
+			ref.Set(i, j, 0.2*rng.NormFloat64())
+		}
+	}
+	det := NewDetector(ref, 1, 0.3)
+
+	// Same distribution: no change.
+	same := mat.NewDense(100, d)
+	for i := 0; i < 100; i++ {
+		same.Set(i, 0, 5+rng.NormFloat64())
+		for j := 1; j < d; j++ {
+			same.Set(i, j, 0.2*rng.NormFloat64())
+		}
+	}
+	if stat, changed := det.Test(same); changed {
+		t.Fatalf("false positive: stat = %v", stat)
+	}
+
+	// Shifted energy to e₃: change.
+	diff := mat.NewDense(100, d)
+	for i := 0; i < 100; i++ {
+		diff.Set(i, 3, 5+rng.NormFloat64())
+	}
+	if stat, changed := det.Test(diff); !changed {
+		t.Fatalf("missed change: stat = %v", stat)
+	}
+	if det.Reference().Components.Rows() != 1 {
+		t.Fatal("reference basis wrong")
+	}
+}
+
+func TestDetectorThresholdValidation(t *testing.T) {
+	for _, th := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for threshold %v", th)
+				}
+			}()
+			NewDetector(mat.FromRows([][]float64{{1}}), 1, th)
+		}()
+	}
+}

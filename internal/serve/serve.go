@@ -1,0 +1,368 @@
+// Package serve exposes a sliding-window matrix sketch over HTTP: an
+// ingest endpoint for timestamped rows, query endpoints for the window
+// approximation and its PCA, and a stats endpoint. One Server guards
+// one sketch; all handlers serialise on its mutex (sketch updates are
+// cheap relative to request handling, so a single writer lock is the
+// right simplicity/performance trade).
+package serve
+
+import (
+	"encoding"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"swsketch/internal/core"
+	"swsketch/internal/mat"
+	"swsketch/internal/pca"
+)
+
+// Server wraps a WindowSketch for HTTP access.
+type Server struct {
+	mu      sync.Mutex
+	sk      core.WindowSketch
+	d       int
+	updates uint64
+	lastT   float64
+	seen    bool
+}
+
+// NewServer returns a server around the given sketch and dimension.
+func NewServer(sk core.WindowSketch, d int) *Server {
+	if d < 1 {
+		panic(fmt.Sprintf("serve: dimension %d", d))
+	}
+	return &Server{sk: sk, d: d}
+}
+
+// Handler returns the HTTP routes:
+//
+//	POST /v1/ingest        body: {"updates":[{"row":[...],"t":1.5},...]}
+//	GET  /v1/approximation?t=<time>   → {"rows":[[...]]}
+//	GET  /v1/pca?t=<time>&k=<k>       → {"components":[[...]],"explained":[...]}
+//	GET  /v1/stats                    → sketch metadata
+//	GET  /v1/snapshot                 → binary sketch snapshot
+//	POST /v1/snapshot                 ← restore a snapshot
+//	GET  /healthz                     → 200 ok
+//
+// Snapshot endpoints require the underlying sketch to support binary
+// snapshots (SWR, SWOR, SWOR-ALL, LM-FD do); others get 501.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/approximation", s.handleApproximation)
+	mux.HandleFunc("/v1/pca", s.handlePCA)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type ingestRequest struct {
+	Updates []ingestUpdate `json:"updates"`
+}
+
+type ingestUpdate struct {
+	Row []float64 `json:"row,omitempty"`
+	// Sparse form: parallel indices/values; mutually exclusive with Row.
+	Idx []int     `json:"idx,omitempty"`
+	Val []float64 `json:"val,omitempty"`
+	T   float64   `json:"t"`
+}
+
+type ingestResponse struct {
+	Accepted int     `json:"accepted"`
+	LastT    float64 `json:"last_t"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "no updates")
+		return
+	}
+	// Validate before touching the sketch so a bad batch is all-or-
+	// nothing.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.lastT
+	seen := s.seen
+	rows := make([]func(), 0, len(req.Updates))
+	for i, u := range req.Updates {
+		if seen && u.T < prev {
+			httpError(w, http.StatusBadRequest, "update %d: timestamp %v precedes %v", i, u.T, prev)
+			return
+		}
+		apply, err := s.prepareUpdate(u)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "update %d: %v", i, err)
+			return
+		}
+		rows = append(rows, apply)
+		prev, seen = u.T, true
+	}
+	// The sketch enforces invariants the server cannot fully check —
+	// e.g. after a snapshot restore the sketch's internal clock may be
+	// ahead of the server's. Surface those as 409 instead of crashing
+	// the connection.
+	if err := applyAll(rows); err != nil {
+		httpError(w, http.StatusConflict, "ingest rejected by sketch: %v", err)
+		return
+	}
+	s.updates += uint64(len(req.Updates))
+	s.lastT, s.seen = prev, true
+	writeJSON(w, ingestResponse{Accepted: len(req.Updates), LastT: prev})
+}
+
+type approximationResponse struct {
+	Rows [][]float64 `json:"rows"`
+	T    float64     `json:"t"`
+}
+
+func (s *Server) handleApproximation(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	t, ok := s.queryTime(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	b := s.sk.Query(t)
+	s.mu.Unlock()
+	rows := make([][]float64, b.Rows())
+	for i := range rows {
+		rows[i] = b.RowCopy(i)
+	}
+	writeJSON(w, approximationResponse{Rows: rows, T: t})
+}
+
+type pcaResponse struct {
+	Components [][]float64 `json:"components"`
+	Explained  []float64   `json:"explained"`
+	T          float64     `json:"t"`
+}
+
+func (s *Server) handlePCA(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	t, ok := s.queryTime(w, r)
+	if !ok {
+		return
+	}
+	k := 3
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		var err error
+		k, err = strconv.Atoi(kq)
+		if err != nil || k < 1 {
+			httpError(w, http.StatusBadRequest, "bad k %q", kq)
+			return
+		}
+	}
+	s.mu.Lock()
+	b := s.sk.Query(t)
+	s.mu.Unlock()
+	if b.Rows() == 0 {
+		writeJSON(w, pcaResponse{Components: [][]float64{}, Explained: []float64{}, T: t})
+		return
+	}
+	res := pca.Compute(b, k)
+	comps := make([][]float64, res.Components.Rows())
+	for i := range comps {
+		comps[i] = res.Components.RowCopy(i)
+	}
+	writeJSON(w, pcaResponse{Components: comps, Explained: res.Explained, T: t})
+}
+
+type statsResponse struct {
+	Algorithm  string  `json:"algorithm"`
+	Dimension  int     `json:"dimension"`
+	RowsStored int     `json:"rows_stored"`
+	Updates    uint64  `json:"updates"`
+	LastT      float64 `json:"last_t"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	resp := statsResponse{
+		Algorithm:  s.sk.Name(),
+		Dimension:  s.d,
+		RowsStored: s.sk.RowsStored(),
+		Updates:    s.updates,
+		LastT:      s.lastT,
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// queryTime parses ?t=; when omitted, the last ingested timestamp is
+// used (query "now").
+func (s *Server) queryTime(w http.ResponseWriter, r *http.Request) (float64, bool) {
+	tq := r.URL.Query().Get("t")
+	if tq == "" {
+		s.mu.Lock()
+		t := s.lastT
+		s.mu.Unlock()
+		return t, true
+	}
+	t, err := strconv.ParseFloat(tq, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad t %q", tq)
+		return 0, false
+	}
+	s.mu.Lock()
+	last, seen := s.lastT, s.seen
+	s.mu.Unlock()
+	if seen && t < last {
+		httpError(w, http.StatusBadRequest, "t %v precedes last ingested %v", t, last)
+		return 0, false
+	}
+	return t, true
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleSnapshot serves GET (download the sketch state) and POST
+// (replace the sketch state) when the sketch supports binary
+// snapshots.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		m, ok := s.sk.(encoding.BinaryMarshaler)
+		if !ok {
+			httpError(w, http.StatusNotImplemented, "%s does not support snapshots", s.sk.Name())
+			return
+		}
+		s.mu.Lock()
+		data, err := m.MarshalBinary()
+		s.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	case http.MethodPost:
+		u, ok := s.sk.(encoding.BinaryUnmarshaler)
+		if !ok {
+			httpError(w, http.StatusNotImplemented, "%s does not support snapshots", s.sk.Name())
+			return
+		}
+		const maxSnapshot = 1 << 30
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshot))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		s.mu.Lock()
+		err = u.UnmarshalBinary(data)
+		if err == nil {
+			s.updates = 0
+			s.seen = false
+		}
+		s.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "restore: %v", err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "restored")
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
+// prepareUpdate validates one ingest update and returns a closure that
+// applies it; validation and application are split so a bad batch is
+// rejected atomically.
+func (s *Server) prepareUpdate(u ingestUpdate) (func(), error) {
+	checkVals := func(vals []float64) error {
+		for j, v := range vals {
+			if v != v || v > 1e308 || v < -1e308 { // NaN or overflow-ish
+				return fmt.Errorf("non-finite value at %d", j)
+			}
+		}
+		return nil
+	}
+	if len(u.Idx) > 0 || len(u.Val) > 0 {
+		if len(u.Row) > 0 {
+			return nil, fmt.Errorf("row and idx/val are mutually exclusive")
+		}
+		if len(u.Idx) != len(u.Val) {
+			return nil, fmt.Errorf("%d indices but %d values", len(u.Idx), len(u.Val))
+		}
+		prev := -1
+		for _, ix := range u.Idx {
+			if ix <= prev || ix >= s.d {
+				return nil, fmt.Errorf("sparse index %d invalid for dimension %d", ix, s.d)
+			}
+			prev = ix
+		}
+		if err := checkVals(u.Val); err != nil {
+			return nil, err
+		}
+		sr := mat.SparseRow{Idx: u.Idx, Val: u.Val}
+		if su, ok := s.sk.(core.SparseUpdater); ok {
+			return func() { su.UpdateSparse(sr, u.T) }, nil
+		}
+		dense := sr.Dense(s.d)
+		return func() { s.sk.Update(dense, u.T) }, nil
+	}
+	if len(u.Row) != s.d {
+		return nil, fmt.Errorf("row length %d, want %d", len(u.Row), s.d)
+	}
+	if err := checkVals(u.Row); err != nil {
+		return nil, err
+	}
+	return func() { s.sk.Update(u.Row, u.T) }, nil
+}
+
+// applyAll runs the prepared updates, converting sketch panics
+// (invariant violations) into errors.
+func applyAll(rows []func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	for _, apply := range rows {
+		apply()
+	}
+	return nil
+}

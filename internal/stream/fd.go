@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"swsketch/internal/mat"
+)
+
+// FD is the FrequentDirections sketch of Liberty (KDD 2013) as
+// described in Section 3: a deterministic ℓ×d sketch maintained by
+// periodic SVD-and-shrink steps. It guarantees
+//
+//	‖AᵀA − BᵀB‖₂ ≤ 2‖A‖²_F / ℓ
+//
+// and is mergeable (Section 6.1), which the LM framework relies on.
+//
+// The shrink step uses the Gram trick: it eigendecomposes BBᵀ (ℓ×ℓ)
+// instead of running a full SVD of the ℓ×d buffer, then rebuilds the
+// surviving rows as rescaled combinations UᵀB. This keeps the
+// per-shrink cost O(ℓ²d + ℓ³) and the amortised update cost O(ℓd).
+type FD struct {
+	ell  int // maximum rows retained
+	d    int
+	buf  *mat.Dense // ell×d working buffer
+	used int        // rows of buf currently occupied
+
+	// scratch for shrink, reused across calls to keep the steady-state
+	// update path allocation-free in the large ℓ×d buffers.
+	spare *mat.Dense // ell×d
+	tmp   []float64  // d
+}
+
+// NewFD returns a FrequentDirections sketch with at most ell rows over
+// dimension d. It panics unless ell ≥ 2 and d ≥ 1.
+func NewFD(ell, d int) *FD {
+	if ell < 2 {
+		panic(fmt.Sprintf("stream: FD needs ell ≥ 2, got %d", ell))
+	}
+	if d < 1 {
+		panic(fmt.Sprintf("stream: FD needs d ≥ 1, got %d", d))
+	}
+	return &FD{ell: ell, d: d, buf: mat.NewDense(ell, d)}
+}
+
+// Update inserts one row, shrinking first if the buffer is full.
+func (f *FD) Update(row []float64) {
+	if len(row) != f.d {
+		panic(fmt.Sprintf("stream: FD row length %d, want %d", len(row), f.d))
+	}
+	if f.used == f.ell {
+		f.shrink()
+	}
+	copy(f.buf.Row(f.used), row)
+	f.used++
+}
+
+// shrink halves the occupied rows: compute the SVD of the buffer via
+// the ℓ×ℓ Gram matrix, subtract λ = σ²_{⌈ℓ/2⌉} from every squared
+// singular value, and keep the surviving directions.
+func (f *FD) shrink() {
+	b := f.buf
+	n := f.used
+	if n == 0 {
+		return
+	}
+	sub := mat.NewDenseData(n, f.d, b.Data()[:n*f.d])
+	vals, u := mat.EigenSym(sub.GramT()) // n×n, descending σ²
+
+	half := (f.ell + 1) / 2 // index ⌈ℓ/2⌉ (0-based: the ⌈ℓ/2⌉-th largest)
+	var lambda float64
+	if half-1 < len(vals) && vals[half-1] > 0 {
+		lambda = vals[half-1]
+	} else if len(vals) > 0 {
+		lambda = math.Max(vals[len(vals)-1], 0)
+	}
+
+	// newRow_k = sqrt((σ²_k − λ)/σ²_k) · (u_kᵀ · sub); rows with
+	// σ²_k ≤ λ vanish.
+	if f.spare == nil {
+		f.spare = mat.NewDense(f.ell, f.d)
+		f.tmp = make([]float64, f.d)
+	}
+	out, tmp := f.spare, f.tmp
+	for i := range out.Data() {
+		out.Data()[i] = 0
+	}
+	kept := 0
+	for k := 0; k < n; k++ {
+		s2 := vals[k]
+		if s2 <= lambda || s2 <= 0 {
+			break
+		}
+		scale := math.Sqrt((s2 - lambda) / s2)
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			uik := u.At(i, k)
+			if uik == 0 {
+				continue
+			}
+			ri := sub.Row(i)
+			for j, v := range ri {
+				tmp[j] += uik * v
+			}
+		}
+		dst := out.Row(kept)
+		for j, v := range tmp {
+			dst[j] = scale * v
+		}
+		kept++
+	}
+	f.buf, f.spare = out, f.buf
+	f.used = kept
+}
+
+// Matrix returns the occupied rows of the buffer as the approximation B.
+func (f *FD) Matrix() *mat.Dense {
+	out := mat.NewDense(f.used, f.d)
+	copy(out.Data(), f.buf.Data()[:f.used*f.d])
+	return out
+}
+
+// RowsStored reports the buffer capacity ℓ (the allocated space), the
+// measure used by the paper's experiments.
+func (f *FD) RowsStored() int { return f.ell }
+
+// Used reports the number of occupied rows.
+func (f *FD) Used() int { return f.used }
+
+// Ell returns the configured sketch size.
+func (f *FD) Ell() int { return f.ell }
+
+// Merge absorbs other (which must be an *FD over the same dimension)
+// by inserting its rows; the FD analysis makes this merge error- and
+// size-preserving. Other must not be used afterwards.
+func (f *FD) Merge(other Mergeable) {
+	o, ok := other.(*FD)
+	if !ok {
+		panic(fmt.Sprintf("stream: FD.Merge with %T", other))
+	}
+	if o.d != f.d {
+		panic(fmt.Sprintf("stream: FD.Merge dimension %d vs %d", o.d, f.d))
+	}
+	for i := 0; i < o.used; i++ {
+		f.Update(o.buf.Row(i))
+	}
+}
+
+// CloneEmpty returns a fresh FD with the same ℓ and d.
+func (f *FD) CloneEmpty() Mergeable { return NewFD(f.ell, f.d) }
+
+var _ Mergeable = (*FD)(nil)

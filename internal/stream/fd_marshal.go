@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"fmt"
+
+	"swsketch/internal/binenc"
+)
+
+// fdMagic versions the FD snapshot format.
+const fdMagic = uint64(0x46445348_00000001) // "FDSH" v1
+
+// MarshalBinary snapshots the sketch state (configuration plus the
+// occupied buffer rows). FD is deterministic, so a restored sketch
+// continues exactly where the original left off.
+func (f *FD) MarshalBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	w.U64(fdMagic)
+	w.Int(f.ell)
+	w.Int(f.d)
+	w.Int(f.used)
+	for i := 0; i < f.used; i++ {
+		w.F64s(f.buf.Row(i))
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary into
+// the receiver, replacing its state. The receiver's configuration is
+// overwritten by the snapshot's.
+func (f *FD) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if magic := r.U64(); magic != fdMagic && r.Err() == nil {
+		return fmt.Errorf("stream: FD snapshot magic %#x unrecognised", magic)
+	}
+	ell := r.Int()
+	d := r.Int()
+	used := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("stream: FD snapshot: %w", err)
+	}
+	if ell < 2 || d < 1 || used < 0 || used > ell {
+		return fmt.Errorf("stream: FD snapshot has invalid shape ell=%d d=%d used=%d", ell, d, used)
+	}
+	restored := NewFD(ell, d)
+	for i := 0; i < used; i++ {
+		row := r.F64s()
+		if r.Err() != nil {
+			break
+		}
+		if len(row) != d {
+			return fmt.Errorf("stream: FD snapshot row %d has length %d, want %d", i, len(row), d)
+		}
+		copy(restored.buf.Row(i), row)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("stream: FD snapshot: %w", err)
+	}
+	if r.Rest() != 0 {
+		return fmt.Errorf("stream: FD snapshot has %d trailing bytes", r.Rest())
+	}
+	restored.used = used
+	*f = *restored
+	return nil
+}

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFDSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fd := NewFD(8, 5)
+	for i := 0; i < 100; i++ {
+		fd.Update(randRow(rng, 5))
+	}
+	data, err := fd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored FD
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !fd.Matrix().Equal(restored.Matrix(), 0) {
+		t.Fatal("restored FD matrix differs")
+	}
+	// Determinism must continue after identical updates.
+	for i := 0; i < 50; i++ {
+		row := randRow(rng, 5)
+		fd.Update(row)
+		restored.Update(row)
+	}
+	if !fd.Matrix().Equal(restored.Matrix(), 1e-12) {
+		t.Fatal("restored FD diverged")
+	}
+}
+
+func TestFDSnapshotRejectsBadData(t *testing.T) {
+	var fd FD
+	for _, data := range [][]byte{nil, {1}, make([]byte, 32)} {
+		if err := fd.UnmarshalBinary(data); err == nil {
+			t.Fatalf("accepted %v", data)
+		}
+	}
+	// Truncation.
+	good := NewFD(4, 3)
+	good.Update([]float64{1, 2, 3})
+	b, _ := good.MarshalBinary()
+	if err := fd.UnmarshalBinary(b[:len(b)-3]); err == nil {
+		t.Fatal("accepted truncated snapshot")
+	}
+	if err := fd.UnmarshalBinary(append(append([]byte{}, b...), 9)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}

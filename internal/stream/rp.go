@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swsketch/internal/mat"
+)
+
+// RP is the random-projection sketch of Appendix A: B = R·A where R is
+// an ℓ×n matrix of independent ±1/√ℓ entries, computed one row at a
+// time as B += r·aᵢ with a fresh random column r per stream row. With
+// ℓ = O(d/ε²) it achieves covariance error ε with high probability.
+//
+// RP is mergeable: the sum of two sketches built with independent
+// random columns is exactly the projection of the concatenated stream,
+// so Merge is entry-wise addition with no size or error growth.
+type RP struct {
+	ell int
+	d   int
+	b   *mat.Dense
+	rng *rand.Rand
+	inv float64 // 1/√ℓ
+}
+
+// NewRP returns a random-projection sketch with ℓ rows over dimension
+// d, seeded deterministically from seed. It panics unless ℓ ≥ 1, d ≥ 1.
+func NewRP(ell, d int, seed int64) *RP {
+	if ell < 1 || d < 1 {
+		panic(fmt.Sprintf("stream: RP needs ell ≥ 1 and d ≥ 1, got %d, %d", ell, d))
+	}
+	return &RP{
+		ell: ell,
+		d:   d,
+		b:   mat.NewDense(ell, d),
+		rng: rand.New(rand.NewSource(seed)),
+		inv: 1 / math.Sqrt(float64(ell)),
+	}
+}
+
+// Update folds one row into the projection: B += r·row.
+func (p *RP) Update(row []float64) {
+	if len(row) != p.d {
+		panic(fmt.Sprintf("stream: RP row length %d, want %d", len(row), p.d))
+	}
+	for i := 0; i < p.ell; i++ {
+		r := p.inv
+		if p.rng.Int63()&1 == 0 {
+			r = -r
+		}
+		bi := p.b.Row(i)
+		for j, v := range row {
+			bi[j] += r * v
+		}
+	}
+}
+
+// Matrix returns a copy of the ℓ×d projection.
+func (p *RP) Matrix() *mat.Dense { return p.b.Clone() }
+
+// RowsStored reports ℓ.
+func (p *RP) RowsStored() int { return p.ell }
+
+// Merge adds other's projection into the receiver.
+func (p *RP) Merge(other Mergeable) {
+	o, ok := other.(*RP)
+	if !ok {
+		panic(fmt.Sprintf("stream: RP.Merge with %T", other))
+	}
+	if o.ell != p.ell || o.d != p.d {
+		panic(fmt.Sprintf("stream: RP.Merge shape %d×%d vs %d×%d", o.ell, o.d, p.ell, p.d))
+	}
+	p.b.Add(o.b)
+}
+
+// CloneEmpty returns a fresh RP with the same shape and an independent
+// random stream.
+func (p *RP) CloneEmpty() Mergeable { return NewRP(p.ell, p.d, p.rng.Int63()) }
+
+var _ Mergeable = (*RP)(nil)

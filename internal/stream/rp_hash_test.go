@@ -1,0 +1,222 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/mat"
+)
+
+func TestNewRPValidation(t *testing.T) {
+	for _, c := range [][2]int{{0, 5}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for ell=%d d=%d", c[0], c[1])
+				}
+			}()
+			NewRP(c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestRPRowLengthPanics(t *testing.T) {
+	p := NewRP(4, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Update([]float64{1})
+}
+
+func TestRPApproximatesGram(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := 8
+	p := NewRP(256, d, 11)
+	a := feed(t, p, rng, 400, d)
+	// RP with ℓ=256 should get small relative error on random data.
+	if e := covaErr(a, p.Matrix()); e > 0.3 {
+		t.Fatalf("RP error = %v, too large", e)
+	}
+}
+
+func TestRPErrorShrinksWithEll(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n, d := 400, 6
+	a := mat.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		copy(a.Row(i), randRow(rng, d))
+	}
+	errAt := func(ell int) float64 {
+		// Average over a few seeds to smooth randomness.
+		var sum float64
+		for s := int64(0); s < 5; s++ {
+			p := NewRP(ell, d, 100+s)
+			for i := 0; i < n; i++ {
+				p.Update(a.Row(i))
+			}
+			sum += covaErr(a, p.Matrix())
+		}
+		return sum / 5
+	}
+	small, large := errAt(16), errAt(256)
+	if large > small {
+		t.Fatalf("RP error did not shrink with ell: ℓ=16→%v, ℓ=256→%v", small, large)
+	}
+}
+
+func TestRPMergeEquivalentToConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := 6
+	p1, p2 := NewRP(128, d, 20), NewRP(128, d, 21)
+	a1 := feed(t, p1, rng, 200, d)
+	a2 := feed(t, p2, rng, 200, d)
+	p1.Merge(p2)
+	a := mat.Stack(a1, a2)
+	if e := covaErr(a, p1.Matrix()); e > 0.5 {
+		t.Fatalf("merged RP error = %v", e)
+	}
+	if p1.RowsStored() != 128 {
+		t.Fatalf("merge changed size: %d", p1.RowsStored())
+	}
+}
+
+func TestRPMergeMismatchPanics(t *testing.T) {
+	p := NewRP(4, 3, 1)
+	for _, bad := range []Mergeable{NewFD(4, 3), NewRP(8, 3, 2), NewRP(4, 5, 3)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic merging %T", bad)
+				}
+			}()
+			p.Merge(bad)
+		}()
+	}
+}
+
+func TestRPCloneEmpty(t *testing.T) {
+	p := NewRP(4, 3, 1)
+	p.Update([]float64{1, 2, 3})
+	c := p.CloneEmpty().(*RP)
+	if c.Matrix().FrobeniusSq() != 0 {
+		t.Fatal("CloneEmpty not empty")
+	}
+	if c.RowsStored() != 4 {
+		t.Fatalf("CloneEmpty size = %d", c.RowsStored())
+	}
+}
+
+func TestHashValidation(t *testing.T) {
+	fam := NewHashFamily(1)
+	for _, c := range [][2]int{{0, 5}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for ell=%d d=%d", c[0], c[1])
+				}
+			}()
+			fam.NewSketch(c[0], c[1])
+		}()
+	}
+}
+
+func TestHashRowLengthPanics(t *testing.T) {
+	h := NewHashFamily(1).NewSketch(4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Update([]float64{1})
+}
+
+func TestHashApproximatesGram(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := 6
+	h := NewHashFamily(99).NewSketch(512, d)
+	a := feed(t, h, rng, 400, d)
+	if e := covaErr(a, h.Matrix()); e > 0.35 {
+		t.Fatalf("Hash error = %v, too large", e)
+	}
+}
+
+func TestHashMergeEquivalentToConcatenation(t *testing.T) {
+	// Two sketches from the same family over disjoint sub-streams,
+	// merged, must equal one sketch over the concatenated stream fed
+	// through a family with identical seed and identifier sequence.
+	rng := rand.New(rand.NewSource(15))
+	d := 5
+	n := 100
+	rows := make([][]float64, 2*n)
+	for i := range rows {
+		rows[i] = randRow(rng, d)
+	}
+
+	famA := NewHashFamily(7)
+	h1 := famA.NewSketch(64, d)
+	h2 := famA.NewSketch(64, d)
+	for i := 0; i < n; i++ {
+		h1.Update(rows[i])
+	}
+	for i := n; i < 2*n; i++ {
+		h2.Update(rows[i])
+	}
+	h1.Merge(h2)
+
+	famB := NewHashFamily(7)
+	whole := famB.NewSketch(64, d)
+	for _, r := range rows {
+		whole.Update(r)
+	}
+	if !h1.Matrix().Equal(whole.Matrix(), 1e-12) {
+		t.Fatal("Hash merge is not exactly the concatenated sketch")
+	}
+}
+
+func TestHashMergeAcrossFamiliesPanics(t *testing.T) {
+	h1 := NewHashFamily(1).NewSketch(4, 3)
+	h2 := NewHashFamily(2).NewSketch(4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h1.Merge(h2)
+}
+
+func TestHashMergeShapeMismatchPanics(t *testing.T) {
+	fam := NewHashFamily(1)
+	h1 := fam.NewSketch(4, 3)
+	h2 := fam.NewSketch(8, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h1.Merge(h2)
+}
+
+func TestHashCloneEmptySharesFamily(t *testing.T) {
+	fam := NewHashFamily(3)
+	h := fam.NewSketch(4, 3)
+	c := h.CloneEmpty().(*Hash)
+	if c.fam != fam {
+		t.Fatal("CloneEmpty must share the family")
+	}
+}
+
+func TestSplitmix64Distribution(t *testing.T) {
+	// Crude sanity: bucket assignment over 16 buckets is roughly uniform.
+	counts := make([]int, 16)
+	n := 16000
+	for i := 0; i < n; i++ {
+		counts[splitmix64(uint64(i))%16]++
+	}
+	for b, c := range counts {
+		if c < n/16/2 || c > n/16*2 {
+			t.Fatalf("bucket %d has %d of %d items", b, c, n)
+		}
+	}
+}

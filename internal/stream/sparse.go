@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"fmt"
+
+	"swsketch/internal/mat"
+)
+
+// SparseUpdatable is implemented by streaming sketches with an O(nnz)
+// (or O(ℓ·nnz)) sparse ingest path. UpdateSparse(s) must be exactly
+// equivalent to Update(s.Dense(d)).
+type SparseUpdatable interface {
+	Sketch
+	UpdateSparse(row mat.SparseRow)
+}
+
+// UpdateSparse inserts one sparse row into the FD buffer: the target
+// buffer row is zeroed and scattered in O(d) for the clear plus
+// O(nnz) for the values (the clear is unavoidable — the buffer slot
+// may hold stale data — but no dense temporary is built).
+func (f *FD) UpdateSparse(row mat.SparseRow) {
+	if m := row.MaxIdx(); m >= f.d {
+		panic(fmt.Sprintf("stream: FD sparse row index %d, dimension %d", m, f.d))
+	}
+	if f.used == f.ell {
+		f.shrink()
+	}
+	dst := f.buf.Row(f.used)
+	for j := range dst {
+		dst[j] = 0
+	}
+	row.ScatterTo(dst)
+	f.used++
+}
+
+// UpdateSparse hashes one sparse row into its bucket in O(nnz).
+func (s *Hash) UpdateSparse(row mat.SparseRow) {
+	if m := row.MaxIdx(); m >= s.d {
+		panic(fmt.Sprintf("stream: Hash sparse row index %d, dimension %d", m, s.d))
+	}
+	id := s.fam.next
+	s.fam.next++
+	hv := splitmix64(id ^ s.fam.seed)
+	bucket := int(hv % uint64(s.ell))
+	sign := 1.0
+	if splitmix64(hv)&1 == 0 {
+		sign = -1
+	}
+	row.AddScaledTo(s.b.Row(bucket), sign)
+}
+
+// UpdateSparse folds one sparse row into the projection in O(ℓ·nnz)
+// instead of O(ℓ·d) — the dominant win for tf-idf-like streams.
+func (p *RP) UpdateSparse(row mat.SparseRow) {
+	if m := row.MaxIdx(); m >= p.d {
+		panic(fmt.Sprintf("stream: RP sparse row index %d, dimension %d", m, p.d))
+	}
+	for i := 0; i < p.ell; i++ {
+		r := p.inv
+		if p.rng.Int63()&1 == 0 {
+			r = -r
+		}
+		row.AddScaledTo(p.b.Row(i), r)
+	}
+}
+
+var (
+	_ SparseUpdatable = (*FD)(nil)
+	_ SparseUpdatable = (*Hash)(nil)
+	_ SparseUpdatable = (*RP)(nil)
+)

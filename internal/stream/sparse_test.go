@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/mat"
+)
+
+// sparseStream builds parallel dense and sparse views of a random
+// sparse stream.
+func sparseStream(rng *rand.Rand, n, d int) ([][]float64, []mat.SparseRow) {
+	dense := make([][]float64, n)
+	sparse := make([]mat.SparseRow, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			row[rng.Intn(d)] = rng.NormFloat64()
+		}
+		dense[i] = row
+		sparse[i] = mat.SparseFromDense(row)
+	}
+	return dense, sparse
+}
+
+func TestFDSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := 12
+	dense, sparse := sparseStream(rng, 200, d)
+	fd1, fd2 := NewFD(8, d), NewFD(8, d)
+	for i := range dense {
+		fd1.Update(dense[i])
+		fd2.UpdateSparse(sparse[i])
+	}
+	if !fd1.Matrix().Equal(fd2.Matrix(), 1e-12) {
+		t.Fatal("FD sparse path diverges from dense path")
+	}
+}
+
+func TestHashSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := 10
+	dense, sparse := sparseStream(rng, 150, d)
+	h1 := NewHashFamily(9).NewSketch(16, d)
+	h2 := NewHashFamily(9).NewSketch(16, d)
+	for i := range dense {
+		h1.Update(dense[i])
+		h2.UpdateSparse(sparse[i])
+	}
+	if !h1.Matrix().Equal(h2.Matrix(), 1e-12) {
+		t.Fatal("Hash sparse path diverges from dense path")
+	}
+}
+
+func TestRPSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := 10
+	dense, sparse := sparseStream(rng, 150, d)
+	p1, p2 := NewRP(32, d, 7), NewRP(32, d, 7)
+	for i := range dense {
+		p1.Update(dense[i])
+		p2.UpdateSparse(sparse[i])
+	}
+	if !p1.Matrix().Equal(p2.Matrix(), 1e-12) {
+		t.Fatal("RP sparse path diverges from dense path")
+	}
+}
+
+func TestSparseOutOfBoundsPanics(t *testing.T) {
+	row := mat.NewSparseRow([]int{50}, []float64{1}, -1)
+	for name, f := range map[string]func(){
+		"FD":   func() { NewFD(4, 10).UpdateSparse(row) },
+		"Hash": func() { NewHashFamily(1).NewSketch(4, 10).UpdateSparse(row) },
+		"RP":   func() { NewRP(4, 10, 1).UpdateSparse(row) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

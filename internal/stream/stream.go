@@ -1,0 +1,47 @@
+// Package stream implements the streaming (unbounded, row-update)
+// matrix sketches of Section 3 and Appendix A of the paper:
+// FrequentDirections, random projection, feature hashing, and
+// norm-proportional row sampling via priorities. These are the
+// building blocks embedded into the sliding-window frameworks in
+// package core.
+package stream
+
+import "swsketch/internal/mat"
+
+// Sketch is a streaming matrix sketch over a row-update stream. A
+// sketch observes rows of an implicit matrix A ∈ R^{n×d} one at a time
+// and can at any point produce an approximation B ∈ R^{ℓ×d} with small
+// covariance error ‖AᵀA − BᵀB‖₂ / ‖A‖²_F.
+type Sketch interface {
+	// Update feeds one row (length d) into the sketch. Implementations
+	// must not retain the slice.
+	Update(row []float64)
+	// Matrix materialises the current approximation B. The returned
+	// matrix is owned by the caller.
+	Matrix() *mat.Dense
+	// RowsStored reports the current size of the sketch in rows, the
+	// paper's space measure.
+	RowsStored() int
+}
+
+// Mergeable is a sketch that supports the mergeability property of
+// Section 6.1: two sketches of matrices A₁ and A₂ combine into a
+// sketch of [A₁; A₂] without growing in size or error.
+type Mergeable interface {
+	Sketch
+	// Merge absorbs other's content into the receiver. The argument
+	// must be a sketch of the same concrete type and configuration;
+	// it is read but never modified, so one block sketch can be merged
+	// into many query-time accumulators.
+	Merge(other Mergeable)
+	// CloneEmpty returns a fresh, empty sketch with the same
+	// configuration (used by the LM framework to open new blocks).
+	CloneEmpty() Mergeable
+}
+
+// Factory constructs fresh streaming sketches for a given dimension;
+// the frameworks in package core use factories to populate blocks.
+type Factory func(d int) Sketch
+
+// MergeableFactory constructs fresh mergeable sketches.
+type MergeableFactory func(d int) Mergeable

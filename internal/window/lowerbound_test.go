@@ -1,0 +1,73 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIndexReductionDecodesAllBits executes the communication-
+// complexity reduction behind the paper's Theorem 4.1: any structure
+// that maintains AᵀA exactly over a sequence window of N rows can be
+// made to reveal every one of the N·d bits that passed through it —
+// Alice encodes a bit string as rows, Bob slides the window forward
+// with probe rows confined to an extra column and reads each expelled
+// row back off the Gram diagonal. Since the bits are recovered
+// exactly, the structure must retain Ω(Nd) bits: exact tracking over
+// sliding windows is as expensive as storing the window. (The sketches
+// in package core exist precisely because of this.)
+func TestIndexReductionDecodesAllBits(t *testing.T) {
+	const (
+		n    = 64 // window rows (Alice's chunks)
+		d    = 17 // bits per chunk
+		cols = d + 1
+	)
+	rng := rand.New(rand.NewSource(1))
+
+	// Alice: encode a random bit string x as N rows of d bits, using an
+	// exact AᵀA tracker over a window of exactly N rows.
+	bits := make([][]float64, n)
+	tracker := NewExact(Seq(n), cols)
+	tt := 0.0
+	for i := range bits {
+		row := make([]float64, cols)
+		for j := 0; j < d; j++ {
+			if rng.Intn(2) == 1 {
+				row[j] = 1
+			}
+		}
+		bits[i] = row
+		tracker.Update(row, tt)
+		tt++
+	}
+
+	// Bob: the j-th probe row (a unit vector in the spare column)
+	// expels Alice's j-th row from the window. The drop in the Gram
+	// diagonal entry (c, c) across the expulsion is exactly the bit
+	// A_{j,c}² = A_{j,c}.
+	decoded := make([][]float64, n)
+	probe := make([]float64, cols)
+	probe[d] = 1
+	for j := 0; j < n; j++ {
+		before := tracker.Gram()
+		tracker.Update(probe, tt)
+		tt++
+		after := tracker.Gram()
+		row := make([]float64, cols)
+		for c := 0; c < d; c++ {
+			diff := before.At(c, c) - after.At(c, c)
+			if diff > 0.5 {
+				row[c] = 1
+			}
+		}
+		decoded[j] = row
+	}
+
+	for j := 0; j < n; j++ {
+		for c := 0; c < d; c++ {
+			if decoded[j][c] != bits[j][c] {
+				t.Fatalf("bit (%d,%d) decoded as %v, want %v — the reduction must recover every bit",
+					j, c, decoded[j][c], bits[j][c])
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package swsketch is a Go implementation of "Matrix Sketching Over
+// Sliding Windows" (Wei, Liu, Li, Shang, Du, Wen — SIGMOD 2016): data
+// structures that continuously maintain a small approximation B of the
+// matrix A formed by the rows inside a sliding window, with bounded
+// covariance error ‖AᵀA − BᵀB‖₂/‖A‖²_F.
+//
+// Three families of sliding-window sketches are provided:
+//
+//   - Sampling (NewSWR, NewSWOR, NewSWORAll): norm-proportional row
+//     samples maintained with priority-sampling candidate queues. Work
+//     on sequence- and time-based windows; the answers are rescaled
+//     rows of A itself (interpretable).
+//   - Logarithmic Method (NewLMFD, NewLMHash): converts a mergeable
+//     streaming sketch into a sliding-window sketch via exponentially
+//     growing block levels. Works on both window types; the paper's
+//     recommended general-purpose choice is LM-FD.
+//   - Dyadic Interval (NewDIFD, NewDIRP, NewDIHash): converts an
+//     arbitrary streaming sketch into a sequence-window sketch via a
+//     dyadic block hierarchy; the most space-efficient option when the
+//     squared-norm ratio R of the window is small.
+//
+// All sketches implement WindowSketch: push timestamped rows with
+// Update (for sequence windows, use the stream index as timestamp) and
+// obtain the current window's approximation with Query.
+//
+// This root package is a facade over the implementation packages in
+// internal/; it re-exports everything a downstream user needs — the
+// sketches, the window specifications, the dense linear algebra used
+// to consume the results, the streaming sketches they are built from,
+// and generators for the paper's evaluation datasets.
+package swsketch
+
+import (
+	"io"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/dist"
+	"swsketch/internal/mat"
+	"swsketch/internal/pca"
+	"swsketch/internal/serve"
+	"swsketch/internal/stream"
+	"swsketch/internal/window"
+)
+
+// WindowSketch is a continuously maintained matrix sketch over a
+// sliding window. See internal/core for the contract details.
+type WindowSketch = core.WindowSketch
+
+// Spec describes a sliding window (sequence- or time-based).
+type Spec = window.Spec
+
+// Seq returns a sequence-based window of the n most recent rows.
+func Seq(n int) Spec { return window.Seq(n) }
+
+// TimeSpan returns a time-based window covering (t−delta, t].
+func TimeSpan(delta float64) Spec { return window.TimeSpan(delta) }
+
+// ExactWindow tracks a window exactly (rows, Gram matrix, Frobenius
+// mass) — the ground-truth oracle used to measure covariance error.
+type ExactWindow = window.Exact
+
+// NewExactWindow returns an exact window tracker for dimension d.
+func NewExactWindow(spec Spec, d int) *ExactWindow { return window.NewExact(spec, d) }
+
+// NormTracker approximates the window's ‖A‖²_F; see NewEHNorms for the
+// sub-linear exponential-histogram implementation.
+type NormTracker = window.NormTracker
+
+// NewEHNorms returns an exponential-histogram Frobenius-mass tracker
+// with relative error ≈ eps.
+func NewEHNorms(spec Spec, eps float64) NormTracker { return window.NewEHNorms(spec, eps) }
+
+// SWR is the sampling-with-replacement sliding-window sketch
+// (Algorithm 5.1 of the paper).
+type SWR = core.SWR
+
+// NewSWR returns an SWR sketch sampling ell rows of dimension d.
+func NewSWR(spec Spec, ell, d int, seed int64) *SWR { return core.NewSWR(spec, ell, d, seed) }
+
+// SWOR is the sampling-without-replacement sketch (Algorithm 5.2); it
+// also implements the SWOR-ALL variant.
+type SWOR = core.SWOR
+
+// NewSWOR returns a SWOR sketch sampling ell rows of dimension d.
+func NewSWOR(spec Spec, ell, d int, seed int64) *SWOR { return core.NewSWOR(spec, ell, d, seed) }
+
+// NewSWORAll returns the SWOR-ALL variant, which answers with every
+// candidate row.
+func NewSWORAll(spec Spec, ell, d int, seed int64) *SWOR { return core.NewSWORAll(spec, ell, d, seed) }
+
+// LM is the Logarithmic Method framework (Section 6).
+type LM = core.LM
+
+// NewLMFD returns LM over FrequentDirections blocks — the paper's
+// LM-FD, its recommended general-purpose sliding-window sketch. ell is
+// the per-block sketch size, b the blocks per level (≈ 8/ε).
+func NewLMFD(spec Spec, d, ell, b int) *LM { return core.NewLMFD(spec, d, ell, b) }
+
+// NewLMHash returns LM over feature-hashing blocks (Appendix A).
+func NewLMHash(spec Spec, d, ell, b int, seed uint64) *LM {
+	return core.NewLMHash(spec, d, ell, b, seed)
+}
+
+// DI is the Dyadic Interval framework (Section 7); sequence windows only.
+type DI = core.DI
+
+// DIConfig parameterises the Dyadic Interval framework.
+type DIConfig = core.DIConfig
+
+// NewDIFD returns DI over FrequentDirections — the paper's DI-FD, the
+// most space-efficient sketch when the norm ratio R is small.
+func NewDIFD(cfg DIConfig, d int) *DI { return core.NewDIFD(cfg, d) }
+
+// NewDIRP returns DI over random projections (Appendix A).
+func NewDIRP(cfg DIConfig, d int, seed int64) *DI { return core.NewDIRP(cfg, d, seed) }
+
+// NewDIHash returns DI over feature hashing (Appendix A).
+func NewDIHash(cfg DIConfig, d int, seed uint64) *DI { return core.NewDIHash(cfg, d, seed) }
+
+// Best is the offline best-rank-k baseline (stores the window; not a
+// sketch — provided as the error lower envelope).
+type Best = core.Best
+
+// NewBest returns the offline rank-k baseline.
+func NewBest(spec Spec, k, d int) *Best { return core.NewBest(spec, k, d) }
+
+// Concurrent wraps any WindowSketch for one-writer/many-reader use.
+type Concurrent = core.Concurrent
+
+// NewConcurrent wraps sk with a mutex.
+func NewConcurrent(sk WindowSketch) *Concurrent { return core.NewConcurrent(sk) }
+
+// Dense is the row-major dense matrix type used throughout.
+type Dense = mat.Dense
+
+// NewDense returns a zeroed r×c matrix.
+func NewDense(r, c int) *Dense { return mat.NewDense(r, c) }
+
+// FromRows builds a matrix from row slices (copied).
+func FromRows(rows [][]float64) *Dense { return mat.FromRows(rows) }
+
+// SVDResult holds a thin singular value decomposition.
+type SVDResult = mat.SVDResult
+
+// SVD computes a thin SVD via the Gram trick.
+func SVD(a *Dense) SVDResult { return mat.SVD(a) }
+
+// SingularValues returns the singular values of a in descending order.
+func SingularValues(a *Dense) []float64 { return mat.SingularValues(a) }
+
+// RankK returns the best rank-k approximation Σ_k·V_kᵀ of a.
+func RankK(a *Dense, k int) *Dense { return mat.RankK(a, k) }
+
+// CovarianceError returns ‖AᵀA − BᵀB‖₂/‖A‖²_F given A's Gram matrix
+// and squared Frobenius mass.
+func CovarianceError(gramA *Dense, froSqA float64, b *Dense) float64 {
+	return mat.CovarianceError(gramA, froSqA, b)
+}
+
+// FD is the FrequentDirections streaming sketch (mergeable).
+type FD = stream.FD
+
+// NewFD returns a FrequentDirections sketch of at most ell rows.
+func NewFD(ell, d int) *FD { return stream.NewFD(ell, d) }
+
+// StreamSketch is a streaming (unbounded) matrix sketch.
+type StreamSketch = stream.Sketch
+
+// Mergeable is a streaming sketch supporting error- and size-
+// preserving merges (the LM framework's requirement).
+type Mergeable = stream.Mergeable
+
+// Dataset is a materialised row stream with timestamps.
+type Dataset = data.Dataset
+
+// Dataset generators reproducing the paper's evaluation data; see
+// internal/data for the configuration details.
+type (
+	// SyntheticConfig parameterises the Appendix D random noisy matrix.
+	SyntheticConfig = data.SyntheticConfig
+	// BIBDConfig parameterises the constant-norm incidence stream.
+	BIBDConfig = data.BIBDConfig
+	// PAMAPConfig parameterises the heavy-tailed sensor stream.
+	PAMAPConfig = data.PAMAPConfig
+	// WikiConfig parameterises the bursty tf-idf document stream.
+	WikiConfig = data.WikiConfig
+	// RailConfig parameterises the Poisson-arrival cost stream.
+	RailConfig = data.RailConfig
+)
+
+// Synthetic generates the Appendix D matrix A = SDU + N/ζ.
+func Synthetic(cfg SyntheticConfig) *Dataset { return data.Synthetic(cfg) }
+
+// BIBD generates a balanced-incomplete-block-design incidence stream.
+func BIBD(cfg BIBDConfig) *Dataset { return data.BIBD(cfg) }
+
+// PAMAP generates an activity-monitoring-like sensor stream.
+func PAMAP(cfg PAMAPConfig) *Dataset { return data.PAMAP(cfg) }
+
+// Wiki generates a tf-idf document stream with accelerating arrivals.
+func Wiki(cfg WikiConfig) *Dataset { return data.Wiki(cfg) }
+
+// Rail generates a sparse cost stream with Poisson arrivals.
+func Rail(cfg RailConfig) *Dataset { return data.Rail(cfg) }
+
+// PCA is the principal component analysis of a window approximation.
+type PCA = pca.Result
+
+// ComputePCA returns the top-k principal components of the
+// approximation b; because the sketch bounds the covariance error,
+// these approximate the window's true PCA (the paper's Section 1
+// application).
+func ComputePCA(b *Dense, k int) PCA { return pca.Compute(b, k) }
+
+// ResidualEnergy returns the fraction of b's energy outside the
+// subspace of the given PCA basis — the change-detection statistic.
+func ResidualEnergy(b *Dense, basis PCA) float64 { return pca.ResidualEnergy(b, basis) }
+
+// SubspaceDistance returns sin of the largest principal angle between
+// two PCA bases.
+func SubspaceDistance(a, b PCA) float64 { return pca.SubspaceDistance(a, b) }
+
+// ChangeDetector implements reference-vs-test-window PCA change
+// detection over sliding-window sketches.
+type ChangeDetector = pca.Detector
+
+// NewChangeDetector fixes a reference basis with k components; Test
+// flags approximations whose residual energy exceeds threshold.
+func NewChangeDetector(reference *Dense, k int, threshold float64) *ChangeDetector {
+	return pca.NewDetector(reference, k, threshold)
+}
+
+// Unbounded adapts a streaming (whole-history) sketch to the
+// WindowSketch interface — the baseline that motivates sliding
+// windows: it cannot forget old regimes (see `swbench drift`).
+type Unbounded = core.Unbounded
+
+// NewUnboundedFD wraps a whole-history FrequentDirections sketch.
+func NewUnboundedFD(ell, d int) *Unbounded { return core.NewUnboundedFD(ell, d) }
+
+// Zero is the degenerate always-empty baseline (covariance error
+// σ₁²/Σσᵢ²); any useful sketch must beat it.
+type Zero = core.Zero
+
+// NewZero returns the zero-answer baseline.
+func NewZero(d int) *Zero { return core.NewZero(d) }
+
+// NewLMRP returns LM over random-projection blocks (an extension: RP
+// is mergeable by addition, though the paper only pairs it with DI).
+func NewLMRP(spec Spec, d, ell, b int, seed int64) *LM {
+	return core.NewLMRP(spec, d, ell, b, seed)
+}
+
+// SparseRow is a sparse vector (sorted indices + values) for O(nnz)
+// ingest of high-dimensional sparse streams.
+type SparseRow = mat.SparseRow
+
+// NewSparseRow validates and wraps explicit indices and values (pass
+// d ≤ 0 to skip the bound check).
+func NewSparseRow(idx []int, val []float64, d int) SparseRow {
+	return mat.NewSparseRow(idx, val, d)
+}
+
+// SparseFromDense extracts the non-zero entries of a dense row.
+func SparseFromDense(row []float64) SparseRow { return mat.SparseFromDense(row) }
+
+// SparseUpdater is a window sketch with a sparse ingest path
+// (implemented by SWR, SWOR, LM, and DI).
+type SparseUpdater = core.SparseUpdater
+
+// ReadMatrixMarket loads a MatrixMarket coordinate file (the UFlorida
+// collection format of the paper's BIBD and RAIL matrices) as a row
+// stream.
+func ReadMatrixMarket(name string, r io.Reader) (*Dataset, error) {
+	return data.ReadMatrixMarket(name, r)
+}
+
+// ReadPAMAP loads the PAMAP .dat sensor format with the paper's
+// preprocessing (drop timestamp/activity columns and any column with
+// missing values).
+func ReadPAMAP(name string, r io.Reader) (*Dataset, error) {
+	return data.ReadPAMAP(name, r)
+}
+
+// ReadCSV loads a timestamp-prefixed CSV row stream (the format
+// written by Dataset.WriteCSV).
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	return data.ReadCSV(name, r)
+}
+
+// Server exposes a sketch over HTTP (ingest, approximation, PCA,
+// stats, and snapshot endpoints); see cmd/swserve for a ready binary.
+type Server = serve.Server
+
+// NewServer wraps a sketch of dimension d for HTTP serving; mount
+// Handler() on any mux.
+func NewServer(sk WindowSketch, d int) *Server { return serve.NewServer(sk, d) }
+
+// ProjectionError returns the relative rank-k projection error of b
+// against a — the second standard sketch-quality measure.
+func ProjectionError(a, b *Dense, k int) float64 { return mat.ProjectionError(a, b, k) }
+
+// DistSite is one node of the distributed-monitoring extension: it
+// observes a local sub-stream and ships block sketches (never raw
+// rows) to a coordinator.
+type DistSite = dist.Site
+
+// DistBlock is the sketch unit shipped from a site to the coordinator.
+type DistBlock = dist.Block
+
+// DistCoordinator answers global-window queries from site blocks.
+type DistCoordinator = dist.Coordinator
+
+// NewDistSite returns a site shipping FD block sketches of ℓ rows once
+// the local block's squared-norm mass exceeds blockMass.
+func NewDistSite(id, d, ell int, blockMass float64, ship func(DistBlock)) *DistSite {
+	return dist.NewSite(id, d, ell, blockMass, ship)
+}
+
+// NewDistCoordinator returns the coordinator for the given window.
+func NewDistCoordinator(spec Spec, d, ell, perLevel int, blockMass float64) *DistCoordinator {
+	return dist.NewCoordinator(spec, d, ell, perLevel, blockMass)
+}
+
+// AutoLMFD sizes an LM-FD sketch for a target covariance error using
+// the practical calibration from the reproduction harness (the
+// theoretical constants are far looser; see EXPERIMENTS.md).
+func AutoLMFD(spec Spec, d int, eps float64) *LM { return core.AutoLMFD(spec, d, eps) }
+
+// AutoDIFD sizes a DI-FD sketch for a target error over a sequence
+// window of n rows with the given norm profile.
+func AutoDIFD(n, d int, eps, maxSqNorm, ratio float64) *DI {
+	return core.AutoDIFD(n, d, eps, maxSqNorm, ratio)
+}
+
+// AutoSWR sizes an SWR sampler for a target error.
+func AutoSWR(spec Spec, d int, eps float64, seed int64) *SWR {
+	return core.AutoSWR(spec, d, eps, seed)
+}
