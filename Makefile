@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz verify results examples clean
+.PHONY: all build test race cover bench fuzz verify results examples clean check
 
 all: build test
+
+# Pre-merge gate: compile + vet, the full test suite, and the suite
+# again under the race detector (the concurrent wrappers and the
+# parallel compute kernels are only honest under -race).
+check: build test race
 
 build:
 	$(GO) build ./...

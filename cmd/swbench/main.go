@@ -24,6 +24,8 @@
 //	projerr  rank-k projection-error study (the paper's "different
 //	         error metrics" future work)
 //	winsweep sketch space vs window size (the sublinearity headline)
+//	kernels  compute-layer micro-benchmarks vs naive baselines;
+//	         writes BENCH_kernels.json (see -kernels-out)
 //	verify   run the qualitative shape checks; non-zero exit on DIFF
 //	all      everything above plus the qualitative shape checks
 //
@@ -48,10 +50,11 @@ func main() {
 		win    = flag.Int("window", 0, "override window size (rows)")
 		maxQ   = flag.Int("maxq", 0, "override max evaluated windows per run")
 		stride = flag.Int("stride", 0, "override query stride")
+		kOut   = flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernels experiment")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -103,6 +106,11 @@ func main() {
 		runProjErr(out, sc)
 	case "winsweep":
 		runWinSweep(out, sc)
+	case "kernels":
+		if err := runKernels(out, *kOut); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: kernels: %v\n", err)
+			os.Exit(1)
+		}
 	case "verify":
 		if failures := runVerify(out, sc); failures > 0 {
 			fmt.Fprintf(os.Stderr, "swbench: %d shape check(s) failed\n", failures)

@@ -35,6 +35,7 @@ func main() {
 		winSize = flag.Float64("window", 1000, "window size (rows, or time span with -time)")
 		useTime = flag.Bool("time", false, "time-based window (use CSV timestamps)")
 		every   = flag.Int("every", 500, "print a summary every k rows")
+		batch   = flag.Int("batch", 256, "rows per bulk ingest call (1 = row-at-a-time)")
 		ell     = flag.Int("ell", 24, "sketch size parameter ℓ")
 		b       = flag.Int("b", 8, "LM blocks per level")
 		levels  = flag.Int("L", 6, "DI levels")
@@ -46,7 +47,8 @@ func main() {
 
 	if err := run(os.Stdin, os.Stdout, options{
 		algo: *algo, winSize: *winSize, useTime: *useTime, every: *every,
-		ell: *ell, b: *b, levels: *levels, rBound: *rBound, seed: *seed, topK: *topK,
+		batch: *batch, ell: *ell, b: *b, levels: *levels, rBound: *rBound,
+		seed: *seed, topK: *topK,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "swstream: %v\n", err)
 		os.Exit(1)
@@ -58,6 +60,7 @@ type options struct {
 	winSize        float64
 	useTime        bool
 	every          int
+	batch          int
 	ell, b, levels int
 	rBound         float64
 	seed           int64
@@ -67,6 +70,9 @@ type options struct {
 func run(in io.Reader, out io.Writer, opt options) error {
 	if opt.every < 1 {
 		return fmt.Errorf("every must be ≥ 1")
+	}
+	if opt.batch < 1 {
+		return fmt.Errorf("batch must be ≥ 1")
 	}
 	cr := csv.NewReader(bufio.NewReaderSize(in, 1<<20))
 	cr.ReuseRecord = true
@@ -86,6 +92,22 @@ func run(in io.Reader, out io.Writer, opt options) error {
 
 	w := bufio.NewWriter(out)
 	defer w.Flush()
+
+	// Rows accumulate here and flow into the sketch through its bulk
+	// ingest path, opt.batch at a time; a pending batch is flushed
+	// before every query so summaries always cover the full prefix.
+	var (
+		pendRows  [][]float64
+		pendTimes []float64
+	)
+	flush := func() {
+		if len(pendRows) == 0 {
+			return
+		}
+		sk.UpdateBatch(pendRows, pendTimes)
+		pendRows = pendRows[:0]
+		pendTimes = pendTimes[:0]
+	}
 
 	for {
 		rec, err := cr.Read()
@@ -126,9 +148,16 @@ func run(in io.Reader, out io.Writer, opt options) error {
 		if !opt.useTime {
 			t = float64(count)
 		}
-		sk.Update(row, t)
+		r := make([]float64, d)
+		copy(r, row)
+		pendRows = append(pendRows, r)
+		pendTimes = append(pendTimes, t)
+		if len(pendRows) >= opt.batch {
+			flush()
+		}
 		count++
 		if count%opt.every == 0 {
+			flush()
 			bm := sk.Query(t)
 			svals := mat.SingularValues(bm)
 			if len(svals) > opt.topK {
@@ -140,6 +169,7 @@ func run(in io.Reader, out io.Writer, opt options) error {
 	if count == 0 {
 		return fmt.Errorf("empty input")
 	}
+	flush()
 	return nil
 }
 

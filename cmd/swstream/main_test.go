@@ -15,7 +15,7 @@ func csvStream(n int) string {
 }
 
 func baseOpts() options {
-	return options{algo: "lm-fd", winSize: 20, every: 10, ell: 8, b: 4, levels: 4, topK: 3, seed: 1}
+	return options{algo: "lm-fd", winSize: 20, every: 10, batch: 7, ell: 8, b: 4, levels: 4, topK: 3, seed: 1}
 }
 
 func TestRunStreamsAndReports(t *testing.T) {
@@ -52,6 +52,25 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestRunBatchSizesAgree pins the bulk ingest path to row-at-a-time
+// feeding: LM-FD is deterministic, so every summary line must match.
+func TestRunBatchSizesAgree(t *testing.T) {
+	var byRow, byBatch bytes.Buffer
+	o1 := baseOpts()
+	o1.batch = 1
+	oN := baseOpts()
+	oN.batch = 64
+	if err := run(strings.NewReader(csvStream(55)), &byRow, o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(csvStream(55)), &byBatch, oN); err != nil {
+		t.Fatal(err)
+	}
+	if byRow.String() != byBatch.String() {
+		t.Fatalf("batch=1 and batch=64 outputs differ:\n%s\nvs\n%s", byRow.String(), byBatch.String())
+	}
+}
+
 func TestRunTimeWindow(t *testing.T) {
 	in := "0.5,1,1\n1.5,2,0\n2.5,0,1\n9.5,1,1\n"
 	opt := baseOpts()
@@ -78,6 +97,7 @@ func TestRunErrors(t *testing.T) {
 		"di without R":   {csvStream(5), func() options { o := baseOpts(); o.algo = "di-fd"; return o }()},
 		"di time window": {csvStream(5), func() options { o := baseOpts(); o.algo = "di-fd"; o.useTime = true; o.rBound = 1; return o }()},
 		"bad every":      {csvStream(5), func() options { o := baseOpts(); o.every = 0; return o }()},
+		"bad batch":      {csvStream(5), func() options { o := baseOpts(); o.batch = 0; return o }()},
 	}
 	for name, tc := range cases {
 		var out bytes.Buffer

@@ -30,6 +30,10 @@ func NewBest(spec window.Spec, k, d int) *Best {
 // Update buffers the row.
 func (b *Best) Update(row []float64, t float64) { b.win.Update(row, t) }
 
+// UpdateBatch buffers the rows through the window's bulk path (one
+// expiry scan per batch).
+func (b *Best) UpdateBatch(rows [][]float64, times []float64) { b.win.UpdateBatch(rows, times) }
+
 // Query computes the best rank-k approximation of the current window.
 func (b *Best) Query(t float64) *mat.Dense {
 	b.win.Advance(t)

@@ -27,6 +27,15 @@ func (c *Concurrent) Update(row []float64, t float64) {
 	c.sk.Update(row, t)
 }
 
+// UpdateBatch implements WindowSketch, admitting the whole batch under
+// a single lock acquisition — the point of batching in the one-writer/
+// many-reader regime: readers see either none or all of the batch.
+func (c *Concurrent) UpdateBatch(rows [][]float64, times []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sk.UpdateBatch(rows, times)
+}
+
 // Query implements WindowSketch.
 func (c *Concurrent) Query(t float64) *mat.Dense {
 	c.mu.Lock()

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+// TestConcurrentIngestQueryRace hammers a Concurrent-wrapped LM-FD with
+// one ingest goroutine (mixing Update and UpdateBatch) and two query
+// goroutines reading Query/RowsStored the whole time. It asserts
+// nothing beyond finite answers — its job is to put the lock discipline
+// and the parallel kernels underneath Query under `go test -race`.
+func TestConcurrentIngestQueryRace(t *testing.T) {
+	const (
+		d     = 4
+		total = 1500
+	)
+	ck := NewConcurrent(NewLMFD(window.Seq(64), d, 8, 4))
+
+	var latest atomic.Int64 // highest ingested timestamp, for queries
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		rng := rand.New(rand.NewSource(1))
+		batch := make([][]float64, 0, 16)
+		times := make([]float64, 0, 16)
+		for i := 0; i < total; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			if i%3 == 0 {
+				// Flush pending batched rows first: timestamps must
+				// reach the sketch in non-decreasing order.
+				if len(batch) > 0 {
+					ck.UpdateBatch(batch, times)
+					batch, times = batch[:0], times[:0]
+				}
+				ck.Update(row, float64(i))
+				latest.Store(int64(i))
+				continue
+			}
+			batch = append(batch, row)
+			times = append(times, float64(i))
+			if len(batch) == cap(batch) {
+				ck.UpdateBatch(batch, times)
+				latest.Store(int64(i))
+				batch, times = batch[:0], times[:0]
+			}
+		}
+		if len(batch) > 0 {
+			ck.UpdateBatch(batch, times)
+			latest.Store(total - 1)
+		}
+	}()
+
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if ck.RowsStored() < 0 {
+					t.Error("negative rows stored")
+					return
+				}
+				b := ck.Query(float64(latest.Load()))
+				if b.Rows() > 0 && b.Cols() != d {
+					t.Errorf("query returned %d columns, want %d", b.Cols(), d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

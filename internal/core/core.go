@@ -33,6 +33,13 @@ type WindowSketch interface {
 	// non-decreasing; for sequence windows use the stream index. The
 	// row is copied, never retained.
 	Update(row []float64, t float64)
+	// UpdateBatch feeds rows arriving at the corresponding timestamps,
+	// in order. The visible state afterwards matches calling Update on
+	// each row in turn (including any internal randomness), but the
+	// sketch validates once and amortises per-row bookkeeping across
+	// the batch. Rows and times must have equal length; neither slice
+	// is retained.
+	UpdateBatch(rows [][]float64, times []float64)
 	// Query returns the approximation B ∈ R^{ℓ×d} for the window
 	// ending at time t (which must be ≥ the latest Update timestamp).
 	Query(t float64) *mat.Dense
@@ -54,6 +61,22 @@ func checkRowFinite(algo string, row []float64) {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			panic(fmt.Sprintf("core: %s row has non-finite value %v at index %d", algo, v, i))
 		}
+	}
+}
+
+// validateBatch performs the up-front batch checks shared by every
+// UpdateBatch implementation: matching slice lengths, row dimension,
+// and finiteness. Timestamp monotonicity stays with each sketch's
+// per-row ingest, which already enforces it against its own clock.
+func validateBatch(algo string, rows [][]float64, times []float64, d int) {
+	if len(rows) != len(times) {
+		panic(fmt.Sprintf("core: %s batch has %d rows but %d timestamps", algo, len(rows), len(times)))
+	}
+	for i, r := range rows {
+		if len(r) != d {
+			panic(fmt.Sprintf("core: %s batch row %d length %d, want %d", algo, i, len(r), d))
+		}
+		checkRowFinite(algo, r)
 	}
 }
 

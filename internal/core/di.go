@@ -186,6 +186,15 @@ func (s *DI) Update(row []float64, t float64) {
 	s.ingest(mat.SparseFromDense(row), t)
 }
 
+// UpdateBatch ingests rows in order with one up-front validation pass;
+// the dyadic counter advances exactly as under row-at-a-time Update.
+func (s *DI) UpdateBatch(rows [][]float64, times []float64) {
+	validateBatch("DI", rows, times, s.d)
+	for i, r := range rows {
+		s.ingest(mat.SparseFromDense(r), times[i])
+	}
+}
+
 // UpdateSparse ingests a sparse row, equivalent to Update on its dense
 // form; the open block stores it sparsely and the per-level active
 // sketches use their O(nnz) paths. The row's slices are copied.

@@ -52,6 +52,51 @@ func FuzzLMFD(f *testing.F) {
 	})
 }
 
+// FuzzUpdateBatch splits arbitrary streams into arbitrary-sized
+// batches and asserts the bulk ingest path is bit-identical to
+// row-at-a-time feeding: LM-FD is deterministic, and the samplers
+// consume their rng in the same order on both paths, so the query
+// answers must match exactly (tolerance 0).
+func FuzzUpdateBatch(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 100, 200, 50, 0, 0, 0, 9, 9, 9}, uint8(3))
+	f.Add([]byte{255, 255, 255, 128, 128, 128, 7, 7, 7}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		rows := rowsFromBytes(data)
+		if len(rows) == 0 {
+			return
+		}
+		size := int(chunk%7) + 1
+		times := make([]float64, len(rows))
+		for i := range times {
+			times[i] = float64(i)
+		}
+		spec := window.Seq(8)
+		byRow := []WindowSketch{NewLMFD(spec, 3, 6, 3), NewSWR(spec, 3, 3, 7), NewSWOR(spec, 3, 3, 7)}
+		byBatch := []WindowSketch{NewLMFD(spec, 3, 6, 3), NewSWR(spec, 3, 3, 7), NewSWOR(spec, 3, 3, 7)}
+		for i, r := range rows {
+			for _, sk := range byRow {
+				sk.Update(r, times[i])
+			}
+		}
+		for i := 0; i < len(rows); i += size {
+			j := i + size
+			if j > len(rows) {
+				j = len(rows)
+			}
+			for _, sk := range byBatch {
+				sk.UpdateBatch(rows[i:j], times[i:j])
+			}
+		}
+		tEnd := times[len(times)-1]
+		for k := range byRow {
+			a, b := byRow[k].Query(tEnd), byBatch[k].Query(tEnd)
+			if !a.Equal(b, 0) {
+				t.Fatalf("%s: batch ingest (chunk %d) diverges from row-at-a-time", byRow[k].Name(), size)
+			}
+		}
+	})
+}
+
 // FuzzSWOR drives the without-replacement sampler with arbitrary
 // streams, asserting the structural invariants hold at every step.
 func FuzzSWOR(f *testing.F) {

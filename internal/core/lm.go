@@ -143,6 +143,17 @@ func (l *LM) Update(row []float64, t float64) {
 	l.ingest(mat.SparseFromDense(row), t)
 }
 
+// UpdateBatch ingests rows in order with one up-front validation pass.
+// Expiry and level rebalancing run per row exactly as under Update, so
+// the resulting block structure (and hence every query answer) is
+// identical to row-at-a-time ingestion.
+func (l *LM) UpdateBatch(rows [][]float64, times []float64) {
+	validateBatch("LM", rows, times, l.d)
+	for i, r := range rows {
+		l.ingest(mat.SparseFromDense(r), times[i])
+	}
+}
+
 // UpdateSparse ingests a sparse row, equivalent to Update on its dense
 // form but storing the raw-block copy sparsely — the memory and
 // sketch-feed win for high-dimensional sparse streams. The row's

@@ -86,6 +86,32 @@ func (s *SWOR) Update(row []float64, t float64) {
 		panic(fmt.Sprintf("core: SWOR row length %d, want %d", len(row), s.d))
 	}
 	checkRowFinite("SWOR", row)
+	if w := s.ingestRow(row, t); w > 0 {
+		s.norms.Add(t, w)
+	}
+}
+
+// UpdateBatch feeds rows in order, validating once and folding the
+// batch's masses into the norm tracker in one call; priority keys are
+// drawn in the same order as repeated Update calls, so the candidate
+// queue is identical.
+func (s *SWOR) UpdateBatch(rows [][]float64, times []float64) {
+	validateBatch("SWOR", rows, times, s.d)
+	ts := make([]float64, 0, len(rows))
+	ws := make([]float64, 0, len(rows))
+	for i, r := range rows {
+		if w := s.ingestRow(r, times[i]); w > 0 {
+			ts = append(ts, times[i])
+			ws = append(ws, w)
+		}
+	}
+	s.norms.AddBatch(ts, ws)
+}
+
+// ingestRow runs one Algorithm 5.2 step, returning the row's squared
+// norm (0 when it carried no mass); norm-tracker accounting is the
+// caller's.
+func (s *SWOR) ingestRow(row []float64, t float64) float64 {
 	if s.seen && t < s.lastT {
 		panic(fmt.Sprintf("core: SWOR timestamp %v precedes %v", t, s.lastT))
 	}
@@ -93,9 +119,8 @@ func (s *SWOR) Update(row []float64, t float64) {
 	s.expire(s.spec.Cutoff(t))
 	w := mat.SqNorm(row)
 	if w == 0 {
-		return
+		return 0
 	}
-	s.norms.Add(t, w)
 	key := stream.PriorityKey(s.rng, w)
 
 	kept := s.queue[:0]
@@ -111,6 +136,7 @@ func (s *SWOR) Update(row []float64, t float64) {
 	r := make([]float64, s.d)
 	copy(r, row)
 	s.queue = append(s.queue, sworCandidate{candidate: candidate{row: r, t: t, w: w, key: key}, rank: 1})
+	return w
 }
 
 func (s *SWOR) expire(cutoff float64) {

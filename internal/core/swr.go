@@ -101,6 +101,33 @@ func (s *SWR) Update(row []float64, t float64) {
 		panic(fmt.Sprintf("core: SWR row length %d, want %d", len(row), s.d))
 	}
 	checkRowFinite("SWR", row)
+	if w := s.ingestRow(row, t); w > 0 {
+		s.norms.Add(t, w)
+	}
+}
+
+// UpdateBatch feeds rows in order, validating once and folding the
+// whole batch's masses into the norm tracker in one call (one EH
+// canonicalization instead of len(rows)). Priority keys are drawn in
+// the same order as repeated Update calls, so the candidate queues —
+// and with the exact tracker, every query answer — are identical.
+func (s *SWR) UpdateBatch(rows [][]float64, times []float64) {
+	validateBatch("SWR", rows, times, s.d)
+	ts := make([]float64, 0, len(rows))
+	ws := make([]float64, 0, len(rows))
+	for i, r := range rows {
+		if w := s.ingestRow(r, times[i]); w > 0 {
+			ts = append(ts, times[i])
+			ws = append(ws, w)
+		}
+	}
+	s.norms.AddBatch(ts, ws)
+}
+
+// ingestRow advances the clock, expires, and pushes the row into every
+// queue. It returns the row's squared norm (0 when it carried no mass)
+// and leaves the norm-tracker accounting to the caller.
+func (s *SWR) ingestRow(row []float64, t float64) float64 {
 	if s.seen && t < s.lastT {
 		panic(fmt.Sprintf("core: SWR timestamp %v precedes %v", t, s.lastT))
 	}
@@ -111,9 +138,8 @@ func (s *SWR) Update(row []float64, t float64) {
 		for i := range s.queues {
 			s.queues[i].expire(cutoff)
 		}
-		return
+		return 0
 	}
-	s.norms.Add(t, w)
 	var shared []float64 // lazily copied, shared across queues (read-only)
 	for i := range s.queues {
 		q := &s.queues[i]
@@ -128,6 +154,7 @@ func (s *SWR) Update(row []float64, t float64) {
 		}
 		q.push(candidate{row: shared, t: t, w: w, key: key})
 	}
+	return w
 }
 
 // Query returns the rescaled ℓ-row sample for the window ending at t:

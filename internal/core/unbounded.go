@@ -42,6 +42,13 @@ func (u *Unbounded) Update(row []float64, _ float64) {
 	u.sk.Update(row)
 }
 
+// UpdateBatch feeds the rows to the streaming sketch's bulk path; the
+// timestamps are ignored.
+func (u *Unbounded) UpdateBatch(rows [][]float64, times []float64) {
+	validateBatch("Unbounded", rows, times, u.d)
+	u.sk.UpdateBatch(rows)
+}
+
 // Query returns the whole-history approximation.
 func (u *Unbounded) Query(_ float64) *mat.Dense { return u.sk.Matrix() }
 

@@ -31,6 +31,18 @@ func (z *Zero) Update(row []float64, t float64) {
 	}
 }
 
+// UpdateBatch discards the rows after the same length check as Update.
+func (z *Zero) UpdateBatch(rows [][]float64, times []float64) {
+	if len(rows) != len(times) {
+		panic(fmt.Sprintf("core: Zero batch has %d rows but %d timestamps", len(rows), len(times)))
+	}
+	for i, r := range rows {
+		if len(r) != z.d {
+			panic(fmt.Sprintf("core: Zero batch row %d length %d, want %d", i, len(r), z.d))
+		}
+	}
+}
+
 // Query returns the empty approximation.
 func (z *Zero) Query(t float64) *mat.Dense { return mat.NewDense(0, z.d) }
 

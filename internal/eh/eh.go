@@ -73,6 +73,32 @@ func (h *Histogram) Add(t, weight float64) {
 	h.canonicalize()
 }
 
+// AddBatch records a run of items with non-decreasing timestamps,
+// deferring the invariant restoration until the whole run is appended:
+// one canonicalize pass replaces len(ts) of them. The resulting bucket
+// structure may differ from repeated Add calls (merges see the whole
+// run at once), but the estimate guarantee is identical — it depends
+// only on the ≤ k buckets-per-class invariant, which holds on return.
+func (h *Histogram) AddBatch(ts, weights []float64) {
+	if len(ts) != len(weights) {
+		panic(fmt.Sprintf("eh: batch of %d timestamps but %d weights", len(ts), len(weights)))
+	}
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("eh: negative weight %v", w))
+		}
+		if n := len(h.buckets); n > 0 && ts[i] < h.buckets[n-1].end {
+			panic(fmt.Sprintf("eh: timestamp %v precedes previous %v", ts[i], h.buckets[n-1].end))
+		}
+		if w == 0 {
+			continue
+		}
+		h.buckets = append(h.buckets, bucket{start: ts[i], end: ts[i], sum: w, count: 1})
+		h.total += w
+	}
+	h.canonicalize()
+}
+
 // canonicalize restores the ≤ k buckets-per-class invariant. Because
 // weights are arbitrary reals (not created at class 0 as in classic
 // DGIM), the two oldest buckets of an over-full class may not be

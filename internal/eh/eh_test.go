@@ -252,3 +252,82 @@ func TestEstimateBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAddBatchMatchesAdd pins the batched ingest to repeated Add calls:
+// the bucket *structure* may differ (one canonicalize per batch sees
+// the whole run), but the invariant — at most k buckets per size class
+// — and the total must hold, and the estimate must stay within the
+// same 1/k band around the exact windowed sum.
+func TestAddBatchMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, batchLen := range []int{1, 3, 16, 100} {
+		one := New(4)
+		bulk := New(4)
+		var items []item
+		ts := make([]float64, 0, batchLen)
+		ws := make([]float64, 0, batchLen)
+		for i := 0; i < 600; i++ {
+			w := math.Pow(10, rng.Float64()*3)
+			if rng.Intn(10) == 0 {
+				w = 0 // zero weights are skipped on both paths
+			}
+			items = append(items, item{float64(i), w})
+			one.Add(float64(i), w)
+			ts = append(ts, float64(i))
+			ws = append(ws, w)
+			if len(ts) == batchLen {
+				bulk.AddBatch(ts, ws)
+				ts, ws = ts[:0], ws[:0]
+			}
+		}
+		bulk.AddBatch(ts, ws)
+
+		if a, b := one.Total(), bulk.Total(); math.Abs(a-b) > 1e-9*math.Abs(a) {
+			t.Fatalf("batchLen=%d: totals diverge: %v vs %v", batchLen, a, b)
+		}
+		counts := map[int]int{}
+		for _, b := range bulk.buckets {
+			counts[sizeClass(b.sum)]++
+			if counts[sizeClass(b.sum)] > bulk.k {
+				t.Fatalf("batchLen=%d: size class %d over-full after AddBatch", batchLen, sizeClass(b.sum))
+			}
+		}
+		for _, cutoff := range []float64{-1, 100, 450, 599} {
+			exact := exactSum(items, cutoff)
+			for name, h := range map[string]*Histogram{"add": one, "batch": bulk} {
+				est := New(h.k) // estimate on a copy: Estimate expires
+				est.buckets = append(est.buckets, h.buckets...)
+				est.total = h.total
+				got := est.Estimate(cutoff)
+				if exact == 0 {
+					if got != 0 {
+						t.Fatalf("batchLen=%d %s: estimate %v for empty window", batchLen, name, got)
+					}
+					continue
+				}
+				if rel := math.Abs(got-exact) / exact; rel > 1.0/float64(h.k)+1e-9 {
+					t.Fatalf("batchLen=%d %s: cutoff %v estimate %v vs exact %v (rel %v)", batchLen, name, cutoff, got, exact, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestAddBatchPanics(t *testing.T) {
+	for name, f := range map[string]func(*Histogram){
+		"length mismatch": func(h *Histogram) { h.AddBatch([]float64{1, 2}, []float64{1}) },
+		"negative weight": func(h *Histogram) { h.AddBatch([]float64{1}, []float64{-1}) },
+		"time regression": func(h *Histogram) { h.AddBatch([]float64{2, 1}, []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			h := New(2)
+			h.Add(0, 1)
+			f(h)
+		}()
+	}
+}

@@ -163,54 +163,38 @@ func (m *Dense) checkSameShape(b *Dense) {
 }
 
 // Mul returns the product a·b as a new matrix. It panics if the inner
-// dimensions disagree.
+// dimensions disagree. Large products run cache-blocked across the
+// package worker pool (see parallel.go); small ones stay on the
+// calling goroutine.
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: cannot multiply %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := NewDense(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	mulInto(out, a, b)
 	return out
 }
 
 // Gram returns AᵀA (cols×cols) for A = m. Only the upper triangle is
-// computed and mirrored, exploiting symmetry.
+// computed and mirrored, exploiting symmetry; large accumulations run
+// in parallel over output row blocks.
 func (m *Dense) Gram() *Dense {
 	g := NewDense(m.cols, m.cols)
-	for i := 0; i < m.rows; i++ {
-		AddOuterTo(g, m.Row(i), 1)
-	}
+	gramInto(g, m)
 	return g
 }
 
 // GramT returns AAᵀ (rows×rows) for A = m.
 func (m *Dense) GramT() *Dense {
 	g := NewDense(m.rows, m.rows)
-	for i := 0; i < m.rows; i++ {
-		ri := m.Row(i)
-		for j := i; j < m.rows; j++ {
-			v := Dot(ri, m.Row(j))
-			g.data[i*m.rows+j] = v
-			g.data[j*m.rows+i] = v
-		}
-	}
+	gramTInto(g, m)
 	return g
 }
 
 // AddOuterTo adds s·(rowᵀ·row) to the square matrix g in place.
 // g must be len(row)×len(row). Used for incremental Gram maintenance.
+// The inner update is unrolled four deep to keep the g-row traffic
+// pipelined.
 func AddOuterTo(g *Dense, row []float64, s float64) {
 	n := len(row)
 	if g.rows != n || g.cols != n {
@@ -222,8 +206,16 @@ func AddOuterTo(g *Dense, row []float64, s float64) {
 		}
 		f := s * vi
 		gi := g.data[i*n : (i+1)*n]
-		for j, vj := range row {
-			gi[j] += f * vj
+		gi = gi[:n]
+		j := 0
+		for ; j+3 < n; j += 4 {
+			gi[j] += f * row[j]
+			gi[j+1] += f * row[j+1]
+			gi[j+2] += f * row[j+2]
+			gi[j+3] += f * row[j+3]
+		}
+		for ; j < n; j++ {
+			gi[j] += f * row[j]
 		}
 	}
 }
@@ -240,14 +232,25 @@ func (m *Dense) MulVec(x []float64) []float64 {
 	return out
 }
 
-// Dot returns the inner product of equal-length vectors a and b.
+// Dot returns the inner product of equal-length vectors a and b. The
+// loop runs four independent accumulators so the multiply-adds
+// pipeline instead of serialising on one dependency chain.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mat: dot of lengths %d and %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	var s0, s1, s2, s3 float64
+	b = b[:len(a)]
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -255,11 +258,20 @@ func Dot(a, b []float64) float64 {
 // Norm2 returns the Euclidean norm of vector x.
 func Norm2(x []float64) float64 { return math.Sqrt(SqNorm(x)) }
 
-// SqNorm returns the squared Euclidean norm of vector x.
+// SqNorm returns the squared Euclidean norm of vector x, with the
+// same four-accumulator unrolling as Dot.
 func SqNorm(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 += x[i] * x[i]
+		s1 += x[i+1] * x[i+1]
+		s2 += x[i+2] * x[i+2]
+		s3 += x[i+3] * x[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * x[i]
 	}
 	return s
 }

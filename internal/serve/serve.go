@@ -103,6 +103,44 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	prev := s.lastT
 	seen := s.seen
+	allDense := true
+	for _, u := range req.Updates {
+		if len(u.Idx) > 0 || len(u.Val) > 0 {
+			allDense = false
+			break
+		}
+	}
+	if allDense {
+		// Fast path: an all-dense batch goes through the sketch's bulk
+		// ingest in one call, amortising per-row bookkeeping.
+		rows := make([][]float64, 0, len(req.Updates))
+		times := make([]float64, 0, len(req.Updates))
+		for i, u := range req.Updates {
+			if seen && u.T < prev {
+				httpError(w, http.StatusBadRequest, "update %d: timestamp %v precedes %v", i, u.T, prev)
+				return
+			}
+			if len(u.Row) != s.d {
+				httpError(w, http.StatusBadRequest, "update %d: row length %d, want %d", i, len(u.Row), s.d)
+				return
+			}
+			if err := checkFiniteVals(u.Row); err != nil {
+				httpError(w, http.StatusBadRequest, "update %d: %v", i, err)
+				return
+			}
+			rows = append(rows, u.Row)
+			times = append(times, u.T)
+			prev, seen = u.T, true
+		}
+		if err := applyBatch(s.sk, rows, times); err != nil {
+			httpError(w, http.StatusConflict, "ingest rejected by sketch: %v", err)
+			return
+		}
+		s.updates += uint64(len(req.Updates))
+		s.lastT, s.seen = prev, true
+		writeJSON(w, ingestResponse{Accepted: len(req.Updates), LastT: prev})
+		return
+	}
 	rows := make([]func(), 0, len(req.Updates))
 	for i, u := range req.Updates {
 		if seen && u.T < prev {
@@ -308,18 +346,22 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// checkFiniteVals rejects NaN and overflow-ish values before they
+// reach a sketch.
+func checkFiniteVals(vals []float64) error {
+	for j, v := range vals {
+		if v != v || v > 1e308 || v < -1e308 { // NaN or overflow-ish
+			return fmt.Errorf("non-finite value at %d", j)
+		}
+	}
+	return nil
+}
+
 // prepareUpdate validates one ingest update and returns a closure that
 // applies it; validation and application are split so a bad batch is
 // rejected atomically.
 func (s *Server) prepareUpdate(u ingestUpdate) (func(), error) {
-	checkVals := func(vals []float64) error {
-		for j, v := range vals {
-			if v != v || v > 1e308 || v < -1e308 { // NaN or overflow-ish
-				return fmt.Errorf("non-finite value at %d", j)
-			}
-		}
-		return nil
-	}
+	checkVals := checkFiniteVals
 	if len(u.Idx) > 0 || len(u.Val) > 0 {
 		if len(u.Row) > 0 {
 			return nil, fmt.Errorf("row and idx/val are mutually exclusive")
@@ -351,6 +393,18 @@ func (s *Server) prepareUpdate(u ingestUpdate) (func(), error) {
 		return nil, err
 	}
 	return func() { s.sk.Update(u.Row, u.T) }, nil
+}
+
+// applyBatch feeds an all-dense batch through the sketch's bulk path,
+// converting sketch panics into errors like applyAll.
+func applyBatch(sk core.WindowSketch, rows [][]float64, times []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	sk.UpdateBatch(rows, times)
+	return nil
 }
 
 // applyAll runs the prepared updates, converting sketch panics

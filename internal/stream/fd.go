@@ -25,10 +25,10 @@ type FD struct {
 	buf  *mat.Dense // ell×d working buffer
 	used int        // rows of buf currently occupied
 
-	// scratch for shrink, reused across calls to keep the steady-state
-	// update path allocation-free in the large ℓ×d buffers.
+	// spare is the shrink's rebuild target, reused across calls to
+	// keep the steady-state update path allocation-free in the large
+	// ℓ×d buffers.
 	spare *mat.Dense // ell×d
-	tmp   []float64  // d
 }
 
 // NewFD returns a FrequentDirections sketch with at most ell rows over
@@ -55,6 +55,35 @@ func (f *FD) Update(row []float64) {
 	f.used++
 }
 
+// UpdateBatch inserts rows in order, filling whole runs of free buffer
+// slots between shrinks instead of re-entering Update per row. The
+// result is identical to row-at-a-time insertion (a shrink happens
+// exactly when the buffer is full and another row remains), but the
+// per-row interface and bounds overhead is paid once per run.
+func (f *FD) UpdateBatch(rows [][]float64) {
+	for i, r := range rows {
+		if len(r) != f.d {
+			panic(fmt.Sprintf("stream: FD batch row %d length %d, want %d", i, len(r), f.d))
+		}
+	}
+	i := 0
+	for i < len(rows) {
+		if f.used == f.ell {
+			f.shrink()
+		}
+		n := f.ell - f.used
+		if rest := len(rows) - i; n > rest {
+			n = rest
+		}
+		dst := f.buf.Data()[f.used*f.d:]
+		for j := 0; j < n; j++ {
+			copy(dst[j*f.d:(j+1)*f.d], rows[i+j])
+		}
+		f.used += n
+		i += n
+	}
+}
+
 // shrink halves the occupied rows: compute the SVD of the buffer via
 // the ℓ×ℓ Gram matrix, subtract λ = σ²_{⌈ℓ/2⌉} from every squared
 // singular value, and keep the surviving directions.
@@ -75,41 +104,43 @@ func (f *FD) shrink() {
 		lambda = math.Max(vals[len(vals)-1], 0)
 	}
 
-	// newRow_k = sqrt((σ²_k − λ)/σ²_k) · (u_kᵀ · sub); rows with
-	// σ²_k ≤ λ vanish.
+	// Count the surviving directions: the prefix of eigenvalues with
+	// σ²_k > λ (vals is descending).
+	kept := 0
+	for kept < n && vals[kept] > lambda && vals[kept] > 0 {
+		kept++
+	}
+
 	if f.spare == nil {
 		f.spare = mat.NewDense(f.ell, f.d)
-		f.tmp = make([]float64, f.d)
 	}
-	out, tmp := f.spare, f.tmp
-	for i := range out.Data() {
-		out.Data()[i] = 0
-	}
-	kept := 0
-	for k := 0; k < n; k++ {
-		s2 := vals[k]
-		if s2 <= lambda || s2 <= 0 {
-			break
-		}
-		scale := math.Sqrt((s2 - lambda) / s2)
-		for j := range tmp {
-			tmp[j] = 0
-		}
-		for i := 0; i < n; i++ {
-			uik := u.At(i, k)
-			if uik == 0 {
-				continue
-			}
-			ri := sub.Row(i)
-			for j, v := range ri {
-				tmp[j] += uik * v
+	out := f.spare
+	if kept > 0 {
+		// Surviving rows in one shot: rows = Uᵀ·sub, computed by the
+		// blocked kernel into a kept×d view of the spare buffer, then
+		// rescaled per row by sqrt((σ²_k − λ)/σ²_k). This replaces the
+		// old per-direction scalar rebuild and rides the parallel
+		// compute layer for large ℓ×d sketches.
+		ut := mat.NewDense(kept, n)
+		for k := 0; k < kept; k++ {
+			utk := ut.Row(k)
+			for i := 0; i < n; i++ {
+				utk[i] = u.At(i, k)
 			}
 		}
-		dst := out.Row(kept)
-		for j, v := range tmp {
-			dst[j] = scale * v
+		dst := mat.NewDenseData(kept, f.d, out.Data()[:kept*f.d])
+		mat.MulTo(dst, ut, sub)
+		for k := 0; k < kept; k++ {
+			s2 := vals[k]
+			scale := math.Sqrt((s2 - lambda) / s2)
+			rk := dst.Row(k)
+			for j := range rk {
+				rk[j] *= scale
+			}
 		}
-		kept++
+	}
+	for i := range out.Data()[kept*f.d:] {
+		out.Data()[kept*f.d+i] = 0
 	}
 	f.buf, f.spare = out, f.buf
 	f.used = kept
@@ -143,9 +174,11 @@ func (f *FD) Merge(other Mergeable) {
 	if o.d != f.d {
 		panic(fmt.Sprintf("stream: FD.Merge dimension %d vs %d", o.d, f.d))
 	}
-	for i := 0; i < o.used; i++ {
-		f.Update(o.buf.Row(i))
+	rows := make([][]float64, o.used)
+	for i := range rows {
+		rows[i] = o.buf.Row(i)
 	}
+	f.UpdateBatch(rows)
 }
 
 // CloneEmpty returns a fresh FD with the same ℓ and d.

@@ -70,6 +70,30 @@ func (s *Hash) Update(row []float64) {
 	}
 }
 
+// UpdateBatch hashes rows in order, validating lengths once up front;
+// row identifiers advance exactly as under repeated Update calls.
+func (s *Hash) UpdateBatch(rows [][]float64) {
+	for i, r := range rows {
+		if len(r) != s.d {
+			panic(fmt.Sprintf("stream: Hash batch row %d length %d, want %d", i, len(r), s.d))
+		}
+	}
+	for _, r := range rows {
+		id := s.fam.next
+		s.fam.next++
+		hv := splitmix64(id ^ s.fam.seed)
+		bucket := int(hv % uint64(s.ell))
+		sign := 1.0
+		if splitmix64(hv)&1 == 0 {
+			sign = -1
+		}
+		dst := s.b.Row(bucket)
+		for j, v := range r {
+			dst[j] += sign * v
+		}
+	}
+}
+
 // Matrix returns a copy of the ℓ×d bucket matrix.
 func (s *Hash) Matrix() *mat.Dense { return s.b.Clone() }
 

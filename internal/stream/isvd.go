@@ -42,6 +42,32 @@ func (s *ISVD) Update(row []float64) {
 	s.used++
 }
 
+// UpdateBatch inserts rows in order, filling whole runs of free buffer
+// slots between truncations, exactly as repeated Update calls would.
+func (s *ISVD) UpdateBatch(rows [][]float64) {
+	for i, r := range rows {
+		if len(r) != s.d {
+			panic(fmt.Sprintf("stream: ISVD batch row %d length %d, want %d", i, len(r), s.d))
+		}
+	}
+	i := 0
+	for i < len(rows) {
+		if s.used == 2*s.ell {
+			s.truncate()
+		}
+		n := 2*s.ell - s.used
+		if rest := len(rows) - i; n > rest {
+			n = rest
+		}
+		dst := s.buf.Data()[s.used*s.d:]
+		for j := 0; j < n; j++ {
+			copy(dst[j*s.d:(j+1)*s.d], rows[i+j])
+		}
+		s.used += n
+		i += n
+	}
+}
+
 // UpdateSparse inserts one sparse row.
 func (s *ISVD) UpdateSparse(row mat.SparseRow) {
 	if m := row.MaxIdx(); m >= s.d {

@@ -56,6 +56,14 @@ func (p *RP) Update(row []float64) {
 	}
 }
 
+// UpdateBatch folds rows in order. The sign stream is consumed in the
+// same order as repeated Update calls, so the result is identical.
+func (p *RP) UpdateBatch(rows [][]float64) {
+	for _, r := range rows {
+		p.Update(r)
+	}
+}
+
 // Matrix returns a copy of the ℓ×d projection.
 func (p *RP) Matrix() *mat.Dense { return p.b.Clone() }
 

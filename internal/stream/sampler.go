@@ -93,6 +93,20 @@ func (s *PrioritySampler) Update(row []float64) {
 	}
 }
 
+// UpdateBatch observes rows in order, validating lengths once up
+// front; priorities are drawn in the same order as repeated Update
+// calls, so the retained sample is identical.
+func (s *PrioritySampler) UpdateBatch(rows [][]float64) {
+	for i, r := range rows {
+		if len(r) != s.d {
+			panic(fmt.Sprintf("stream: sampler batch row %d length %d, want %d", i, len(r), s.d))
+		}
+	}
+	for _, r := range rows {
+		s.Update(r)
+	}
+}
+
 // Matrix returns the rescaled sample as the approximation B.
 func (s *PrioritySampler) Matrix() *mat.Dense {
 	return rescaleWOR(sampleRows(s.heap), s.froSq)

@@ -16,6 +16,12 @@ type Sketch interface {
 	// Update feeds one row (length d) into the sketch. Implementations
 	// must not retain the slice.
 	Update(row []float64)
+	// UpdateBatch feeds rows in order, equivalent to calling Update on
+	// each (including any internal randomness: the rng consumption
+	// order is preserved) but letting the sketch amortise per-row
+	// bookkeeping across the batch. Implementations must not retain
+	// the slices.
+	UpdateBatch(rows [][]float64)
 	// Matrix materialises the current approximation B. The returned
 	// matrix is owned by the caller.
 	Matrix() *mat.Dense

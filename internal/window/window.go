@@ -117,6 +117,35 @@ func (e *Exact) Update(row []float64, t float64) {
 	e.expire(t)
 }
 
+// UpdateBatch inserts rows arriving at the corresponding timestamps,
+// in order, running the expiry scan once at the end of the batch
+// instead of once per row. The final state is identical to repeated
+// Update calls (expiry is a monotone FIFO trim), but a batch costs one
+// pass over the expired prefix rather than len(rows).
+func (e *Exact) UpdateBatch(rows [][]float64, times []float64) {
+	if len(rows) != len(times) {
+		panic(fmt.Sprintf("window: batch of %d rows but %d timestamps", len(rows), len(times)))
+	}
+	for i, row := range rows {
+		if len(row) != e.d {
+			panic(fmt.Sprintf("window: batch row %d length %d, want %d", i, len(row), e.d))
+		}
+		t := times[i]
+		if e.seen && t < e.lastT {
+			panic(fmt.Sprintf("window: timestamp %v precedes %v", t, e.lastT))
+		}
+		e.lastT, e.seen = t, true
+		r := make([]float64, e.d)
+		copy(r, row)
+		e.rows = append(e.rows, timedRow{t: t, row: r})
+		mat.AddOuterTo(e.gram, r, 1)
+		e.froSq += mat.SqNorm(r)
+	}
+	if len(rows) > 0 {
+		e.expire(e.lastT)
+	}
+}
+
 // Advance expires rows without inserting (time moved forward with no
 // arrival). Only meaningful for time-based windows.
 func (e *Exact) Advance(t float64) {
@@ -185,6 +214,11 @@ func (e *Exact) CovaErr(b *mat.Dense) float64 {
 type NormTracker interface {
 	// Add records a row's squared norm at timestamp t.
 	Add(t, sqNorm float64)
+	// AddBatch records a run of squared norms at non-decreasing
+	// timestamps, letting the tracker amortise per-item maintenance
+	// (the EH tracker canonicalizes once per batch). The estimate
+	// guarantee matches repeated Add calls.
+	AddBatch(ts, sqNorms []float64)
 	// FroSq estimates ‖A‖²_F for the window ending at time t.
 	FroSq(t float64) float64
 	// Size reports the tracker's space usage in stored scalars.
@@ -206,6 +240,17 @@ func NewExactNorms(spec Spec) *ExactNorms { return &ExactNorms{spec: spec} }
 func (x *ExactNorms) Add(t, sqNorm float64) {
 	x.items = append(x.items, struct{ t, w float64 }{t, sqNorm})
 	x.sum += sqNorm
+}
+
+// AddBatch records a run of squared norms.
+func (x *ExactNorms) AddBatch(ts, sqNorms []float64) {
+	if len(ts) != len(sqNorms) {
+		panic(fmt.Sprintf("window: norm batch of %d timestamps but %d norms", len(ts), len(sqNorms)))
+	}
+	for i, w := range sqNorms {
+		x.items = append(x.items, struct{ t, w float64 }{ts[i], w})
+		x.sum += w
+	}
 }
 
 // FroSq returns the exact windowed mass.
@@ -242,6 +287,10 @@ func NewEHNorms(spec Spec, eps float64) *EHNorms {
 
 // Add records a squared norm.
 func (x *EHNorms) Add(t, sqNorm float64) { x.h.Add(t, sqNorm) }
+
+// AddBatch records a run of squared norms with one histogram
+// canonicalization for the whole run.
+func (x *EHNorms) AddBatch(ts, sqNorms []float64) { x.h.AddBatch(ts, sqNorms) }
 
 // FroSq estimates the windowed mass.
 func (x *EHNorms) FroSq(t float64) float64 { return x.h.Estimate(x.spec.Cutoff(t)) }
