@@ -26,6 +26,8 @@
 //	winsweep sketch space vs window size (the sublinearity headline)
 //	kernels  compute-layer micro-benchmarks vs naive baselines;
 //	         writes BENCH_kernels.json (see -kernels-out)
+//	obs      overhead of the obs.Instrumented metrics decorator,
+//	         bare vs wrapped, per-row and batched ingest
 //	verify   run the qualitative shape checks; non-zero exit on DIFF
 //	all      everything above plus the qualitative shape checks
 //
@@ -54,7 +56,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|obs|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -106,6 +108,8 @@ func main() {
 		runProjErr(out, sc)
 	case "winsweep":
 		runWinSweep(out, sc)
+	case "obs":
+		runObs(out, sc)
 	case "kernels":
 		if err := runKernels(out, *kOut); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: kernels: %v\n", err)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"swsketch/internal/core"
+	"swsketch/internal/obs"
+	"swsketch/internal/window"
+)
+
+// runObs measures the overhead of the obs.Instrumented decorator: each
+// algorithm ingests the same synthetic stream bare and wrapped, over
+// both the per-row Update path (worst case — one timing pair per row)
+// and the UpdateBatch path (one timing pair per batch, the serve and
+// swstream default). Reported overheads justify — or veto — leaving
+// -metrics on in production.
+func runObs(out *os.File, sc scaleCfg) {
+	n := sc.seqN
+	if n > 50000 {
+		n = 50000
+	}
+	d := 32
+	win := sc.win
+	const batchSize = 256
+
+	rng := rand.New(rand.NewSource(sc.seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		r := make([]float64, d)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+		rows[i] = r
+	}
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = float64(i)
+	}
+
+	algos := []struct {
+		name string
+		mk   func() core.WindowSketch
+	}{
+		{"SWR", func() core.WindowSketch { return core.NewSWR(window.Seq(win), 16, d, sc.seed) }},
+		{"SWOR", func() core.WindowSketch { return core.NewSWOR(window.Seq(win), 16, d, sc.seed) }},
+		{"LM-FD", func() core.WindowSketch { return core.NewLMFD(window.Seq(win), d, 16, 8) }},
+		{"DI-FD", func() core.WindowSketch {
+			return core.NewDIFD(core.DIConfig{N: win, R: rowNormBound(rows), L: 6, Ell: 16, RSlack: 1.01}, d)
+		}},
+	}
+
+	fmt.Fprintf(out, "obs overhead (n=%d rows, d=%d, window=%d, batch=%d, median of %d paired trials)\n",
+		n, d, win, batchSize, obsTrials)
+	fmt.Fprintf(out, "%-8s %-6s %12s %12s %10s\n", "algo", "path", "bare ns/row", "inst ns/row", "overhead")
+	for _, a := range algos {
+		for _, path := range []string{"row", "batch"} {
+			// Bare and instrumented runs alternate back to back, so each
+			// trial's ratio is a paired measurement sharing frequency and
+			// cache state; the median ratio discards outlier trials that
+			// a min-of-each estimator cannot.
+			bares := make([]float64, obsTrials)
+			ratios := make([]float64, obsTrials)
+			for trial := range ratios {
+				b := ingestNs(a.mk(), rows, times, path, batchSize)
+				w := ingestNs(obs.NewInstrumented(a.mk(), obs.NewRegistry()), rows, times, path, batchSize)
+				bares[trial] = b
+				ratios[trial] = w / b
+			}
+			sort.Float64s(bares)
+			sort.Float64s(ratios)
+			bare := bares[obsTrials/2]
+			ratio := ratios[obsTrials/2]
+			fmt.Fprintf(out, "%-8s %-6s %12.1f %12.1f %9.2f%%\n",
+				a.name, path, bare, bare*ratio, 100*(ratio-1))
+		}
+	}
+}
+
+// obsTrials is the per-configuration repeat count; odd, so the median
+// is a single trial's paired ratio.
+const obsTrials = 5
+
+// rowNormBound returns the max squared row norm (the DI declared R).
+func rowNormBound(rows [][]float64) float64 {
+	var max float64
+	for _, r := range rows {
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max * 1.001
+}
+
+// ingestNs streams rows through sk and returns mean ns per row.
+func ingestNs(sk core.WindowSketch, rows [][]float64, times []float64, path string, batchSize int) float64 {
+	runtime.GC() // keep collector pauses out of the timed region
+	start := time.Now()
+	if path == "row" {
+		for i, r := range rows {
+			sk.Update(r, times[i])
+		}
+	} else {
+		for i := 0; i < len(rows); i += batchSize {
+			j := i + batchSize
+			if j > len(rows) {
+				j = len(rows)
+			}
+			sk.UpdateBatch(rows[i:j], times[i:j])
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(rows))
+}

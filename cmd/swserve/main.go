@@ -1,14 +1,20 @@
 // Command swserve exposes a sliding-window matrix sketch over HTTP.
 //
-//	swserve -algo lm-fd -d 64 -window 10000 -addr :8080
+//	swserve -algo lm-fd -d 64 -window 10000 -addr :8080 -metrics
 //
 // Endpoints (JSON):
 //
 //	POST /v1/ingest         {"updates":[{"row":[...],"t":1.5},...]}
 //	GET  /v1/approximation  [?t=...]      window approximation B
 //	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
-//	GET  /v1/stats                        sketch metadata
+//	GET  /v1/stats                        sketch metadata + internals
+//	GET  /v1/snapshot       binary snapshot (POST restores one)
 //	GET  /healthz
+//	GET  /metrics           Prometheus exposition (with -metrics)
+//	     /debug/pprof/...   runtime profiles (with -pprof)
+//
+// Errors use the envelope {"error":{"code":"...","message":"..."}};
+// see the serve package documentation for the code list.
 //
 // The process shuts down cleanly on SIGINT/SIGTERM.
 package main
@@ -26,20 +32,26 @@ import (
 	"time"
 
 	"swsketch/internal/core"
+	"swsketch/internal/obs"
 	"swsketch/internal/serve"
 	"swsketch/internal/window"
 )
 
 func main() {
 	var (
-		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash")
+		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd")
 		d       = flag.Int("d", 0, "row dimension (required)")
 		winSize = flag.Float64("window", 10000, "window size (rows, or span with -time)")
 		useTime = flag.Bool("time", false, "time-based window")
 		ell     = flag.Int("ell", 32, "sketch size parameter ℓ")
 		b       = flag.Int("b", 8, "LM blocks per level")
+		levels  = flag.Int("L", 6, "DI levels (di-fd)")
+		rBound  = flag.Float64("R", 0, "DI max squared row norm (required for di-fd)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		addr    = flag.String("addr", ":8080", "listen address")
+		metrics = flag.Bool("metrics", false, "serve Prometheus metrics on /metrics")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		maxBody = flag.Int64("maxbody", 0, "max request body bytes (0 = unlimited)")
 	)
 	flag.Parse()
 	if *d < 1 {
@@ -66,14 +78,37 @@ func main() {
 		sk = core.NewLMFD(spec, *d, *ell, *b)
 	case "lm-hash":
 		sk = core.NewLMHash(spec, *d, *ell, *b, uint64(*seed))
+	case "di-fd":
+		if *useTime {
+			fmt.Fprintln(os.Stderr, "swserve: di-fd supports sequence windows only")
+			os.Exit(2)
+		}
+		if *rBound <= 0 {
+			fmt.Fprintln(os.Stderr, "swserve: di-fd requires -R (the max squared row norm)")
+			os.Exit(2)
+		}
+		sk = core.NewDIFD(core.DIConfig{
+			N: int(*winSize), R: *rBound, L: *levels, Ell: *ell, RSlack: 1.01,
+		}, *d)
 	default:
 		fmt.Fprintf(os.Stderr, "swserve: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
 
+	var opts []serve.Option
+	if *metrics {
+		opts = append(opts, serve.WithMetrics(obs.NewRegistry()))
+	}
+	if *pprofOn {
+		opts = append(opts, serve.WithPprof())
+	}
+	if *maxBody > 0 {
+		opts = append(opts, serve.WithMaxBody(*maxBody))
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewServer(sk, *d).Handler(),
+		Handler:           serve.NewServer(sk, *d, opts...).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -89,7 +124,14 @@ func main() {
 		close(done)
 	}()
 
-	log.Printf("swserve: %s over %v window, d=%d, listening on %s", sk.Name(), spec, *d, *addr)
+	extras := ""
+	if *metrics {
+		extras += " metrics"
+	}
+	if *pprofOn {
+		extras += " pprof"
+	}
+	log.Printf("swserve: %s over %v window, d=%d, listening on %s%s", sk.Name(), spec, *d, *addr, extras)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("swserve: %v", err)
 	}

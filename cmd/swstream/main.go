@@ -11,7 +11,11 @@
 //
 // Usage:
 //
-//	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] < stream.csv
+//	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] [-stats] < stream.csv
+//
+// With -stats the run ends with an instrumentation summary: rows and
+// batches ingested, update/query latency totals, and the sketch's
+// internal statistics (core.Introspector).
 package main
 
 import (
@@ -24,8 +28,11 @@ import (
 	"strconv"
 	"strings"
 
+	"sort"
+
 	"swsketch/internal/core"
 	"swsketch/internal/mat"
+	"swsketch/internal/obs"
 	"swsketch/internal/window"
 )
 
@@ -42,13 +49,14 @@ func main() {
 		rBound  = flag.Float64("R", 0, "DI norm bound R (required for di-fd)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		topK    = flag.Int("top", 5, "singular values to print")
+		stats   = flag.Bool("stats", false, "print an instrumentation summary at end of stream")
 	)
 	flag.Parse()
 
 	if err := run(os.Stdin, os.Stdout, options{
 		algo: *algo, winSize: *winSize, useTime: *useTime, every: *every,
 		batch: *batch, ell: *ell, b: *b, levels: *levels, rBound: *rBound,
-		seed: *seed, topK: *topK,
+		seed: *seed, topK: *topK, stats: *stats,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "swstream: %v\n", err)
 		os.Exit(1)
@@ -65,6 +73,7 @@ type options struct {
 	rBound         float64
 	seed           int64
 	topK           int
+	stats          bool
 }
 
 func run(in io.Reader, out io.Writer, opt options) error {
@@ -92,6 +101,11 @@ func run(in io.Reader, out io.Writer, opt options) error {
 
 	w := bufio.NewWriter(out)
 	defer w.Flush()
+
+	var reg *obs.Registry
+	if opt.stats {
+		reg = obs.NewRegistry()
+	}
 
 	// Rows accumulate here and flow into the sketch through its bulk
 	// ingest path, opt.batch at a time; a pending batch is flushed
@@ -130,6 +144,9 @@ func run(in io.Reader, out io.Writer, opt options) error {
 			sk, err = buildSketch(opt, spec, d)
 			if err != nil {
 				return err
+			}
+			if opt.stats {
+				sk = obs.NewInstrumented(sk, reg)
 			}
 			row = make([]float64, d)
 			fmt.Fprintf(w, "# algo=%s window=%v d=%d\n", sk.Name(), spec, d)
@@ -170,7 +187,44 @@ func run(in io.Reader, out io.Writer, opt options) error {
 		return fmt.Errorf("empty input")
 	}
 	flush()
+	if opt.stats {
+		printInstrumentation(w, reg, sk)
+	}
 	return nil
+}
+
+// printInstrumentation reports what the obs decorator recorded over
+// the run: row/batch counts, latency totals, and — when the sketch is
+// a core.Introspector — its internal stats, sorted by key.
+func printInstrumentation(w io.Writer, reg *obs.Registry, sk core.WindowSketch) {
+	algo := obs.Labels{"algo": sk.Name()}
+	rows := reg.Counter("swsketch_ingest_rows_total", "", algo).Value()
+	batches := reg.Counter("swsketch_ingest_batches_total", "", algo).Value()
+	upd := reg.Histogram("swsketch_update_seconds", "", algo, nil)
+	qry := reg.Histogram("swsketch_query_seconds", "", algo, nil)
+
+	fmt.Fprintf(w, "\n# instrumentation (%s)\n", sk.Name())
+	fmt.Fprintf(w, "#   rows ingested      %d (in %d batched calls)\n", rows, batches)
+	if c := upd.Count(); c > 0 {
+		fmt.Fprintf(w, "#   update calls       %d, total %.3fms, mean %.1fµs\n",
+			c, upd.Sum()*1e3, upd.Sum()/float64(c)*1e6)
+	}
+	if c := qry.Count(); c > 0 {
+		fmt.Fprintf(w, "#   query calls        %d, total %.3fms, mean %.1fµs\n",
+			c, qry.Sum()*1e3, qry.Sum()/float64(c)*1e6)
+	}
+	fmt.Fprintf(w, "#   rows stored        %d\n", sk.RowsStored())
+	if in, ok := sk.(core.Introspector); ok {
+		m := in.Stats()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "#   internal %-18s %g\n", k, m[k])
+		}
+	}
 }
 
 func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error) {

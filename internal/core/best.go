@@ -50,4 +50,16 @@ func (b *Best) WindowLen() int { return b.win.Len() }
 // Name implements WindowSketch.
 func (b *Best) Name() string { return "BEST" }
 
-var _ WindowSketch = (*Best)(nil)
+// Stats implements Introspector: the baseline's linear storage, made
+// visible so nobody mistakes it for a sketch in a dashboard.
+func (b *Best) Stats() map[string]float64 {
+	return map[string]float64{
+		"k":           float64(b.k),
+		"window_rows": float64(b.win.Len()),
+	}
+}
+
+var (
+	_ WindowSketch = (*Best)(nil)
+	_ Introspector = (*Best)(nil)
+)

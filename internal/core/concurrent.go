@@ -53,7 +53,21 @@ func (c *Concurrent) RowsStored() int {
 // Name implements WindowSketch.
 func (c *Concurrent) Name() string { return c.sk.Name() }
 
-var _ WindowSketch = (*Concurrent)(nil)
+// Stats implements Introspector by delegation under the lock; wrapping
+// a sketch without internals yields an empty map.
+func (c *Concurrent) Stats() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if in, ok := c.sk.(Introspector); ok {
+		return in.Stats()
+	}
+	return map[string]float64{}
+}
+
+var (
+	_ WindowSketch = (*Concurrent)(nil)
+	_ Introspector = (*Concurrent)(nil)
+)
 
 // UpdateSparse forwards a sparse update under the lock. When the
 // wrapped sketch lacks a sparse path the row is densified, which needs

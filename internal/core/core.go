@@ -80,6 +80,29 @@ func validateBatch(algo string, rows [][]float64, times []float64, d int) {
 	}
 }
 
+// Introspector is implemented by sketches that expose their internal
+// state as a flat name → value map for operational monitoring: queue
+// depths, level occupancy, shrink counts, tracker sizes. Keys are
+// stable lower_snake_case identifiers; values are gauges sampled at
+// call time. Stats must return a fresh map (callers may mutate it) and
+// must not modify sketch state beyond what a read does. All of the
+// paper's sketches (SWR, SWOR, LM, DI) implement it, as do the
+// Concurrent wrapper and obs.Instrumented by delegation.
+type Introspector interface {
+	Stats() map[string]float64
+}
+
+// trackerStats merges a norm tracker's own Stats() (when it has one,
+// e.g. the EH-backed tracker) into dst under "norm_tracker_<key>".
+func trackerStats(dst map[string]float64, nt interface{ Size() int }) {
+	dst["norm_tracker_items"] = float64(nt.Size())
+	if in, ok := nt.(Introspector); ok {
+		for k, v := range in.Stats() {
+			dst["norm_tracker_"+k] = v
+		}
+	}
+}
+
 // SparseUpdater is implemented by window sketches with a sparse ingest
 // path; UpdateSparse(row, t) is equivalent to Update(row.Dense(d), t).
 // LM and DI exploit sparsity end-to-end; the samplers densify on

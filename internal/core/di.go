@@ -112,6 +112,13 @@ type DI struct {
 	rawTimes    []float64
 	rawOverflow bool
 	rawCap      int
+
+	// normMin/normMax track the smallest and largest nonzero squared
+	// row norms seen, giving the observed norm ratio R̂ that Stats
+	// reports next to the declared bound (Section 7's space profile
+	// depends on R; operators want to see how tight the declaration
+	// is).
+	normMin, normMax float64
 }
 
 // NewDI builds a Dyadic Interval sketch from a per-level streaming
@@ -221,6 +228,12 @@ func (s *DI) ingest(r mat.SparseRow, t float64) {
 	}
 	if w > s.cfg.R*s.cfg.RSlack {
 		panic(fmt.Sprintf("core: DI row squared norm %v exceeds declared R=%v", w, s.cfg.R))
+	}
+	if s.normMin == 0 || w < s.normMin {
+		s.normMin = w
+	}
+	if w > s.normMax {
+		s.normMax = w
 	}
 	s.expire(t - float64(s.cfg.N))
 	if len(s.raw) == 0 {
@@ -421,7 +434,63 @@ func (s *DI) CompletedBlocks() int { return s.m }
 // Name implements WindowSketch.
 func (s *DI) Name() string { return s.name }
 
-var _ WindowSketch = (*DI)(nil)
+// Stats implements Introspector: dyadic-tree occupancy (completed
+// blocks per level, closed level-1 blocks), open-block fill, the
+// declared norm bound R next to the observed norm-ratio estimate
+// R̂ = max‖a‖²/min‖a‖², and — when the per-level sketches expose a
+// shrink count (FD does) — the total shrinks across live sketches.
+func (s *DI) Stats() map[string]float64 {
+	m := map[string]float64{
+		"levels":           float64(s.cfg.L),
+		"l1_blocks_closed": float64(s.m),
+		"open_rows":        float64(len(s.raw)),
+		"open_mass":        s.curSize,
+		"raw_overflow":     b2f(s.rawOverflow),
+		"declared_r":       s.cfg.R,
+	}
+	if s.normMin > 0 {
+		m["norm_sq_min"] = s.normMin
+		m["norm_sq_max"] = s.normMax
+		m["norm_ratio"] = s.normMax / s.normMin
+	}
+	blocks, shrinks := 0, uint64(0)
+	haveShrinks := false
+	addShrinks := func(sk stream.Sketch) {
+		if sc, ok := sk.(interface{ Shrinks() uint64 }); ok {
+			shrinks += sc.Shrinks()
+			haveShrinks = true
+		}
+	}
+	for i := range s.levels {
+		m[fmt.Sprintf("level%d_blocks", i+1)] = float64(len(s.levels[i]))
+		blocks += len(s.levels[i])
+		for j := range s.levels[i] {
+			addShrinks(s.levels[i][j].sk)
+		}
+	}
+	m["completed_blocks"] = float64(blocks)
+	for i := range s.actives {
+		if s.activeRows[i] > 0 {
+			addShrinks(s.actives[i])
+		}
+	}
+	if haveShrinks {
+		m["fd_shrinks"] = float64(shrinks)
+	}
+	return m
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ WindowSketch = (*DI)(nil)
+	_ Introspector = (*DI)(nil)
+)
 
 // NewDIISVD builds DI over the truncated incremental-SVD heuristic —
 // a demonstration that the framework hosts *arbitrary* streaming

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"swsketch/internal/window"
+)
+
+// feedSeq drives n unit-ish rows through sk on a sequence clock.
+func feedSeq(sk WindowSketch, n, d int) {
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = float64((i+j)%7) + 1
+		}
+		sk.Update(row, float64(i))
+	}
+}
+
+func requireKeys(t *testing.T, m map[string]float64, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("stats missing %q: %v", k, m)
+		}
+	}
+}
+
+func TestSWRStats(t *testing.T) {
+	s := NewSWR(window.Seq(64), 4, 3, 1)
+	feedSeq(s, 200, 3)
+	m := s.Stats()
+	requireKeys(t, m, "queues", "candidates", "candidates_min", "candidates_max", "norm_tracker_items")
+	if m["queues"] != 4 {
+		t.Fatalf("queues = %v", m["queues"])
+	}
+	if m["candidates"] != float64(s.RowsStored()) {
+		t.Fatalf("candidates %v != RowsStored %d", m["candidates"], s.RowsStored())
+	}
+	if m["candidates_min"] > m["candidates_max"] {
+		t.Fatalf("min %v > max %v", m["candidates_min"], m["candidates_max"])
+	}
+}
+
+func TestSWRStatsWithEHTracker(t *testing.T) {
+	s := NewSWR(window.Seq(64), 2, 3, 1)
+	s.SetNormTracker(window.NewEHNorms(window.Seq(64), 0.1))
+	feedSeq(s, 100, 3)
+	m := s.Stats()
+	// The EH tracker's internals must surface under the prefix.
+	requireKeys(t, m, "norm_tracker_items", "norm_tracker_buckets", "norm_tracker_classes", "norm_tracker_total")
+	if m["norm_tracker_buckets"] < 1 {
+		t.Fatalf("eh buckets = %v", m["norm_tracker_buckets"])
+	}
+}
+
+func TestSWORStats(t *testing.T) {
+	s := NewSWOR(window.Seq(64), 4, 3, 1)
+	feedSeq(s, 200, 3)
+	m := s.Stats()
+	requireKeys(t, m, "ell", "candidates", "rank_max", "norm_tracker_items")
+	if m["candidates"] != float64(s.RowsStored()) {
+		t.Fatalf("candidates %v != RowsStored %d", m["candidates"], s.RowsStored())
+	}
+	if m["rank_max"] < 1 || m["rank_max"] > 4 {
+		t.Fatalf("rank_max = %v", m["rank_max"])
+	}
+}
+
+func TestLMStats(t *testing.T) {
+	l := NewLMFD(window.Seq(512), 3, 8, 4)
+	feedSeq(l, 600, 3)
+	m := l.Stats()
+	requireKeys(t, m, "levels", "blocks", "blocks_raw", "blocks_sketched",
+		"active_rows", "active_mass", "merges", "snapshots", "blocks_per_level")
+	if m["levels"] < 1 || m["levels"] != float64(l.Levels()) {
+		t.Fatalf("levels = %v (Levels() = %d)", m["levels"], l.Levels())
+	}
+	if m["merges"] < 1 {
+		t.Fatalf("merges = %v after 600 rows", m["merges"])
+	}
+	if m["blocks"] != m["blocks_raw"]+m["blocks_sketched"] {
+		t.Fatalf("block split inconsistent: %v", m)
+	}
+	// Per-level occupancy entries exist for every live level and sum to
+	// the block total.
+	var sum float64
+	for i := 1; i <= l.Levels(); i++ {
+		v, ok := m[lvKey(i)]
+		if !ok {
+			t.Fatalf("missing %s: %v", lvKey(i), m)
+		}
+		sum += v
+	}
+	if sum != m["blocks"] {
+		t.Fatalf("per-level sum %v != blocks %v", sum, m["blocks"])
+	}
+	// Sketched FD blocks surface their cumulative shrink count.
+	if m["blocks_sketched"] > 0 {
+		if _, ok := m["fd_shrinks"]; !ok {
+			t.Fatalf("no fd_shrinks with %v sketched blocks", m["blocks_sketched"])
+		}
+	}
+
+	if _, err := l.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats()["snapshots"]; got != 1 {
+		t.Fatalf("snapshots = %v after one MarshalBinary", got)
+	}
+}
+
+func lvKey(i int) string {
+	return map[int]string{1: "level1_blocks", 2: "level2_blocks", 3: "level3_blocks",
+		4: "level4_blocks", 5: "level5_blocks", 6: "level6_blocks", 7: "level7_blocks",
+		8: "level8_blocks", 9: "level9_blocks", 10: "level10_blocks"}[i]
+}
+
+func TestDIStats(t *testing.T) {
+	di := NewDIFD(DIConfig{N: 256, R: 160, L: 4, Ell: 16}, 3)
+	feedSeq(di, 400, 3)
+	m := di.Stats()
+	requireKeys(t, m, "levels", "l1_blocks_closed", "completed_blocks",
+		"open_rows", "open_mass", "raw_overflow", "declared_r",
+		"norm_sq_min", "norm_sq_max", "norm_ratio")
+	if m["levels"] != 4 {
+		t.Fatalf("levels = %v", m["levels"])
+	}
+	if m["l1_blocks_closed"] != float64(di.CompletedBlocks()) {
+		t.Fatalf("l1 blocks %v != CompletedBlocks %d", m["l1_blocks_closed"], di.CompletedBlocks())
+	}
+	if m["norm_ratio"] < 1 {
+		t.Fatalf("norm ratio = %v", m["norm_ratio"])
+	}
+	if m["norm_sq_max"] > m["declared_r"]*1.01 {
+		t.Fatalf("observed max %v exceeds declared R %v", m["norm_sq_max"], m["declared_r"])
+	}
+	if m["completed_blocks"] > 0 {
+		if _, ok := m["fd_shrinks"]; !ok {
+			// Active sketches also report; with 400 rows through small
+			// FDs at least one shrink must have happened somewhere.
+			t.Fatalf("no fd_shrinks: %v", m)
+		}
+	}
+}
+
+func TestConcurrentAndWrapperStats(t *testing.T) {
+	c := NewConcurrent(NewSWOR(window.Seq(32), 2, 3, 1))
+	feedSeq(c, 50, 3)
+	requireKeys(t, c.Stats(), "candidates")
+
+	// A wrapped non-introspector yields an empty, non-nil map.
+	z := NewConcurrent(NewZero(3))
+	if m := z.Stats(); m == nil || len(m) != 0 {
+		t.Fatalf("zero stats = %v", m)
+	}
+
+	u := NewUnboundedFD(8, 3)
+	feedSeq(u, 50, 3)
+	requireKeys(t, u.Stats(), "ell", "used", "headroom", "shrinks")
+
+	b := NewBest(window.Seq(16), 2, 3)
+	feedSeq(b, 20, 3)
+	m := b.Stats()
+	if m["window_rows"] != 16 || m["k"] != 2 {
+		t.Fatalf("best stats = %v", m)
+	}
+}

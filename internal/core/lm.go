@@ -96,6 +96,12 @@ type LM struct {
 	name   string
 	lastT  float64
 	seen   bool
+
+	// merges counts block merges performed by rebalance and snapshots
+	// the MarshalBinary calls — structural churn counters surfaced by
+	// Stats for operational monitoring.
+	merges    uint64
+	snapshots uint64
 }
 
 // NewLM builds a Logarithmic Method sketch from any mergeable
@@ -242,6 +248,7 @@ func (l *LM) rebalance() {
 				continue
 			}
 			lv[0].mergeFrom(&lv[1], l.factory, l.d)
+			l.merges++
 			merged := lv[0]
 			l.levels[i] = lv[2:]
 			l.appendLevel(i+1, merged)
@@ -347,7 +354,50 @@ func (l *LM) blocksAt(i int) int {
 // Name implements WindowSketch.
 func (l *LM) Name() string { return l.name }
 
-var _ WindowSketch = (*LM)(nil)
+// Stats implements Introspector: level occupancy (total plus one
+// level<i>_blocks entry per live level), raw-vs-sketched block split,
+// active-block fill, merge and snapshot counters, and — when the block
+// sketches expose a shrink count (FD does) — the total shrinks across
+// live blocks.
+func (l *LM) Stats() map[string]float64 {
+	m := map[string]float64{
+		"levels":           float64(len(l.levels)),
+		"blocks_per_level": float64(l.b),
+		"active_rows":      float64(len(l.active.raw)),
+		"active_mass":      l.active.size,
+		"merges":           float64(l.merges),
+		"snapshots":        float64(l.snapshots),
+	}
+	blocks, rawBlocks, shrinks := 0, 0, uint64(0)
+	haveShrinks := false
+	for i := range l.levels {
+		m[fmt.Sprintf("level%d_blocks", i+1)] = float64(len(l.levels[i]))
+		for j := range l.levels[i] {
+			blk := &l.levels[i][j]
+			blocks++
+			if blk.sk == nil {
+				rawBlocks++
+				continue
+			}
+			if sc, ok := blk.sk.(interface{ Shrinks() uint64 }); ok {
+				shrinks += sc.Shrinks()
+				haveShrinks = true
+			}
+		}
+	}
+	m["blocks"] = float64(blocks)
+	m["blocks_raw"] = float64(rawBlocks)
+	m["blocks_sketched"] = float64(blocks - rawBlocks)
+	if haveShrinks {
+		m["fd_shrinks"] = float64(shrinks)
+	}
+	return m
+}
+
+var (
+	_ WindowSketch = (*LM)(nil)
+	_ Introspector = (*LM)(nil)
+)
 
 // NewLMRP builds LM over random-projection blocks. The paper's
 // appendix only pairs RP with the DI framework, but RP is mergeable

@@ -242,6 +242,7 @@ func (l *LM) MarshalBinary() ([]byte, error) {
 	if l.name != "LM-FD" {
 		return nil, fmt.Errorf("core: LM snapshots support LM-FD only, have %s", l.name)
 	}
+	l.snapshots++
 	w := binenc.NewWriter()
 	w.U64(lmfdMagic)
 	writeSpec(w, l.spec)

@@ -206,6 +206,27 @@ func (s *SWOR) Query(t float64) *mat.Dense {
 // RowsStored reports the candidate-queue length.
 func (s *SWOR) RowsStored() int { return len(s.queue) }
 
+// Stats implements Introspector: candidate-queue depth (the quantity
+// Lemma 5.2 bounds), the rank distribution's extremes, and the norm
+// tracker's size.
+func (s *SWOR) Stats() map[string]float64 {
+	maxRank := 0
+	for _, c := range s.queue {
+		if c.rank > maxRank {
+			maxRank = c.rank
+		}
+	}
+	m := map[string]float64{
+		"ell":        float64(s.ell),
+		"candidates": float64(len(s.queue)),
+		"rank_max":   float64(maxRank),
+	}
+	trackerStats(m, s.norms)
+	return m
+}
+
+var _ Introspector = (*SWOR)(nil)
+
 // Name implements WindowSketch.
 func (s *SWOR) Name() string {
 	if s.All {

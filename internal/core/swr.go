@@ -202,7 +202,36 @@ func (s *SWR) RowsStored() int {
 // Name implements WindowSketch.
 func (s *SWR) Name() string { return "SWR" }
 
-var _ WindowSketch = (*SWR)(nil)
+// Stats implements Introspector: per-queue candidate occupancy (total,
+// min, max across the ℓ independent deques) plus the norm tracker's
+// size — the quantities Lemma 5.1 bounds in expectation, exported so
+// an operator can see the actual space profile.
+func (s *SWR) Stats() map[string]float64 {
+	minQ, maxQ, total := 0, 0, 0
+	for i := range s.queues {
+		n := len(s.queues[i].items)
+		total += n
+		if i == 0 || n < minQ {
+			minQ = n
+		}
+		if n > maxQ {
+			maxQ = n
+		}
+	}
+	m := map[string]float64{
+		"queues":         float64(s.ell),
+		"candidates":     float64(total),
+		"candidates_min": float64(minQ),
+		"candidates_max": float64(maxQ),
+	}
+	trackerStats(m, s.norms)
+	return m
+}
+
+var (
+	_ WindowSketch = (*SWR)(nil)
+	_ Introspector = (*SWR)(nil)
+)
 
 // UpdateSparse ingests a sparse row; the candidate copy is stored
 // dense (sampler answers are rows of A), but norm computation and

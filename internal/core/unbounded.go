@@ -58,4 +58,16 @@ func (u *Unbounded) RowsStored() int { return u.sk.RowsStored() }
 // Name implements WindowSketch.
 func (u *Unbounded) Name() string { return u.name }
 
-var _ WindowSketch = (*Unbounded)(nil)
+// Stats implements Introspector, forwarding the streaming sketch's own
+// stats (FD exposes shrink count and headroom) when it has any.
+func (u *Unbounded) Stats() map[string]float64 {
+	if in, ok := u.sk.(Introspector); ok {
+		return in.Stats()
+	}
+	return map[string]float64{"rows_stored": float64(u.sk.RowsStored())}
+}
+
+var (
+	_ WindowSketch = (*Unbounded)(nil)
+	_ Introspector = (*Unbounded)(nil)
+)

@@ -214,3 +214,22 @@ func (h *Histogram) Buckets() int { return len(h.buckets) }
 // Total returns the sum over every live bucket (no straddling
 // correction); useful when the caller knows nothing has expired.
 func (h *Histogram) Total() float64 { return h.total }
+
+// Stats exposes the histogram's internals for instrumentation: bucket
+// count, the number of distinct size classes in use, total items
+// merged into live buckets, and the maintained sum.
+func (h *Histogram) Stats() map[string]float64 {
+	classes := make(map[int]struct{}, 8)
+	items := 0
+	for _, b := range h.buckets {
+		classes[sizeClass(b.sum)] = struct{}{}
+		items += b.count
+	}
+	return map[string]float64{
+		"k":       float64(h.k),
+		"buckets": float64(len(h.buckets)),
+		"classes": float64(len(classes)),
+		"items":   float64(items),
+		"total":   h.total,
+	}
+}

@@ -1,67 +1,217 @@
 // Package serve exposes a sliding-window matrix sketch over HTTP: an
 // ingest endpoint for timestamped rows, query endpoints for the window
-// approximation and its PCA, and a stats endpoint. One Server guards
-// one sketch; all handlers serialise on its mutex (sketch updates are
-// cheap relative to request handling, so a single writer lock is the
-// right simplicity/performance trade).
+// approximation and its PCA, a stats endpoint with sketch internals,
+// binary snapshots, and optional Prometheus metrics and pprof. One
+// Server guards one sketch; all handlers serialise on its mutex
+// (sketch updates are cheap relative to request handling, so a single
+// writer lock is the right simplicity/performance trade).
+//
+// Routes are registered with Go 1.22 method patterns:
+//
+//	POST /v1/ingest         body: {"updates":[{"row":[...],"t":1.5},...]}
+//	GET  /v1/approximation  [?t=...]      window approximation B
+//	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
+//	GET  /v1/stats          sketch metadata + "internals" (Introspector)
+//	GET  /v1/snapshot       binary sketch snapshot
+//	POST /v1/snapshot       restore a snapshot
+//	GET  /healthz           200 ok
+//	GET  /metrics           Prometheus text exposition (WithMetrics)
+//	     /debug/pprof/...   runtime profiles (WithPprof)
+//
+// Every error response under /v1 uses the machine-readable envelope
+//
+//	{"error":{"code":"<code>","message":"<human-readable detail>"}}
+//
+// with the following codes:
+//
+//	invalid_json        400  request body is not valid JSON for the endpoint
+//	invalid_argument    400  a field or query parameter is out of range
+//	method_not_allowed  405  wrong HTTP method (Allow header lists valid ones)
+//	not_found           404  unknown route
+//	conflict            409  the sketch's invariants rejected the operation
+//	                         (e.g. a timestamp behind a restored clock)
+//	unsupported         501  the sketch lacks the capability (snapshots)
+//	body_too_large      413  body exceeded the WithMaxBody limit
+//	internal            500  server-side failure
+//
+// Snapshot endpoints require the underlying sketch to support binary
+// snapshots (SWR, SWOR, SWOR-ALL, LM-FD do); others get 501.
 package serve
 
 import (
 	"encoding"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"swsketch/internal/core"
 	"swsketch/internal/mat"
+	"swsketch/internal/obs"
 	"swsketch/internal/pca"
+)
+
+// Error codes of the uniform error envelope; see the package comment.
+const (
+	CodeInvalidJSON      = "invalid_json"
+	CodeInvalidArgument  = "invalid_argument"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+	CodeUnsupported      = "unsupported"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeInternal         = "internal"
 )
 
 // Server wraps a WindowSketch for HTTP access.
 type Server struct {
 	mu      sync.Mutex
-	sk      core.WindowSketch
+	sk      core.WindowSketch // possibly obs.Instrumented; the ingest/query path
+	raw     core.WindowSketch // the undecorated sketch, for capability checks
 	d       int
 	updates uint64
 	lastT   float64
 	seen    bool
+
+	reg     *obs.Registry
+	pprof   bool
+	maxBody int64
+}
+
+// Option configures a Server; see WithMetrics, WithPprof, WithMaxBody.
+type Option func(*Server)
+
+// WithMetrics wraps the sketch in an obs.Instrumented recording
+// ingest/query latencies and internals into reg, instruments every
+// route with request counters and latency histograms, and mounts
+// GET /metrics serving reg's Prometheus text exposition.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithMaxBody caps request body sizes (ingest and snapshot restore) at
+// n bytes; larger bodies get a 413 body_too_large envelope. Zero (the
+// default) keeps ingest unlimited and the snapshot restore at its
+// built-in 1 GiB guard.
+func WithMaxBody(n int64) Option {
+	return func(s *Server) {
+		if n < 1 {
+			panic(fmt.Sprintf("serve: max body %d", n))
+		}
+		s.maxBody = n
+	}
 }
 
 // NewServer returns a server around the given sketch and dimension.
-func NewServer(sk core.WindowSketch, d int) *Server {
+func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 	if d < 1 {
 		panic(fmt.Sprintf("serve: dimension %d", d))
 	}
-	return &Server{sk: sk, d: d}
+	s := &Server{sk: sk, raw: sk, d: d}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg != nil {
+		// Scrape-time reads of the sketch (rows stored, internals) run
+		// under the server mutex so /metrics never races an ingest.
+		s.sk = obs.NewInstrumented(sk, s.reg, obs.WithSync(func(f func()) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			f()
+		}))
+	}
+	return s
 }
 
-// Handler returns the HTTP routes:
-//
-//	POST /v1/ingest        body: {"updates":[{"row":[...],"t":1.5},...]}
-//	GET  /v1/approximation?t=<time>   → {"rows":[[...]]}
-//	GET  /v1/pca?t=<time>&k=<k>       → {"components":[[...]],"explained":[...]}
-//	GET  /v1/stats                    → sketch metadata
-//	GET  /v1/snapshot                 → binary sketch snapshot
-//	POST /v1/snapshot                 ← restore a snapshot
-//	GET  /healthz                     → 200 ok
-//
-// Snapshot endpoints require the underlying sketch to support binary
-// snapshots (SWR, SWOR, SWOR-ALL, LM-FD do); others get 501.
+// Handler returns the HTTP routes listed in the package comment.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/ingest", s.handleIngest)
-	mux.HandleFunc("/v1/approximation", s.handleApproximation)
-	mux.HandleFunc("/v1/pca", s.handlePCA)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc, allow ...string) {
+		// Method-pattern route plus a same-path fallback answering any
+		// other method with a 405 envelope (the stock ServeMux 405 is
+		// plain text).
+		mux.HandleFunc(pattern, s.timed(strings.TrimSpace(pattern[strings.Index(pattern, " "):]), h))
+		if len(allow) > 0 {
+			mux.HandleFunc(strings.TrimSpace(pattern[strings.Index(pattern, " "):]), methodNotAllowed(allow...))
+		}
+	}
+	handle("POST /v1/ingest", s.handleIngest, "POST")
+	handle("GET /v1/approximation", s.handleApproximation, "GET")
+	handle("GET /v1/pca", s.handlePCA, "GET")
+	handle("GET /v1/stats", s.handleStats, "GET")
+	handle("GET /v1/snapshot", s.handleSnapshotGet) // fallback shared below
+	handle("POST /v1/snapshot", s.handleSnapshotPost, "GET", "POST")
+	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	}, "GET")
+	if s.reg != nil {
+		mux.Handle("GET /metrics", s.reg.Handler())
+		mux.HandleFunc("/metrics", methodNotAllowed("GET"))
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	// Catch-all so unknown routes answer with the envelope too.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path)
 	})
 	return mux
+}
+
+// timed wraps a handler with per-route latency and request-count
+// metrics when WithMetrics is active; otherwise it is the identity.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.reg == nil {
+		return h
+	}
+	hist := s.reg.Histogram("swsketch_http_request_seconds",
+		"HTTP request latency by route.", obs.Labels{"route": route}, nil)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.reg.Counter("swsketch_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}).Inc()
+	}
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// methodNotAllowed answers with the 405 envelope and an Allow header.
+func methodNotAllowed(allow ...string) http.HandlerFunc {
+	allowed := strings.Join(allow, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allowed)
+		httpError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"method %s not allowed (allow: %s)", r.Method, allowed)
+	}
 }
 
 type ingestRequest struct {
@@ -82,19 +232,25 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	}
 	var req ingestRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, CodeInvalidJSON, "bad JSON: %v", err)
 		return
 	}
 	if len(req.Updates) == 0 {
-		httpError(w, http.StatusBadRequest, "no updates")
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "no updates")
 		return
 	}
 	// Validate before touching the sketch so a bad batch is all-or-
@@ -117,15 +273,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		times := make([]float64, 0, len(req.Updates))
 		for i, u := range req.Updates {
 			if seen && u.T < prev {
-				httpError(w, http.StatusBadRequest, "update %d: timestamp %v precedes %v", i, u.T, prev)
+				httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+					"update %d: timestamp %v precedes %v", i, u.T, prev)
 				return
 			}
 			if len(u.Row) != s.d {
-				httpError(w, http.StatusBadRequest, "update %d: row length %d, want %d", i, len(u.Row), s.d)
+				httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+					"update %d: row length %d, want %d", i, len(u.Row), s.d)
 				return
 			}
 			if err := checkFiniteVals(u.Row); err != nil {
-				httpError(w, http.StatusBadRequest, "update %d: %v", i, err)
+				httpError(w, http.StatusBadRequest, CodeInvalidArgument, "update %d: %v", i, err)
 				return
 			}
 			rows = append(rows, u.Row)
@@ -133,7 +291,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			prev, seen = u.T, true
 		}
 		if err := applyBatch(s.sk, rows, times); err != nil {
-			httpError(w, http.StatusConflict, "ingest rejected by sketch: %v", err)
+			httpError(w, http.StatusConflict, CodeConflict, "ingest rejected by sketch: %v", err)
 			return
 		}
 		s.updates += uint64(len(req.Updates))
@@ -144,12 +302,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	rows := make([]func(), 0, len(req.Updates))
 	for i, u := range req.Updates {
 		if seen && u.T < prev {
-			httpError(w, http.StatusBadRequest, "update %d: timestamp %v precedes %v", i, u.T, prev)
+			httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+				"update %d: timestamp %v precedes %v", i, u.T, prev)
 			return
 		}
 		apply, err := s.prepareUpdate(u)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "update %d: %v", i, err)
+			httpError(w, http.StatusBadRequest, CodeInvalidArgument, "update %d: %v", i, err)
 			return
 		}
 		rows = append(rows, apply)
@@ -160,7 +319,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// ahead of the server's. Surface those as 409 instead of crashing
 	// the connection.
 	if err := applyAll(rows); err != nil {
-		httpError(w, http.StatusConflict, "ingest rejected by sketch: %v", err)
+		httpError(w, http.StatusConflict, CodeConflict, "ingest rejected by sketch: %v", err)
 		return
 	}
 	s.updates += uint64(len(req.Updates))
@@ -174,10 +333,6 @@ type approximationResponse struct {
 }
 
 func (s *Server) handleApproximation(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	t, ok := s.queryTime(w, r)
 	if !ok {
 		return
@@ -199,10 +354,6 @@ type pcaResponse struct {
 }
 
 func (s *Server) handlePCA(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	t, ok := s.queryTime(w, r)
 	if !ok {
 		return
@@ -212,7 +363,7 @@ func (s *Server) handlePCA(w http.ResponseWriter, r *http.Request) {
 		var err error
 		k, err = strconv.Atoi(kq)
 		if err != nil || k < 1 {
-			httpError(w, http.StatusBadRequest, "bad k %q", kq)
+			httpError(w, http.StatusBadRequest, CodeInvalidArgument, "bad k %q", kq)
 			return
 		}
 	}
@@ -232,18 +383,15 @@ func (s *Server) handlePCA(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Algorithm  string  `json:"algorithm"`
-	Dimension  int     `json:"dimension"`
-	RowsStored int     `json:"rows_stored"`
-	Updates    uint64  `json:"updates"`
-	LastT      float64 `json:"last_t"`
+	Algorithm  string             `json:"algorithm"`
+	Dimension  int                `json:"dimension"`
+	RowsStored int                `json:"rows_stored"`
+	Updates    uint64             `json:"updates"`
+	LastT      float64            `json:"last_t"`
+	Internals  map[string]float64 `json:"internals,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	resp := statsResponse{
 		Algorithm:  s.sk.Name(),
@@ -251,6 +399,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RowsStored: s.sk.RowsStored(),
 		Updates:    s.updates,
 		LastT:      s.lastT,
+	}
+	if in, ok := s.raw.(core.Introspector); ok {
+		resp.Internals = in.Stats()
 	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
@@ -268,27 +419,37 @@ func (s *Server) queryTime(w http.ResponseWriter, r *http.Request) (float64, boo
 	}
 	t, err := strconv.ParseFloat(tq, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad t %q", tq)
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "bad t %q", tq)
 		return 0, false
 	}
 	s.mu.Lock()
 	last, seen := s.lastT, s.seen
 	s.mu.Unlock()
 	if seen && t < last {
-		httpError(w, http.StatusBadRequest, "t %v precedes last ingested %v", t, last)
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"t %v precedes last ingested %v", t, last)
 		return 0, false
 	}
 	return t, true
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// errorBody is the payload of the uniform error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: errorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -296,54 +457,66 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// handleSnapshot serves GET (download the sketch state) and POST
-// (replace the sketch state) when the sketch supports binary
-// snapshots.
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		m, ok := s.sk.(encoding.BinaryMarshaler)
-		if !ok {
-			httpError(w, http.StatusNotImplemented, "%s does not support snapshots", s.sk.Name())
-			return
-		}
-		s.mu.Lock()
-		data, err := m.MarshalBinary()
-		s.mu.Unlock()
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		_, _ = w.Write(data)
-	case http.MethodPost:
-		u, ok := s.sk.(encoding.BinaryUnmarshaler)
-		if !ok {
-			httpError(w, http.StatusNotImplemented, "%s does not support snapshots", s.sk.Name())
-			return
-		}
-		const maxSnapshot = 1 << 30
-		data, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshot))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "read body: %v", err)
-			return
-		}
-		s.mu.Lock()
-		err = u.UnmarshalBinary(data)
-		if err == nil {
-			s.updates = 0
-			s.seen = false
-		}
-		s.mu.Unlock()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "restore: %v", err)
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "restored")
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+// handleSnapshotGet downloads the sketch state when the sketch
+// supports binary snapshots.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) {
+	m, ok := s.raw.(encoding.BinaryMarshaler)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, CodeUnsupported,
+			"%s does not support snapshots", s.raw.Name())
+		return
 	}
+	s.mu.Lock()
+	data, err := m.MarshalBinary()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, CodeInternal, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+// handleSnapshotPost replaces the sketch state from an uploaded
+// snapshot. On success the server's own ingest clock (updates, lastT,
+// seen) resets to zero: the restored sketch carries its own clock, and
+// keeping the pre-restore lastT would make default-t queries answer at
+// a timestamp unrelated to the restored state.
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	u, ok := s.raw.(encoding.BinaryUnmarshaler)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, CodeUnsupported,
+			"%s does not support snapshots", s.raw.Name())
+		return
+	}
+	limit := int64(1 << 30)
+	if s.maxBody > 0 {
+		limit = s.maxBody
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "read body: %v", err)
+		return
+	}
+	if int64(len(data)) > limit {
+		httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			"body exceeds %d bytes", limit)
+		return
+	}
+	s.mu.Lock()
+	err = u.UnmarshalBinary(data)
+	if err == nil {
+		s.updates = 0
+		s.seen = false
+		s.lastT = 0
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "restore: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "restored")
 }
 
 // checkFiniteVals rejects NaN and overflow-ish values before they
@@ -380,7 +553,11 @@ func (s *Server) prepareUpdate(u ingestUpdate) (func(), error) {
 			return nil, err
 		}
 		sr := mat.SparseRow{Idx: u.Idx, Val: u.Val}
-		if su, ok := s.sk.(core.SparseUpdater); ok {
+		// Capability lives on the undecorated sketch; the decorated one
+		// (which forwards sparse updates) takes the call so the update
+		// is recorded.
+		if _, ok := s.raw.(core.SparseUpdater); ok {
+			su := s.sk.(core.SparseUpdater)
 			return func() { su.UpdateSparse(sr, u.T) }, nil
 		}
 		dense := sr.Dense(s.d)

@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/obs"
+	"swsketch/internal/window"
+)
+
+// decodeError reads the uniform error envelope off a response.
+func decodeError(t *testing.T, resp *http.Response) errorBody {
+	t.Helper()
+	var er errorResponse
+	decode(t, resp, &er)
+	if er.Error.Code == "" {
+		t.Fatalf("response carried no error envelope")
+	}
+	return er.Error
+}
+
+func TestErrorEnvelopeOnWrongMethod(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	resp, err := http.Get(ts.URL + "/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("Allow = %q, want POST", allow)
+	}
+	if e := decodeError(t, resp); e.Code != CodeMethodNotAllowed {
+		t.Fatalf("code = %q", e.Code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/snapshot", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE snapshot status %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+		t.Fatalf("snapshot Allow = %q", allow)
+	}
+	resp.Body.Close()
+}
+
+func TestErrorEnvelopeCodes(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	cases := []struct {
+		name, body, code string
+	}{
+		{"bad json", `{`, CodeInvalidJSON},
+		{"empty batch", `{"updates":[]}`, CodeInvalidArgument},
+		{"wrong dim", `{"updates":[{"row":[1],"t":0}]}`, CodeInvalidArgument},
+		{"out of order", `{"updates":[{"row":[1,2,3],"t":5},{"row":[1,2,3],"t":4}]}`, CodeInvalidArgument},
+		{"both forms", `{"updates":[{"row":[1,2,3],"idx":[0],"val":[1],"t":0}]}`, CodeInvalidArgument},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/ingest", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", c.name, resp.StatusCode)
+		}
+		if e := decodeError(t, resp); e.Code != c.code {
+			t.Fatalf("%s: code %q, want %q", c.name, e.Code, c.code)
+		}
+	}
+}
+
+func TestNotFoundEnvelope(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	resp, err := http.Get(ts.URL + "/v1/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != CodeNotFound {
+		t.Fatalf("code = %q", e.Code)
+	}
+}
+
+func TestConflictEnvelopeAfterRestore(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[1,2,3],"t":100}]}`).Body.Close()
+	snap, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(snap.Body)
+	snap.Body.Close()
+
+	ts2, done2 := newTestServer(t)
+	defer done2()
+	r, err := http.Post(ts2.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	resp := postJSON(t, ts2.URL+"/v1/ingest", `{"updates":[{"row":[1,2,3],"t":5}]}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != CodeConflict {
+		t.Fatalf("code = %q", e.Code)
+	}
+}
+
+// TestSnapshotRestoreResetsClock is the regression test for the stale
+// lastT bug: a server that had ingested up to t=500 and then restores
+// a snapshot taken at t=100 must not keep answering default-t queries
+// at the dead pre-restore clock.
+func TestSnapshotRestoreResetsClock(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	postJSON(t, ts.URL+"/v1/ingest",
+		`{"updates":[{"row":[1,2,3],"t":50},{"row":[4,5,6],"t":100}]}`).Body.Close()
+	snap, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(snap.Body)
+	snap.Body.Close()
+
+	// Advance the server's clock well past the snapshot...
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[7,8,9],"t":500}]}`).Body.Close()
+	// ...then restore the old snapshot on the same server.
+	r, err := http.Post(ts.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 200 {
+		t.Fatalf("restore status %d", r.StatusCode)
+	}
+
+	var sr statsResponse
+	stats, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, stats, &sr)
+	if sr.LastT != 0 || sr.Updates != 0 {
+		t.Fatalf("post-restore clock not reset: last_t=%v updates=%d", sr.LastT, sr.Updates)
+	}
+
+	// A default-t query must not be answered at the stale t=500 clock;
+	// with the reset it queries t=0 (sketch-internal clock governs), and
+	// before the fix it answered t=500 against a sketch restored at 100.
+	ra, err := http.Get(ts.URL + "/v1/approximation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar approximationResponse
+	decode(t, ra, &ar)
+	if ar.T != 0 {
+		t.Fatalf("default query time after restore = %v, want 0", ar.T)
+	}
+}
+
+func TestStatsInternals(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	var b strings.Builder
+	b.WriteString(`{"updates":[`)
+	for i := 0; i < 60; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"row":[%d,1,0],"t":%d}`, i%3, i)
+	}
+	b.WriteString("]}")
+	postJSON(t, ts.URL+"/v1/ingest", b.String()).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr statsResponse
+	decode(t, resp, &sr)
+	if sr.Internals == nil {
+		t.Fatal("stats carried no internals")
+	}
+	for _, k := range []string{"levels", "blocks", "active_rows", "merges"} {
+		if _, ok := sr.Internals[k]; !ok {
+			t.Fatalf("internals missing %q: %v", k, sr.Internals)
+		}
+	}
+	if sr.RowsStored == 0 {
+		t.Fatalf("stats %+v", sr)
+	}
+}
+
+func TestWithMaxBody(t *testing.T) {
+	sk := core.NewLMFD(window.Seq(100), 3, 8, 4)
+	ts := httptest.NewServer(NewServer(sk, 3, WithMaxBody(64)).Handler())
+	defer ts.Close()
+
+	small := `{"updates":[{"row":[1,2,3],"t":0}]}`
+	resp := postJSON(t, ts.URL+"/v1/ingest", small)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("small body status %d", resp.StatusCode)
+	}
+
+	var b strings.Builder
+	b.WriteString(`{"updates":[`)
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"row":[1,2,3],"t":%d}`, i+1)
+	}
+	b.WriteString("]}")
+	resp = postJSON(t, ts.URL+"/v1/ingest", b.String())
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("big body status %d, want 413", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != CodeBodyTooLarge {
+		t.Fatalf("code = %q", e.Code)
+	}
+
+	// The cap also bounds snapshot restores.
+	r2, err := http.Post(ts.URL+"/v1/snapshot", "application/octet-stream",
+		bytes.NewReader(make([]byte, 128)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("big snapshot status %d, want 413", r2.StatusCode)
+	}
+	r2.Body.Close()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	sk := core.NewSWR(window.Seq(50), 4, 3, 1)
+	ts := httptest.NewServer(NewServer(sk, 3, WithMetrics(reg)).Handler())
+	defer ts.Close()
+
+	var b strings.Builder
+	b.WriteString(`{"updates":[`)
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"row":[%d,1,0],"t":%d}`, i%3, i)
+	}
+	b.WriteString("]}")
+	postJSON(t, ts.URL+"/v1/ingest", b.String()).Body.Close()
+	http.Get(ts.URL + "/v1/approximation?t=29")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		`swsketch_ingest_rows_total{algo="SWR"} 30`,
+		`swsketch_ingest_batches_total{algo="SWR"} 1`,
+		`swsketch_update_seconds_count{algo="SWR"} 1`,
+		`swsketch_query_seconds_count{algo="SWR"} 1`,
+		`swsketch_rows_stored{algo="SWR"}`,
+		`swsketch_internal{algo="SWR",stat="candidates"}`,
+		`swsketch_internal{algo="SWR",stat="queues"} 4`,
+		`swsketch_http_requests_total{code="200",route="/v1/ingest"} 1`,
+		`swsketch_http_request_seconds_count{route="/v1/ingest"} 1`,
+		"# TYPE swsketch_update_seconds histogram",
+		`swsketch_update_seconds_bucket{algo="SWR",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// Wrong method on /metrics gets the envelope too.
+	r2 := postJSON(t, ts.URL+"/metrics", "{}")
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status %d", r2.StatusCode)
+	}
+	if e := decodeError(t, r2); e.Code != CodeMethodNotAllowed {
+		t.Fatalf("code = %q", e.Code)
+	}
+}
+
+// TestMetricsInstrumentationIsTransparent checks the instrumented
+// server answers queries exactly like a bare one over the same stream.
+func TestMetricsInstrumentationIsTransparent(t *testing.T) {
+	mk := func(opts ...Option) *httptest.Server {
+		return httptest.NewServer(NewServer(core.NewSWOR(window.Seq(40), 4, 3, 9), 3, opts...).Handler())
+	}
+	bare := mk()
+	defer bare.Close()
+	inst := mk(WithMetrics(obs.NewRegistry()))
+	defer inst.Close()
+
+	var b strings.Builder
+	b.WriteString(`{"updates":[`)
+	for i := 0; i < 80; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"row":[%d,%d,1],"t":%d}`, i%5, i%2, i)
+	}
+	b.WriteString("]}")
+	for _, ts := range []*httptest.Server{bare, inst} {
+		postJSON(t, ts.URL+"/v1/ingest", b.String()).Body.Close()
+	}
+
+	get := func(ts *httptest.Server) approximationResponse {
+		resp, err := http.Get(ts.URL + "/v1/approximation?t=79")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ar approximationResponse
+		decode(t, resp, &ar)
+		return ar
+	}
+	a, bb := get(bare), get(inst)
+	if len(a.Rows) != len(bb.Rows) {
+		t.Fatalf("rows %d vs %d", len(a.Rows), len(bb.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != bb.Rows[i][j] {
+				t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i], bb.Rows[i])
+			}
+		}
+	}
+}
+
+func TestInstrumentedSnapshotStillWorks(t *testing.T) {
+	// The obs wrapper must not hide the snapshot capability of the
+	// underlying sketch.
+	reg := obs.NewRegistry()
+	sk := core.NewLMFD(window.Seq(100), 3, 8, 4)
+	ts := httptest.NewServer(NewServer(sk, 3, WithMetrics(reg)).Handler())
+	defer ts.Close()
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[1,2,3],"t":0}]}`).Body.Close()
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("instrumented snapshot status %d", resp.StatusCode)
+	}
+}
+
+func TestWithPprofMountsProfiles(t *testing.T) {
+	sk := core.NewLMFD(window.Seq(100), 3, 8, 4)
+	srv := NewServer(sk, 3, WithPprof())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline status %d", resp.StatusCode)
+	}
+
+	// Without the option the route 404s with the envelope.
+	ts2 := httptest.NewServer(NewServer(core.NewLMFD(window.Seq(100), 3, 8, 4), 3).Handler())
+	defer ts2.Close()
+	r2, err := http.Get(ts2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unmounted pprof status %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+}

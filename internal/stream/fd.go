@@ -29,6 +29,11 @@ type FD struct {
 	// keep the steady-state update path allocation-free in the large
 	// ℓ×d buffers.
 	spare *mat.Dense // ell×d
+
+	// shrinks counts SVD-and-shrink steps — the practical cost driver
+	// Desai–Ghashami–Phillips observe diverging from worst-case bounds,
+	// exported for instrumentation via Shrinks/Stats.
+	shrinks uint64
 }
 
 // NewFD returns a FrequentDirections sketch with at most ell rows over
@@ -93,6 +98,7 @@ func (f *FD) shrink() {
 	if n == 0 {
 		return
 	}
+	f.shrinks++
 	sub := mat.NewDenseData(n, f.d, b.Data()[:n*f.d])
 	vals, u := mat.EigenSym(sub.GramT()) // n×n, descending σ²
 
@@ -162,6 +168,21 @@ func (f *FD) Used() int { return f.used }
 
 // Ell returns the configured sketch size.
 func (f *FD) Ell() int { return f.ell }
+
+// Shrinks reports the number of SVD-and-shrink steps performed.
+func (f *FD) Shrinks() uint64 { return f.shrinks }
+
+// Stats exposes the sketch's internals for instrumentation
+// (structurally satisfying core.Introspector when embedded): the
+// configured size, occupied rows, zero-row headroom, and shrink count.
+func (f *FD) Stats() map[string]float64 {
+	return map[string]float64{
+		"ell":      float64(f.ell),
+		"used":     float64(f.used),
+		"headroom": float64(f.ell - f.used),
+		"shrinks":  float64(f.shrinks),
+	}
+}
 
 // Merge absorbs other (which must be an *FD over the same dimension)
 // by inserting its rows; the FD analysis makes this merge error- and

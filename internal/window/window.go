@@ -298,6 +298,11 @@ func (x *EHNorms) FroSq(t float64) float64 { return x.h.Estimate(x.spec.Cutoff(t
 // Size reports the bucket count.
 func (x *EHNorms) Size() int { return x.h.Buckets() }
 
+// Stats exposes the underlying exponential histogram's internals
+// (bucket count, size classes, items, running total) so sketches using
+// the EH tracker can surface them via core.Introspector.
+func (x *EHNorms) Stats() map[string]float64 { return x.h.Stats() }
+
 var (
 	_ NormTracker = (*ExactNorms)(nil)
 	_ NormTracker = (*EHNorms)(nil)

@@ -37,6 +37,7 @@ import (
 	"swsketch/internal/data"
 	"swsketch/internal/dist"
 	"swsketch/internal/mat"
+	"swsketch/internal/obs"
 	"swsketch/internal/pca"
 	"swsketch/internal/serve"
 	"swsketch/internal/stream"
@@ -290,12 +291,55 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 }
 
 // Server exposes a sketch over HTTP (ingest, approximation, PCA,
-// stats, and snapshot endpoints); see cmd/swserve for a ready binary.
+// stats, snapshot, and optional metrics/pprof endpoints); see
+// cmd/swserve for a ready binary and internal/serve for the route and
+// error-envelope documentation.
 type Server = serve.Server
+
+// ServerOption configures a Server (WithMetrics, WithPprof,
+// WithMaxBody).
+type ServerOption = serve.Option
 
 // NewServer wraps a sketch of dimension d for HTTP serving; mount
 // Handler() on any mux.
-func NewServer(sk WindowSketch, d int) *Server { return serve.NewServer(sk, d) }
+func NewServer(sk WindowSketch, d int, opts ...ServerOption) *Server {
+	return serve.NewServer(sk, d, opts...)
+}
+
+// WithMetrics instruments the server's sketch and routes into reg and
+// mounts GET /metrics with the Prometheus text exposition.
+func WithMetrics(reg *MetricsRegistry) ServerOption { return serve.WithMetrics(reg) }
+
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func WithPprof() ServerOption { return serve.WithPprof() }
+
+// WithMaxBody caps request body sizes at n bytes (413 beyond it).
+func WithMaxBody(n int64) ServerOption { return serve.WithMaxBody(n) }
+
+// MetricsRegistry is a low-overhead metrics registry (counters,
+// gauges, histograms) with a hand-rolled Prometheus text exposition —
+// no external dependencies.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Instrumented decorates any WindowSketch with ingest/query metrics
+// recorded into a registry; it is what WithMetrics applies inside the
+// server, exported for use outside HTTP serving (see cmd/swstream
+// -stats).
+type Instrumented = obs.Instrumented
+
+// NewInstrumented wraps sk, registering its instruments in reg under
+// the algo=<name> label.
+func NewInstrumented(sk WindowSketch, reg *MetricsRegistry) *Instrumented {
+	return obs.NewInstrumented(sk, reg)
+}
+
+// Introspector is implemented by sketches that expose internal
+// statistics (queue depths, block occupancy, shrink counts, ...) as a
+// flat name→value map; every sketch in this package implements it.
+type Introspector = core.Introspector
 
 // ProjectionError returns the relative rank-k projection error of b
 // against a — the second standard sketch-quality measure.
