@@ -26,8 +26,9 @@
 //	winsweep sketch space vs window size (the sublinearity headline)
 //	kernels  compute-layer micro-benchmarks vs naive baselines;
 //	         writes BENCH_kernels.json (see -kernels-out)
-//	obs      overhead of the obs.Instrumented metrics decorator,
-//	         bare vs wrapped, per-row and batched ingest
+//	obs      overhead of the observability stack (metrics decorator
+//	         and disabled tracer), bare vs wrapped, per-row and
+//	         batched ingest; writes BENCH_obs.json (see -obs-out)
 //	verify   run the qualitative shape checks; non-zero exit on DIFF
 //	all      everything above plus the qualitative shape checks
 //
@@ -53,6 +54,7 @@ func main() {
 		maxQ   = flag.Int("maxq", 0, "override max evaluated windows per run")
 		stride = flag.Int("stride", 0, "override query stride")
 		kOut   = flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernels experiment")
+		oOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -109,7 +111,10 @@ func main() {
 	case "winsweep":
 		runWinSweep(out, sc)
 	case "obs":
-		runObs(out, sc)
+		if err := runObs(out, sc, *oOut); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: obs: %v\n", err)
+			os.Exit(1)
+		}
 	case "kernels":
 		if err := runKernels(out, *kOut); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: kernels: %v\n", err)

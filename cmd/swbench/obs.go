@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -10,16 +12,32 @@ import (
 
 	"swsketch/internal/core"
 	"swsketch/internal/obs"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
-// runObs measures the overhead of the obs.Instrumented decorator: each
-// algorithm ingests the same synthetic stream bare and wrapped, over
-// both the per-row Update path (worst case — one timing pair per row)
-// and the UpdateBatch path (one timing pair per batch, the serve and
-// swstream default). Reported overheads justify — or veto — leaving
-// -metrics on in production.
-func runObs(out *os.File, sc scaleCfg) {
+// obsResult is one row of the BENCH_obs.json artifact: one algorithm's
+// ingest cost bare, wrapped in the metrics decorator, and with a
+// disabled tracer attached. The last column is the acceptance bar for
+// the observability stack — a disabled tracer must cost < 5%.
+type obsResult struct {
+	Algo                 string  `json:"algo"`
+	Path                 string  `json:"path"` // "row" or "batch"
+	BareNsPerRow         float64 `json:"bare_ns_per_row"`
+	InstrumentedNsPerRow float64 `json:"instrumented_ns_per_row"`
+	InstrumentedPct      float64 `json:"instrumented_overhead_pct"`
+	TracedOffNsPerRow    float64 `json:"traced_disabled_ns_per_row"`
+	TracedOffPct         float64 `json:"traced_disabled_overhead_pct"`
+}
+
+// runObs measures the overhead of the observability stack: each
+// algorithm ingests the same synthetic stream bare, wrapped in the
+// obs.Instrumented decorator, and with a disabled tracer attached —
+// over both the per-row Update path (worst case — one timing pair per
+// row) and the UpdateBatch path (the serve and swstream default).
+// Reported overheads justify — or veto — leaving -metrics and -trace
+// on in production; the results also land in path as JSON.
+func runObs(out io.Writer, sc scaleCfg, path string) error {
 	n := sc.seqN
 	if n > 50000 {
 		n = 50000
@@ -54,31 +72,68 @@ func runObs(out *os.File, sc scaleCfg) {
 		}},
 	}
 
+	mkTraced := func(mk func() core.WindowSketch) core.WindowSketch {
+		sk := mk()
+		if t, ok := sk.(trace.Traceable); ok {
+			t.SetTracer(trace.New(1024)) // attached but never enabled
+		}
+		return sk
+	}
+
+	var results []obsResult
 	fmt.Fprintf(out, "obs overhead (n=%d rows, d=%d, window=%d, batch=%d, median of %d paired trials)\n",
 		n, d, win, batchSize, obsTrials)
-	fmt.Fprintf(out, "%-8s %-6s %12s %12s %10s\n", "algo", "path", "bare ns/row", "inst ns/row", "overhead")
+	fmt.Fprintf(out, "%-8s %-6s %12s %12s %10s %12s %10s\n",
+		"algo", "path", "bare ns/row", "inst ns/row", "overhead", "traced-off", "overhead")
 	for _, a := range algos {
-		for _, path := range []string{"row", "batch"} {
-			// Bare and instrumented runs alternate back to back, so each
-			// trial's ratio is a paired measurement sharing frequency and
-			// cache state; the median ratio discards outlier trials that
-			// a min-of-each estimator cannot.
+		for _, ingestPath := range []string{"row", "batch"} {
+			// Bare, instrumented, and traced-off runs alternate back to
+			// back, so each trial's ratios are paired measurements sharing
+			// frequency and cache state; the median ratio discards outlier
+			// trials that a min-of-each estimator cannot.
 			bares := make([]float64, obsTrials)
-			ratios := make([]float64, obsTrials)
-			for trial := range ratios {
-				b := ingestNs(a.mk(), rows, times, path, batchSize)
-				w := ingestNs(obs.NewInstrumented(a.mk(), obs.NewRegistry()), rows, times, path, batchSize)
+			instRatios := make([]float64, obsTrials)
+			trRatios := make([]float64, obsTrials)
+			for trial := range bares {
+				b := ingestNs(a.mk(), rows, times, ingestPath, batchSize)
+				w := ingestNs(obs.NewInstrumented(a.mk(), obs.NewRegistry()), rows, times, ingestPath, batchSize)
+				tr := ingestNs(mkTraced(a.mk), rows, times, ingestPath, batchSize)
 				bares[trial] = b
-				ratios[trial] = w / b
+				instRatios[trial] = w / b
+				trRatios[trial] = tr / b
 			}
 			sort.Float64s(bares)
-			sort.Float64s(ratios)
+			sort.Float64s(instRatios)
+			sort.Float64s(trRatios)
 			bare := bares[obsTrials/2]
-			ratio := ratios[obsTrials/2]
-			fmt.Fprintf(out, "%-8s %-6s %12.1f %12.1f %9.2f%%\n",
-				a.name, path, bare, bare*ratio, 100*(ratio-1))
+			instRatio := instRatios[obsTrials/2]
+			trRatio := trRatios[obsTrials/2]
+			r := obsResult{
+				Algo:                 a.name,
+				Path:                 ingestPath,
+				BareNsPerRow:         bare,
+				InstrumentedNsPerRow: bare * instRatio,
+				InstrumentedPct:      100 * (instRatio - 1),
+				TracedOffNsPerRow:    bare * trRatio,
+				TracedOffPct:         100 * (trRatio - 1),
+			}
+			results = append(results, r)
+			fmt.Fprintf(out, "%-8s %-6s %12.1f %12.1f %9.2f%% %12.1f %9.2f%%\n",
+				r.Algo, r.Path, r.BareNsPerRow, r.InstrumentedNsPerRow, r.InstrumentedPct,
+				r.TracedOffNsPerRow, r.TracedOffPct)
 		}
 	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d results)\n", path, len(results))
+	return nil
 }
 
 // obsTrials is the per-configuration repeat count; odd, so the median

@@ -8,9 +8,11 @@
 //	GET  /v1/approximation  [?t=...]      window approximation B
 //	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
 //	GET  /v1/stats                        sketch metadata + internals
+//	GET  /v1/health         accuracy health: ok/degraded (with -audit)
 //	GET  /v1/snapshot       binary snapshot (POST restores one)
 //	GET  /healthz
 //	GET  /metrics           Prometheus exposition (with -metrics)
+//	GET  /debug/trace       structural event trace, JSONL (with -trace)
 //	     /debug/pprof/...   runtime profiles (with -pprof)
 //
 // Errors use the envelope {"error":{"code":"...","message":"..."}};
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,7 +36,9 @@ import (
 
 	"swsketch/internal/core"
 	"swsketch/internal/obs"
+	"swsketch/internal/obs/audit"
 	"swsketch/internal/serve"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
@@ -52,6 +57,14 @@ func main() {
 		metrics = flag.Bool("metrics", false, "serve Prometheus metrics on /metrics")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		maxBody = flag.Int64("maxbody", 0, "max request body bytes (0 = unlimited)")
+		traceOn = flag.Bool("trace", false, "trace structural events; serve them on /debug/trace")
+		trCap   = flag.Int("trace-cap", 8192, "trace ring capacity (events)")
+		trEvery = flag.Int("trace-sample", 1, "record one in every k trace events (counts stay exact)")
+		auditOn = flag.Bool("audit", false, "audit accuracy with an exact shadow window; serve /v1/health verdicts")
+		aStride = flag.Int("audit-stride", 0, "audit evaluation cadence in rows (0 = default)")
+		aCap    = flag.Int("audit-cap", 0, "audit shadow row cap; auditing disarms beyond it (0 = default, <0 = uncapped)")
+		aThresh = flag.Float64("audit-threshold", 0, "cova-err level that flips /v1/health to degraded (0 = default)")
+		logReq  = flag.Bool("log", false, "log each request (structured, stderr) with its request ID")
 	)
 	flag.Parse()
 	if *d < 1 {
@@ -96,14 +109,31 @@ func main() {
 	}
 
 	var opts []serve.Option
+	var reg *obs.Registry
 	if *metrics {
-		opts = append(opts, serve.WithMetrics(obs.NewRegistry()))
+		reg = obs.NewRegistry()
+		opts = append(opts, serve.WithMetrics(reg))
 	}
 	if *pprofOn {
 		opts = append(opts, serve.WithPprof())
 	}
 	if *maxBody > 0 {
 		opts = append(opts, serve.WithMaxBody(*maxBody))
+	}
+	if *traceOn {
+		tr := trace.New(*trCap)
+		tr.SetSampleEvery(*trEvery)
+		tr.Enable()
+		opts = append(opts, serve.WithTrace(tr))
+	}
+	if *auditOn {
+		opts = append(opts, serve.WithAudit(audit.New(audit.Config{
+			Spec: spec, D: *d, Stride: *aStride,
+			MaxShadowRows: *aCap, ErrThreshold: *aThresh,
+		}, reg)))
+	}
+	if *logReq {
+		opts = append(opts, serve.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	}
 
 	srv := &http.Server{
@@ -130,6 +160,12 @@ func main() {
 	}
 	if *pprofOn {
 		extras += " pprof"
+	}
+	if *traceOn {
+		extras += " trace"
+	}
+	if *auditOn {
+		extras += " audit"
 	}
 	log.Printf("swserve: %s over %v window, d=%d, listening on %s%s", sk.Name(), spec, *d, *addr, extras)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

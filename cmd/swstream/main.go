@@ -11,11 +11,21 @@
 //
 // Usage:
 //
-//	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] [-stats] < stream.csv
+//	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] [-stats] [-trace] [-audit] < stream.csv
 //
 // With -stats the run ends with an instrumentation summary: rows and
 // batches ingested, update/query latency totals, and the sketch's
 // internal statistics (core.Introspector).
+//
+// With -trace an event tracer records the sketch's structural
+// transitions (block closes, merges, shrinks, evictions) and the run
+// ends with a per-kind event summary; -trace-out writes the full event
+// ring as JSONL to a file.
+//
+// With -audit an exact shadow window runs alongside the sketch and the
+// run ends with the audited covariance error — the paper's accuracy
+// metric, measured live on this very stream (-audit-stride sets the
+// evaluation cadence).
 package main
 
 import (
@@ -33,6 +43,8 @@ import (
 	"swsketch/internal/core"
 	"swsketch/internal/mat"
 	"swsketch/internal/obs"
+	"swsketch/internal/obs/audit"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
@@ -50,6 +62,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		topK    = flag.Int("top", 5, "singular values to print")
 		stats   = flag.Bool("stats", false, "print an instrumentation summary at end of stream")
+		traceOn = flag.Bool("trace", false, "trace structural events; print a per-kind summary at end of stream")
+		trOut   = flag.String("trace-out", "", "write the trace event ring as JSONL to this file (implies -trace)")
+		auditOn = flag.Bool("audit", false, "run an exact shadow window and report the audited cova-err")
+		aStride = flag.Int("audit-stride", 0, "audit evaluation cadence in rows (0 = default)")
 	)
 	flag.Parse()
 
@@ -57,6 +73,7 @@ func main() {
 		algo: *algo, winSize: *winSize, useTime: *useTime, every: *every,
 		batch: *batch, ell: *ell, b: *b, levels: *levels, rBound: *rBound,
 		seed: *seed, topK: *topK, stats: *stats,
+		trace: *traceOn, traceOut: *trOut, audit: *auditOn, auditStride: *aStride,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "swstream: %v\n", err)
 		os.Exit(1)
@@ -74,6 +91,10 @@ type options struct {
 	seed           int64
 	topK           int
 	stats          bool
+	trace          bool
+	traceOut       string
+	audit          bool
+	auditStride    int
 }
 
 func run(in io.Reader, out io.Writer, opt options) error {
@@ -107,18 +128,29 @@ func run(in io.Reader, out io.Writer, opt options) error {
 		reg = obs.NewRegistry()
 	}
 
+	var tr *trace.Tracer
+	if opt.trace || opt.traceOut != "" {
+		tr = trace.New(8192)
+		tr.Enable()
+	}
+	var aud *audit.Auditor // built with the sketch once d is known
+
 	// Rows accumulate here and flow into the sketch through its bulk
 	// ingest path, opt.batch at a time; a pending batch is flushed
 	// before every query so summaries always cover the full prefix.
 	var (
 		pendRows  [][]float64
 		pendTimes []float64
+		rawSk     core.WindowSketch // undecorated, for audit queries
 	)
 	flush := func() {
 		if len(pendRows) == 0 {
 			return
 		}
 		sk.UpdateBatch(pendRows, pendTimes)
+		aud.ObserveBatch(pendRows, pendTimes, func(t float64) *mat.Dense {
+			return rawSk.Query(t)
+		})
 		pendRows = pendRows[:0]
 		pendTimes = pendTimes[:0]
 	}
@@ -144,6 +176,13 @@ func run(in io.Reader, out io.Writer, opt options) error {
 			sk, err = buildSketch(opt, spec, d)
 			if err != nil {
 				return err
+			}
+			rawSk = sk
+			if t, ok := sk.(trace.Traceable); ok {
+				t.SetTracer(tr)
+			}
+			if opt.audit {
+				aud = audit.New(audit.Config{Spec: spec, D: d, Stride: opt.auditStride}, reg)
 			}
 			if opt.stats {
 				sk = obs.NewInstrumented(sk, reg)
@@ -190,7 +229,65 @@ func run(in io.Reader, out io.Writer, opt options) error {
 	if opt.stats {
 		printInstrumentation(w, reg, sk)
 	}
+	if aud != nil {
+		printAudit(w, aud, func(t float64) *mat.Dense { return rawSk.Query(t) })
+	}
+	if opt.trace {
+		printTraceSummary(w, tr)
+	}
+	if opt.traceOut != "" {
+		f, err := os.Create(opt.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace out: %w", err)
+		}
+		werr := tr.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace out: %w", werr)
+		}
+		fmt.Fprintf(w, "# trace: wrote %d events to %s\n", len(tr.Events()), opt.traceOut)
+	}
 	return nil
+}
+
+// printAudit forces a final evaluation at the last observed timestamp
+// and reports the audited accuracy: the paper's cova-err, measured
+// live against an exact shadow of the very window the sketch served.
+func printAudit(w io.Writer, aud *audit.Auditor, query func(t float64) *mat.Dense) {
+	res, ok := aud.Evaluate(query)
+	st := aud.Status()
+	fmt.Fprintf(w, "\n# audit (exact shadow, %d evaluations)\n", st.Evaluations)
+	if st.Capped {
+		fmt.Fprintf(w, "#   disarmed: window exceeded the %d-row shadow cap\n", aud.Config().MaxShadowRows)
+		return
+	}
+	if !ok {
+		fmt.Fprintf(w, "#   no evaluation possible (empty stream?)\n")
+		return
+	}
+	fmt.Fprintf(w, "#   cova-err           %.6g (threshold %g)\n", res.CovaErr, st.Threshold)
+	fmt.Fprintf(w, "#   norm ratio R̂       %.4g\n", res.NormRatio)
+	fmt.Fprintf(w, "#   shadow rows        %d\n", res.ShadowRows)
+	if st.Degraded {
+		fmt.Fprintf(w, "#   DEGRADED: cova-err exceeds the threshold\n")
+	}
+}
+
+// printTraceSummary reports the tracer's per-kind event counts, sorted
+// by kind for stable output.
+func printTraceSummary(w io.Writer, tr *trace.Tracer) {
+	sum := tr.Summarize()
+	fmt.Fprintf(w, "\n# trace (%d events, %d in ring of %d)\n", sum.Total, sum.Recorded, sum.Capacity)
+	kinds := make([]string, 0, len(sum.Kinds))
+	for k := range sum.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "#   %-18s %d (last event id %d)\n", k, sum.Kinds[k].Count, sum.Kinds[k].LastSeq)
+	}
 }
 
 // printInstrumentation reports what the obs decorator recorded over

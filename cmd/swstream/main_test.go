@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -104,5 +107,60 @@ func TestRunErrors(t *testing.T) {
 		if err := run(strings.NewReader(tc.in), &out, tc.opt); err == nil {
 			t.Fatalf("%s: expected error", name)
 		}
+	}
+}
+
+// variedCSV produces rows with enough variety to force structural
+// sketch events (the constant csvStream rows never trigger merges with
+// interesting content).
+func variedCSV(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d,%d\n", i, i%5, (i*3)%7, (i*2)%4+1)
+	}
+	return b.String()
+}
+
+func TestRunTraceSummary(t *testing.T) {
+	opt := baseOpts()
+	opt.trace = true
+	var out bytes.Buffer
+	if err := run(strings.NewReader(variedCSV(60)), &out, opt); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# trace (") || !strings.Contains(s, "lm_close") {
+		t.Fatalf("missing trace summary:\n%s", s)
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	opt := baseOpts()
+	opt.traceOut = path
+	var out bytes.Buffer
+	if err := run(strings.NewReader(variedCSV(60)), &out, opt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"lm_close"`) {
+		t.Fatalf("trace JSONL missing lm_close events:\n%s", data)
+	}
+}
+
+func TestRunAudit(t *testing.T) {
+	opt := baseOpts()
+	opt.audit = true
+	opt.auditStride = 16
+	var out bytes.Buffer
+	if err := run(strings.NewReader(variedCSV(60)), &out, opt); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# audit (") || !strings.Contains(s, "cova-err") {
+		t.Fatalf("missing audit report:\n%s", s)
 	}
 }

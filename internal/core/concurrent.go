@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"swsketch/internal/mat"
+	"swsketch/internal/trace"
 )
 
 // Concurrent wraps a WindowSketch for a one-writer/many-reader regime:
@@ -52,6 +53,15 @@ func (c *Concurrent) RowsStored() int {
 
 // Name implements WindowSketch.
 func (c *Concurrent) Name() string { return c.sk.Name() }
+
+// SetTracer forwards the tracer to the wrapped sketch under the lock.
+func (c *Concurrent) SetTracer(tr *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.sk.(trace.Traceable); ok {
+		t.SetTracer(tr)
+	}
+}
 
 // Stats implements Introspector by delegation under the lock; wrapping
 // a sketch without internals yields an empty map.

@@ -6,6 +6,7 @@ import (
 
 	"swsketch/internal/mat"
 	"swsketch/internal/stream"
+	"swsketch/internal/trace"
 )
 
 // diBlock is a completed block of the Dyadic Interval framework. A
@@ -119,6 +120,31 @@ type DI struct {
 	// depends on R; operators want to see how tight the declaration
 	// is).
 	normMin, normMax float64
+
+	tr *trace.Tracer
+}
+
+// SetTracer attaches a tracer: block closes, retires, and raw-buffer
+// overflows emit events. The per-level active sketches (created at
+// construction) pick up the tracer too, so FD-backed levels emit
+// fd_shrink spans from here on.
+func (s *DI) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	for _, a := range s.actives {
+		if t, ok := a.(trace.Traceable); ok {
+			t.SetTracer(tr)
+		}
+	}
+}
+
+// mkSketch builds a per-level sketch via the factory and attaches the
+// tracer when the sketch supports it.
+func (s *DI) mkSketch(level int) stream.Sketch {
+	sk := s.factory(level, s.d)
+	if t, ok := sk.(trace.Traceable); ok {
+		t.SetTracer(s.tr)
+	}
+	return sk
 }
 
 // NewDI builds a Dyadic Interval sketch from a per-level streaming
@@ -246,6 +272,7 @@ func (s *DI) ingest(r mat.SparseRow, t float64) {
 			s.raw = append(s.raw, r)
 			s.rawTimes = append(s.rawTimes, t)
 		} else {
+			s.tr.Emit(s.name, trace.KindDIRawOverflow, t, float64(len(s.raw)), 0)
 			s.raw, s.rawTimes, s.rawOverflow = nil, nil, true
 		}
 	}
@@ -291,7 +318,8 @@ func (s *DI) closeBlocks(endT float64) {
 			sk:       s.actives[i],
 		}
 		s.levels[i] = append(s.levels[i], blk)
-		s.actives[i] = s.factory(i+1, s.d)
+		s.tr.Emit(s.name, trace.KindDIClose, endT, float64(i+1), float64(s.m))
+		s.actives[i] = s.mkSketch(i + 1)
 		s.activeRows[i] = 0
 	}
 	// Open a fresh level-1 block.
@@ -301,6 +329,7 @@ func (s *DI) closeBlocks(endT float64) {
 
 // expire removes completed blocks that lie entirely outside (cutoff, t].
 func (s *DI) expire(cutoff float64) {
+	dropped := 0
 	for i := range s.levels {
 		lv := s.levels[i]
 		drop := 0
@@ -309,7 +338,15 @@ func (s *DI) expire(cutoff float64) {
 		}
 		if drop > 0 {
 			s.levels[i] = lv[drop:]
+			dropped += drop
 		}
+	}
+	if dropped > 0 && s.tr.Enabled() {
+		oldest := s.m + 1
+		if lv1 := s.levels[0]; len(lv1) > 0 {
+			oldest = lv1[0].startIdx
+		}
+		s.tr.Emit(s.name, trace.KindDIRetire, cutoff, float64(dropped), float64(oldest))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"swsketch/internal/mat"
 	"swsketch/internal/stream"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
@@ -102,6 +103,26 @@ type LM struct {
 	// Stats for operational monitoring.
 	merges    uint64
 	snapshots uint64
+
+	tr *trace.Tracer
+}
+
+// SetTracer attaches a tracer: structural transitions (active-block
+// closes, merges, singleton promotions, expiry) emit events, and block
+// sketches created afterwards inherit the tracer (FD blocks then emit
+// fd_shrink spans). Attach before the first Update — blocks sketched
+// earlier keep emitting nowhere.
+func (l *LM) SetTracer(tr *trace.Tracer) { l.tr = tr }
+
+// mkSketch builds a block sketch via the factory and attaches the
+// tracer when the sketch supports it. All block-sketch creation goes
+// through here (or through mergeFrom, which receives it bound).
+func (l *LM) mkSketch(d int) stream.Mergeable {
+	sk := l.factory(d)
+	if t, ok := sk.(trace.Traceable); ok {
+		t.SetTracer(l.tr)
+	}
+	return sk
 }
 
 // NewLM builds a Logarithmic Method sketch from any mergeable
@@ -218,6 +239,7 @@ func (l *LM) closeActive(t float64) {
 	}
 	blk := l.active
 	l.active = lmBlock{start: t, end: t}
+	l.tr.Emit(l.name, trace.KindLMClose, t, float64(len(blk.raw)), blk.size)
 	l.pushLevel1(blk)
 }
 
@@ -244,13 +266,15 @@ func (l *LM) rebalance() {
 				// promote the oldest alone, preserving arrival order.
 				promoted := lv[0]
 				l.levels[i] = lv[1:]
+				l.tr.Emit(l.name, trace.KindLMPromote, promoted.end, float64(i+1), promoted.size)
 				l.appendLevel(i+1, promoted)
 				continue
 			}
-			lv[0].mergeFrom(&lv[1], l.factory, l.d)
+			lv[0].mergeFrom(&lv[1], l.mkSketch, l.d)
 			l.merges++
 			merged := lv[0]
 			l.levels[i] = lv[2:]
+			l.tr.Emit(l.name, trace.KindLMMerge, merged.end, float64(i+1), merged.size)
 			l.appendLevel(i+1, merged)
 		}
 	}
@@ -270,6 +294,7 @@ func (l *LM) appendLevel(i int, blk lmBlock) {
 // whole — its stale rows are the algorithm's budgeted expiring-block
 // error. Emptied trailing levels are dropped.
 func (l *LM) expire(cutoff float64) {
+	dropped := 0
 	for i := range l.levels {
 		lv := l.levels[i]
 		drop := 0
@@ -278,6 +303,7 @@ func (l *LM) expire(cutoff float64) {
 		}
 		if drop > 0 {
 			l.levels[i] = lv[drop:]
+			dropped += drop
 		}
 	}
 	for n := len(l.levels); n > 0 && len(l.levels[n-1]) == 0; n = len(l.levels) {
@@ -302,13 +328,16 @@ func (l *LM) expire(cutoff float64) {
 			}
 		}
 	}
+	if dropped > 0 || drop > 0 {
+		l.tr.Emit(l.name, trace.KindLMExpire, cutoff, float64(dropped), float64(drop))
+	}
 }
 
 // Query implements Algorithm 6.2: merge every live block sketch (plus
 // the active block's raw rows) into a fresh sketch of size ℓ.
 func (l *LM) Query(t float64) *mat.Dense {
 	l.expire(l.spec.Cutoff(t))
-	acc := l.factory(l.d)
+	acc := l.mkSketch(l.d)
 	// Merge oldest (highest level) first so FD's shrinking treats the
 	// window as a stream in arrival order.
 	for i := len(l.levels) - 1; i >= 0; i-- {

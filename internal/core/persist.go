@@ -7,6 +7,7 @@ import (
 	"swsketch/internal/binenc"
 	"swsketch/internal/mat"
 	"swsketch/internal/stream"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
@@ -99,7 +100,9 @@ func (s *SWR) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	w.Blob(nb)
-	return w.Bytes(), nil
+	out := w.Bytes()
+	s.tr.Emit("SWR", trace.KindSnapshot, s.lastT, float64(len(out)), 0)
+	return out, nil
 }
 
 // UnmarshalBinary restores an SWR snapshot into the receiver.
@@ -150,7 +153,9 @@ func (s *SWR) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: SWR snapshot has %d trailing bytes", r.Rest())
 	}
 	restored.norms = norms
+	restored.tr = s.tr // the tracer survives restore
 	*s = *restored
+	s.tr.Emit("SWR", trace.KindRestore, s.lastT, float64(len(data)), 0)
 	return nil
 }
 
@@ -180,7 +185,9 @@ func (s *SWOR) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	w.Blob(nb)
-	return w.Bytes(), nil
+	out := w.Bytes()
+	s.tr.Emit(s.Name(), trace.KindSnapshot, s.lastT, float64(len(out)), 0)
+	return out, nil
 }
 
 // UnmarshalBinary restores a SWOR snapshot into the receiver.
@@ -231,7 +238,9 @@ func (s *SWOR) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: SWOR snapshot has %d trailing bytes", r.Rest())
 	}
 	restored.norms = norms
+	restored.tr = s.tr // the tracer survives restore
 	*s = *restored
+	s.tr.Emit(s.Name(), trace.KindRestore, s.lastT, float64(len(data)), 0)
 	return nil
 }
 
@@ -263,7 +272,9 @@ func (l *LM) MarshalBinary() ([]byte, error) {
 	if err := writeLMBlock(w, &l.active); err != nil {
 		return nil, err
 	}
-	return w.Bytes(), nil
+	out := w.Bytes()
+	l.tr.Emit(l.name, trace.KindSnapshot, l.lastT, float64(len(out)), 0)
+	return out, nil
 }
 
 func writeLMBlock(w *binenc.Writer, blk *lmBlock) error {
@@ -395,6 +406,15 @@ func (l *LM) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: LM snapshot has %d trailing bytes", r.Rest())
 	}
 	restored.active = active
+	restored.tr = l.tr // the tracer survives restore
+	for i := range restored.levels {
+		for j := range restored.levels[i] {
+			if t, ok := restored.levels[i][j].sk.(trace.Traceable); ok {
+				t.SetTracer(l.tr)
+			}
+		}
+	}
 	*l = *restored
+	l.tr.Emit(l.name, trace.KindRestore, l.lastT, float64(len(data)), 0)
 	return nil
 }

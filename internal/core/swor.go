@@ -8,6 +8,7 @@ import (
 
 	"swsketch/internal/mat"
 	"swsketch/internal/stream"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
@@ -49,6 +50,17 @@ type SWOR struct {
 
 	lastT float64
 	seen  bool
+	tr    *trace.Tracer
+}
+
+// SetTracer attaches a tracer: ingests that evict candidates emit
+// sampler_evict events, and an EH-backed norm tracker (if attached
+// first) emits eh_merge events.
+func (s *SWOR) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	if t, ok := s.norms.(trace.Traceable); ok {
+		t.SetTracer(tr)
+	}
 }
 
 // NewSWOR returns a without-replacement sampler of ℓ rows over
@@ -116,13 +128,17 @@ func (s *SWOR) ingestRow(row []float64, t float64) float64 {
 		panic(fmt.Sprintf("core: SWOR timestamp %v precedes %v", t, s.lastT))
 	}
 	s.lastT, s.seen = t, true
-	s.expire(s.spec.Cutoff(t))
+	expired := s.expire(s.spec.Cutoff(t))
 	w := mat.SqNorm(row)
 	if w == 0 {
+		if expired > 0 {
+			s.tr.Emit(s.Name(), trace.KindSamplerEvict, t, 0, float64(expired))
+		}
 		return 0
 	}
 	key := stream.PriorityKey(s.rng, w)
 
+	before := len(s.queue)
 	kept := s.queue[:0]
 	for _, c := range s.queue {
 		if key > c.key {
@@ -133,13 +149,16 @@ func (s *SWOR) ingestRow(row []float64, t float64) float64 {
 		}
 	}
 	s.queue = kept
+	if bumped := before - len(kept); bumped > 0 || expired > 0 {
+		s.tr.Emit(s.Name(), trace.KindSamplerEvict, t, float64(bumped), float64(expired))
+	}
 	r := make([]float64, s.d)
 	copy(r, row)
 	s.queue = append(s.queue, sworCandidate{candidate: candidate{row: r, t: t, w: w, key: key}, rank: 1})
 	return w
 }
 
-func (s *SWOR) expire(cutoff float64) {
+func (s *SWOR) expire(cutoff float64) int {
 	drop := 0
 	for drop < len(s.queue) && s.queue[drop].t <= cutoff {
 		drop++
@@ -147,6 +166,7 @@ func (s *SWOR) expire(cutoff float64) {
 	if drop > 0 {
 		s.queue = s.queue[drop:]
 	}
+	return drop
 }
 
 // Query returns the rescaled sample for the window ending at t.

@@ -7,6 +7,7 @@ import (
 
 	"swsketch/internal/mat"
 	"swsketch/internal/stream"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
@@ -30,15 +31,20 @@ type swrQueue struct {
 
 // push inserts a new candidate, evicting trailing candidates whose
 // priority it dominates (they can never become the window maximum).
-func (q *swrQueue) push(c candidate) {
+// It returns the number evicted.
+func (q *swrQueue) push(c candidate) int {
+	evicted := 0
 	for n := len(q.items); n > 0 && q.items[n-1].key < c.key; n = len(q.items) {
 		q.items = q.items[:n-1]
+		evicted++
 	}
 	q.items = append(q.items, c)
+	return evicted
 }
 
-// expire drops candidates with timestamps at or before the cutoff.
-func (q *swrQueue) expire(cutoff float64) {
+// expire drops candidates with timestamps at or before the cutoff,
+// returning the number dropped.
+func (q *swrQueue) expire(cutoff float64) int {
 	drop := 0
 	for drop < len(q.items) && q.items[drop].t <= cutoff {
 		drop++
@@ -46,6 +52,7 @@ func (q *swrQueue) expire(cutoff float64) {
 	if drop > 0 {
 		q.items = q.items[drop:]
 	}
+	return drop
 }
 
 // top returns the current sample (the highest-priority live row).
@@ -71,6 +78,17 @@ type SWR struct {
 	norms  window.NormTracker
 	lastT  float64
 	seen   bool
+	tr     *trace.Tracer
+}
+
+// SetTracer attaches a tracer: ingests that evict candidates emit
+// sampler_evict events, and an EH-backed norm tracker (if attached
+// first) emits eh_merge events.
+func (s *SWR) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	if t, ok := s.norms.(trace.Traceable); ok {
+		t.SetTracer(tr)
+	}
 }
 
 // NewSWR returns an SWR sampler of ℓ rows over dimension d. The
@@ -135,15 +153,20 @@ func (s *SWR) ingestRow(row []float64, t float64) float64 {
 	cutoff := s.spec.Cutoff(t)
 	w := mat.SqNorm(row)
 	if w == 0 {
+		expired := 0
 		for i := range s.queues {
-			s.queues[i].expire(cutoff)
+			expired += s.queues[i].expire(cutoff)
+		}
+		if expired > 0 {
+			s.tr.Emit("SWR", trace.KindSamplerEvict, t, 0, float64(expired))
 		}
 		return 0
 	}
+	dominated, expired := 0, 0
 	var shared []float64 // lazily copied, shared across queues (read-only)
 	for i := range s.queues {
 		q := &s.queues[i]
-		q.expire(cutoff)
+		expired += q.expire(cutoff)
 		key := stream.PriorityKey(s.rng, w)
 		// Fast path: if the new key does not beat the back of a
 		// non-empty queue it still must be appended (it is the max of
@@ -152,7 +175,10 @@ func (s *SWR) ingestRow(row []float64, t float64) float64 {
 			shared = make([]float64, s.d)
 			copy(shared, row)
 		}
-		q.push(candidate{row: shared, t: t, w: w, key: key})
+		dominated += q.push(candidate{row: shared, t: t, w: w, key: key})
+	}
+	if dominated > 0 || expired > 0 {
+		s.tr.Emit("SWR", trace.KindSamplerEvict, t, float64(dominated), float64(expired))
 	}
 	return w
 }

@@ -17,6 +17,8 @@ package eh
 import (
 	"fmt"
 	"math"
+
+	"swsketch/internal/trace"
 )
 
 // bucket covers rows with timestamps in (start, end]; sum is the total
@@ -36,7 +38,12 @@ type Histogram struct {
 	// total is the sum over all buckets, maintained incrementally so
 	// Estimate is O(1) plus the straddling correction.
 	total float64
+
+	tr *trace.Tracer
 }
+
+// SetTracer attaches a tracer; bucket merges emit eh_merge events.
+func (h *Histogram) SetTracer(tr *trace.Tracer) { h.tr = tr }
 
 // New returns a histogram with relative error approximately 1/k.
 // It panics if k < 1.
@@ -176,6 +183,8 @@ func (h *Histogram) mergeWithNext(i int) {
 	h.buckets[i].sum += h.buckets[j].sum
 	h.buckets[i].count += h.buckets[j].count
 	h.buckets = append(h.buckets[:j], h.buckets[j+1:]...)
+	h.tr.Emit("EH", trace.KindEHMerge, h.buckets[i].end,
+		float64(sizeClass(h.buckets[i].sum)), h.buckets[i].sum)
 }
 
 // Expire drops buckets that ended at or before the cutoff timestamp.

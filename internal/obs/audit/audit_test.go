@@ -1,0 +1,230 @@
+package audit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/mat"
+	"swsketch/internal/obs"
+	"swsketch/internal/window"
+)
+
+func gaussRows(n, d int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	times := make([]float64, n)
+	for i := range rows {
+		r := make([]float64, d)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+		rows[i] = r
+		times[i] = float64(i)
+	}
+	return rows, times
+}
+
+func TestNilAuditorIsSafe(t *testing.T) {
+	var a *Auditor
+	a.ObserveBatch([][]float64{{1}}, []float64{0}, nil)
+	a.Reset()
+	if _, ok := a.Evaluate(nil); ok {
+		t.Fatal("nil auditor evaluated")
+	}
+	if s := a.Status(); s.Active {
+		t.Fatal("nil auditor active")
+	}
+	if a.ShadowRows() != 0 {
+		t.Fatal("nil auditor holds rows")
+	}
+}
+
+// TestAuditMatchesOfflineOracle is the core contract: the audited
+// cova-err must equal an independent offline window.Exact evaluation
+// of the same sketch answer at the same time, to floating-point
+// tolerance.
+func TestAuditMatchesOfflineOracle(t *testing.T) {
+	const d, n, win = 8, 600, 200
+	spec := window.Seq(win)
+	sk := core.NewLMFD(spec, d, 24, 4)
+	reg := obs.NewRegistry()
+	a := New(Config{Spec: spec, D: d, Stride: 50}, reg)
+
+	offline := window.NewExact(spec, d)
+	rows, times := gaussRows(n, d, 42)
+	query := func(tt float64) *mat.Dense { return sk.Query(tt) }
+	for i := range rows {
+		sk.Update(rows[i], times[i])
+		offline.Update(rows[i], times[i])
+		a.ObserveBatch(rows[i:i+1], times[i:i+1], query)
+	}
+
+	st := a.Status()
+	if st.Evaluations == 0 {
+		t.Fatal("no evaluations ran")
+	}
+	if want := uint64(n / 50); st.Evaluations != want {
+		t.Fatalf("evaluations %d, want %d", st.Evaluations, want)
+	}
+	// Recompute offline at the same stream time with the same query.
+	wantErr := offline.CovaErr(sk.Query(times[n-1]))
+	res, ok := a.Evaluate(query)
+	if !ok {
+		t.Fatal("forced evaluation refused")
+	}
+	if math.Abs(res.CovaErr-wantErr) > 1e-12 {
+		t.Fatalf("audited cova-err %v, offline oracle %v", res.CovaErr, wantErr)
+	}
+	if res.ShadowRows != win {
+		t.Fatalf("shadow rows %d, want %d", res.ShadowRows, win)
+	}
+	if res.NormRatio < 1 {
+		t.Fatalf("norm ratio %v", res.NormRatio)
+	}
+	if res.CovaErr > 1 {
+		t.Fatalf("LM-FD cova-err implausibly high: %v", res.CovaErr)
+	}
+}
+
+func TestAuditRegistersMetrics(t *testing.T) {
+	spec := window.Seq(50)
+	reg := obs.NewRegistry()
+	a := New(Config{Spec: spec, D: 4, Stride: 10}, reg)
+	sk := core.NewSWR(spec, 8, 4, 1)
+	rows, times := gaussRows(120, 4, 7)
+	sk.UpdateBatch(rows, times)
+	a.ObserveBatch(rows, times, func(tt float64) *mat.Dense { return sk.Query(tt) })
+
+	out := reg.Expose()
+	for _, want := range []string{
+		"swsketch_audit_cova_err ",
+		"swsketch_audit_norm_ratio ",
+		"swsketch_audit_err_drift ",
+		"swsketch_audit_shadow_rows 50",
+		"swsketch_audit_evaluations_total 1",
+		"swsketch_audit_eval_seconds_count 1",
+		`swsketch_audit_cova_err_hist_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestAuditCapsAndDisarms(t *testing.T) {
+	spec := window.Seq(1000)
+	a := New(Config{Spec: spec, D: 2, Stride: 10, MaxShadowRows: 30}, nil)
+	rows, times := gaussRows(100, 2, 3)
+	evals := 0
+	a.ObserveBatch(rows, times, func(tt float64) *mat.Dense { evals++; return mat.NewDense(0, 2) })
+	st := a.Status()
+	if !st.Capped || st.Active {
+		t.Fatalf("status %+v, want capped+inactive", st)
+	}
+	if a.ShadowRows() != 0 {
+		t.Fatalf("capped auditor retains %d shadow rows", a.ShadowRows())
+	}
+	if _, ok := a.Evaluate(nil); ok {
+		t.Fatal("capped auditor evaluated")
+	}
+	// Further observes are no-ops, not panics.
+	a.ObserveBatch(rows, times, nil)
+}
+
+func TestAuditWarmupAfterReset(t *testing.T) {
+	const win = 40
+	spec := window.Seq(win)
+	a := New(Config{Spec: spec, D: 2, Stride: 5}, nil)
+	sk := core.NewSWOR(spec, 8, 2, 5)
+	query := func(tt float64) *mat.Dense { return sk.Query(tt) }
+
+	rows, times := gaussRows(60, 2, 11)
+	sk.UpdateBatch(rows, times)
+	a.ObserveBatch(rows, times, query)
+	preReset := a.Status().Evaluations
+	if preReset == 0 {
+		t.Fatal("no evaluations before reset")
+	}
+
+	a.Reset()
+	if st := a.Status(); !st.Warming {
+		t.Fatalf("post-reset status %+v", st)
+	}
+	// Fewer rows than the window: still warming, no new evaluations.
+	rows2, times2 := gaussRows(win-1, 2, 12)
+	for i := range times2 {
+		times2[i] += 60
+	}
+	sk.UpdateBatch(rows2, times2)
+	a.ObserveBatch(rows2, times2, query)
+	if st := a.Status(); !st.Warming || st.Evaluations != preReset {
+		t.Fatalf("evaluated while warming: %+v", st)
+	}
+	// Completing the window resumes evaluations.
+	last, lt := gaussRows(6, 2, 13)
+	for i := range lt {
+		lt[i] += 60 + float64(win)
+	}
+	sk.UpdateBatch(last, lt)
+	a.ObserveBatch(last, lt, query)
+	if st := a.Status(); st.Warming || st.Evaluations <= preReset {
+		t.Fatalf("did not resume after warmup: %+v", st)
+	}
+}
+
+func TestAuditDegradedThreshold(t *testing.T) {
+	spec := window.Seq(30)
+	a := New(Config{Spec: spec, D: 2, Stride: 10, ErrThreshold: 1e-9}, nil)
+	sk := core.NewSWOR(spec, 2, 2, 9) // tiny sample: error well above 1e-9
+	rows, times := gaussRows(50, 2, 17)
+	sk.UpdateBatch(rows, times)
+	a.ObserveBatch(rows, times, func(tt float64) *mat.Dense { return sk.Query(tt) })
+	st := a.Status()
+	if !st.Degraded {
+		t.Fatalf("expected degraded at threshold 1e-9, status %+v", st)
+	}
+	if st.CovaErr <= st.Threshold {
+		t.Fatalf("cova-err %v not above threshold %v", st.CovaErr, st.Threshold)
+	}
+}
+
+func TestAuditTimeWindowWarmup(t *testing.T) {
+	spec := window.TimeSpan(10)
+	a := New(Config{Spec: spec, D: 2, Stride: 3}, nil)
+	sk := core.NewSWR(spec, 4, 2, 21)
+	query := func(tt float64) *mat.Dense { return sk.Query(tt) }
+	rows, _ := gaussRows(30, 2, 23)
+	times := make([]float64, 30)
+	for i := range times {
+		times[i] = float64(i) * 0.5 // 30 rows over 15 time units
+	}
+	sk.UpdateBatch(rows, times)
+	a.ObserveBatch(rows, times, query)
+	a.Reset()
+
+	// 8 time units of data: still inside the warming span of 10.
+	rows2, _ := gaussRows(16, 2, 24)
+	t2 := make([]float64, 16)
+	for i := range t2 {
+		t2[i] = 15 + float64(i)*0.5
+	}
+	sk.UpdateBatch(rows2, t2)
+	a.ObserveBatch(rows2, t2, query)
+	if st := a.Status(); !st.Warming {
+		t.Fatalf("warming ended after 7.5/10 time units: %+v", st)
+	}
+	// Push past the span.
+	rows3, _ := gaussRows(8, 2, 25)
+	t3 := make([]float64, 8)
+	for i := range t3 {
+		t3[i] = 23 + float64(i)
+	}
+	sk.UpdateBatch(rows3, t3)
+	a.ObserveBatch(rows3, t3, query)
+	if st := a.Status(); st.Warming || st.Evaluations == 0 {
+		t.Fatalf("warmup never completed: %+v", st)
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swsketch/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// buildGoldenRegistry assembles a registry covering every exposition
+// shape: counters, static and callback gauges, gauge sets, histograms
+// (custom and empty), label escaping, and HELP escaping. Every value
+// is deterministic.
+func buildGoldenRegistry() *Registry {
+	reg := NewRegistry()
+
+	c := reg.Counter("golden_rows_total", "Rows ingested.", Labels{"algo": "LM-FD"})
+	c.Add(1234)
+	reg.Counter("golden_rows_total", "Rows ingested.", Labels{"algo": "SWR"}).Add(7)
+
+	g := reg.Gauge("golden_temperature", "A plain gauge.", nil)
+	g.Set(36.5)
+
+	reg.GaugeFunc("golden_computed", "A callback gauge.", Labels{"src": "fn"},
+		func() float64 { return 2.5 })
+
+	reg.GaugeSet("golden_internal", "A dynamic gauge group.", "stat",
+		Labels{"algo": "DI-FD"}, func() map[string]float64 {
+			return map[string]float64{"levels": 4, "blocks": 9}
+		})
+
+	h := reg.Histogram("golden_latency_seconds", "A histogram with custom buckets.",
+		Labels{"route": "/v1/query"}, []float64{0.01, 0.1, 1})
+	// Binary-exact values so the rendered _sum is stable.
+	for _, v := range []float64{0.0078125, 0.0078125, 0.0625, 0.5, 4} {
+		h.Observe(v)
+	}
+	reg.Histogram("golden_empty_seconds", "A histogram with no observations.",
+		nil, []float64{1, 2})
+
+	// Escaping: label values with quotes, backslashes, newlines; HELP
+	// with backslash and newline.
+	reg.Counter("golden_escapes_total",
+		"Help with a \\ backslash\nand a newline.",
+		Labels{"path": `C:\tmp`, "quote": `say "hi"`, "nl": "a\nb"}).Add(1)
+
+	return reg
+}
+
+// TestExpositionGolden pins the full Prometheus text-format output.
+// Regenerate with: go test ./internal/obs -run TestExpositionGolden -update-golden
+func TestExpositionGolden(t *testing.T) {
+	got := buildGoldenRegistry().Expose()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionConformance checks the text-format invariants the
+// golden file relies on, so a future regeneration cannot silently
+// lock in a regression.
+func TestExpositionConformance(t *testing.T) {
+	out := buildGoldenRegistry().Expose()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+
+	// Histograms must expose a +Inf bucket equal to _count, plus _sum.
+	checks := []string{
+		`golden_latency_seconds_bucket{le="+Inf",route="/v1/query"} 5`,
+		`golden_latency_seconds_sum{route="/v1/query"} 4.578125`,
+		`golden_latency_seconds_count{route="/v1/query"} 5`,
+		`golden_empty_seconds_bucket{le="+Inf"} 0`,
+		`golden_empty_seconds_sum 0`,
+		`golden_empty_seconds_count 0`,
+		// Cumulative buckets.
+		`golden_latency_seconds_bucket{le="0.01",route="/v1/query"} 2`,
+		`golden_latency_seconds_bucket{le="0.1",route="/v1/query"} 3`,
+		`golden_latency_seconds_bucket{le="1",route="/v1/query"} 4`,
+		// Label escaping.
+		`golden_escapes_total{nl="a\nb",path="C:\\tmp",quote="say \"hi\""} 1`,
+		// HELP escaping: backslash doubled, newline as \n.
+		`# HELP golden_escapes_total Help with a \\ backslash\nand a newline.`,
+	}
+	for _, want := range checks {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing line %q", want)
+		}
+	}
+
+	// No raw newlines inside any rendered line (escaping worked), and
+	// every sample line parses as name{...} value.
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		if !strings.Contains(ln, " ") {
+			t.Errorf("malformed sample line %q", ln)
+		}
+	}
+}
+
+// TestRuntimeMetricsRegister smoke-tests the self-metrics: they must
+// register, render, and carry plausible values.
+func TestRuntimeMetricsRegister(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	out := reg.Expose()
+	for _, want := range []string{
+		"swsketch_go_goroutines ",
+		"swsketch_go_heap_inuse_bytes ",
+		"swsketch_go_heap_objects ",
+		"swsketch_go_alloc_bytes_total ",
+		"swsketch_go_gc_runs_total ",
+		"swsketch_go_gc_pause_seconds_total ",
+		"swsketch_process_uptime_seconds ",
+		`swsketch_build_info{go_version="go`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+}
+
+// TestRegisterTracerBridge checks the trace→registry correlation:
+// per-kind counts and exemplar IDs appear as gauge sets.
+func TestRegisterTracerBridge(t *testing.T) {
+	tr := trace.New(64)
+	tr.Enable()
+	reg := NewRegistry()
+	RegisterTracer(reg, tr)
+
+	tr.Emit("LM-FD", trace.KindLMMerge, 1, 1, 2)
+	tr.Emit("LM-FD", trace.KindLMMerge, 2, 2, 4)
+	tr.Emit("FD", trace.KindFDShrink, 2, 10, 5)
+
+	out := reg.Expose()
+	for _, want := range []string{
+		"swsketch_trace_enabled 1",
+		"swsketch_trace_events_total 3",
+		`swsketch_trace_events{kind="lm_merge"} 2`,
+		`swsketch_trace_events{kind="fd_shrink"} 1`,
+		`swsketch_trace_last_seq{kind="lm_merge"} 2`,
+		`swsketch_trace_last_seq{kind="fd_shrink"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace bridge missing %q in:\n%s", want, out)
+		}
+	}
+	// RegisterTracer with nil must be a no-op, not a panic.
+	RegisterTracer(NewRegistry(), nil)
+}

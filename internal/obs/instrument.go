@@ -6,6 +6,7 @@ import (
 
 	"swsketch/internal/core"
 	"swsketch/internal/mat"
+	"swsketch/internal/trace"
 )
 
 // Instrumented decorates a core.WindowSketch with metrics: ingest and
@@ -99,6 +100,13 @@ func NewInstrumented(sk core.WindowSketch, reg *Registry, opts ...InstrumentOpti
 // Unwrap returns the underlying sketch (for capability checks like
 // snapshot support that must not see the decorator).
 func (i *Instrumented) Unwrap() core.WindowSketch { return i.sk }
+
+// SetTracer forwards the tracer to the wrapped sketch.
+func (i *Instrumented) SetTracer(tr *trace.Tracer) {
+	if t, ok := i.sk.(trace.Traceable); ok {
+		t.SetTracer(tr)
+	}
+}
 
 // Update implements core.WindowSketch. The timing is sampled; the row
 // counter is exact.

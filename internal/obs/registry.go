@@ -63,6 +63,16 @@ func escapeLabel(v string) string {
 	return r.Replace(v)
 }
 
+// escapeHelp escapes HELP text per the text format (version 0.0.4):
+// backslash and newline only — double quotes stay literal.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
 // Counter is a monotonically increasing integer counter.
 type Counter struct {
 	v atomic.Uint64
@@ -327,7 +337,7 @@ func (r *Registry) WritePrometheus(w *strings.Builder) {
 
 	for _, f := range fams {
 		if f.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range f.series {

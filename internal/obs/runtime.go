@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats results so a burst of scrape
+// callbacks (one per registered heap metric) costs one stop-the-world
+// sample instead of five.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memSampler) get() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.at) > time.Second {
+		runtime.ReadMemStats(&m.stat)
+		m.at = now
+	}
+	return m.stat
+}
+
+// RegisterRuntimeMetrics adds Go runtime and process self-metrics to
+// reg, making /metrics self-describing for dashboards: goroutine
+// count, heap in use, total allocations, GC runs and cumulative pause
+// time, process uptime, and a build-info gauge carrying the Go
+// version as a label (value constant 1, the Prometheus idiom for
+// info-style metrics).
+func RegisterRuntimeMetrics(reg *Registry) {
+	start := time.Now()
+	ms := &memSampler{}
+
+	reg.GaugeFunc("swsketch_go_goroutines",
+		"Current number of goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("swsketch_go_heap_inuse_bytes",
+		"Heap bytes in in-use spans.", nil,
+		func() float64 { return float64(ms.get().HeapInuse) })
+	reg.GaugeFunc("swsketch_go_heap_objects",
+		"Live heap objects.", nil,
+		func() float64 { return float64(ms.get().HeapObjects) })
+	reg.GaugeFunc("swsketch_go_alloc_bytes_total",
+		"Cumulative bytes allocated on the heap.", nil,
+		func() float64 { return float64(ms.get().TotalAlloc) })
+	reg.GaugeFunc("swsketch_go_gc_runs_total",
+		"Completed garbage-collection cycles.", nil,
+		func() float64 { return float64(ms.get().NumGC) })
+	reg.GaugeFunc("swsketch_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.", nil,
+		func() float64 { return float64(ms.get().PauseTotalNs) / 1e9 })
+	reg.GaugeFunc("swsketch_process_uptime_seconds",
+		"Seconds since the process registered its metrics.", nil,
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("swsketch_build_info",
+		"Build information; the value is constant 1.",
+		Labels{"go_version": runtime.Version()},
+		func() float64 { return 1 })
+}

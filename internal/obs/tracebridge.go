@@ -1,0 +1,46 @@
+package obs
+
+import "swsketch/internal/trace"
+
+// RegisterTracer bridges a tracer into the metrics registry: per-kind
+// event counts and the last-assigned event IDs become scrape-time
+// gauge sets, so dashboards can alert on structural churn (merge
+// cascades, shrink storms) and a spike's exemplar event ID can be
+// looked up in the GET /debug/trace dump — the correlation between
+// the two observability planes.
+func RegisterTracer(reg *Registry, tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	reg.GaugeFunc("swsketch_trace_enabled",
+		"Whether the event tracer is recording (1) or not (0).", nil,
+		func() float64 {
+			if tr.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("swsketch_trace_events_total",
+		"Events emitted since the tracer was reset (all kinds, including sampled-out).", nil,
+		func() float64 { return float64(tr.Total()) })
+	reg.GaugeSet("swsketch_trace_events",
+		"Events emitted per kind.", "kind", nil,
+		func() map[string]float64 {
+			counts := tr.Counts()
+			out := make(map[string]float64, len(counts))
+			for k, v := range counts {
+				out[k] = float64(v.Count)
+			}
+			return out
+		})
+	reg.GaugeSet("swsketch_trace_last_seq",
+		"Exemplar: sequence ID of the most recent event per kind (look it up in /debug/trace).", "kind", nil,
+		func() map[string]float64 {
+			counts := tr.Counts()
+			out := make(map[string]float64, len(counts))
+			for k, v := range counts {
+				out[k] = float64(v.LastSeq)
+			}
+			return out
+		})
+}

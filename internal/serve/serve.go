@@ -12,10 +12,14 @@
 //	GET  /v1/approximation  [?t=...]      window approximation B
 //	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
 //	GET  /v1/stats          sketch metadata + "internals" (Introspector)
+//	GET  /v1/health         accuracy health: ok/degraded vs the audit threshold
+//	                        (?fresh=1 forces an evaluation) (WithAudit)
 //	GET  /v1/snapshot       binary sketch snapshot
 //	POST /v1/snapshot       restore a snapshot
 //	GET  /healthz           200 ok
 //	GET  /metrics           Prometheus text exposition (WithMetrics)
+//	GET  /debug/trace       event-trace JSONL dump (?format=summary for counts)
+//	                        (WithTrace)
 //	     /debug/pprof/...   runtime profiles (WithPprof)
 //
 // Every error response under /v1 uses the machine-readable envelope
@@ -44,17 +48,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swsketch/internal/core"
 	"swsketch/internal/mat"
 	"swsketch/internal/obs"
+	"swsketch/internal/obs/audit"
 	"swsketch/internal/pca"
+	"swsketch/internal/trace"
 )
 
 // Error codes of the uniform error envelope; see the package comment.
@@ -82,6 +90,13 @@ type Server struct {
 	reg     *obs.Registry
 	pprof   bool
 	maxBody int64
+
+	tr    *trace.Tracer
+	audit *audit.Auditor
+	log   *slog.Logger
+
+	reqSeq    atomic.Uint64
+	reqPrefix string
 }
 
 // Option configures a Server; see WithMetrics, WithPprof, WithMaxBody.
@@ -113,6 +128,32 @@ func WithMaxBody(n int64) Option {
 	}
 }
 
+// WithTrace attaches an event tracer: the sketch's structural
+// transitions emit into it (when the sketch is trace.Traceable),
+// completed requests emit http_request events tagged with their
+// request IDs, and GET /debug/trace serves the ring as JSONL. When
+// metrics are also active the tracer's per-kind counts and exemplar
+// event IDs are bridged into the registry.
+func WithTrace(tr *trace.Tracer) Option {
+	return func(s *Server) { s.tr = tr }
+}
+
+// WithAudit attaches an online accuracy auditor: every ingested row is
+// shadowed, cova-err is evaluated on the auditor's stride, and GET
+// /v1/health reports ok/degraded against its threshold. The auditor's
+// gauges live in whatever registry it was built with — pass the same
+// registry to WithMetrics to serve them on /metrics.
+func WithAudit(a *audit.Auditor) Option {
+	return func(s *Server) { s.audit = a }
+}
+
+// WithLogger enables structured request logging: one slog record per
+// completed request, carrying the request ID that also tags the
+// request's trace events. The default is silent.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
 // NewServer returns a server around the given sketch and dimension.
 func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 	if d < 1 {
@@ -122,6 +163,14 @@ func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	// Request IDs: a short per-server entropy prefix plus a counter, so
+	// IDs from restarted servers don't collide in aggregated logs.
+	s.reqPrefix = strconv.FormatInt(time.Now().UnixNano()&0xffffff, 36)
+	if s.tr != nil {
+		if t, ok := sk.(trace.Traceable); ok {
+			t.SetTracer(s.tr)
+		}
+	}
 	if s.reg != nil {
 		// Scrape-time reads of the sketch (rows stored, internals) run
 		// under the server mutex so /metrics never races an ingest.
@@ -130,6 +179,8 @@ func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 			defer s.mu.Unlock()
 			f()
 		}))
+		obs.RegisterRuntimeMetrics(s.reg)
+		obs.RegisterTracer(s.reg, s.tr)
 	}
 	return s
 }
@@ -141,7 +192,7 @@ func (s *Server) Handler() http.Handler {
 		// Method-pattern route plus a same-path fallback answering any
 		// other method with a 405 envelope (the stock ServeMux 405 is
 		// plain text).
-		mux.HandleFunc(pattern, s.timed(strings.TrimSpace(pattern[strings.Index(pattern, " "):]), h))
+		mux.HandleFunc(pattern, s.wrap(strings.TrimSpace(pattern[strings.Index(pattern, " "):]), h))
 		if len(allow) > 0 {
 			mux.HandleFunc(strings.TrimSpace(pattern[strings.Index(pattern, " "):]), methodNotAllowed(allow...))
 		}
@@ -150,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/approximation", s.handleApproximation, "GET")
 	handle("GET /v1/pca", s.handlePCA, "GET")
 	handle("GET /v1/stats", s.handleStats, "GET")
+	handle("GET /v1/health", s.handleHealth, "GET")
 	handle("GET /v1/snapshot", s.handleSnapshotGet) // fallback shared below
 	handle("POST /v1/snapshot", s.handleSnapshotPost, "GET", "POST")
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -159,6 +211,9 @@ func (s *Server) Handler() http.Handler {
 	if s.reg != nil {
 		mux.Handle("GET /metrics", s.reg.Handler())
 		mux.HandleFunc("/metrics", methodNotAllowed("GET"))
+	}
+	if s.tr != nil {
+		handle("GET /debug/trace", s.handleTrace, "GET")
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -174,22 +229,50 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// timed wraps a handler with per-route latency and request-count
-// metrics when WithMetrics is active; otherwise it is the identity.
-func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
-	if s.reg == nil {
+// wrap decorates a handler with the per-request observability plane:
+// an X-Request-ID response header, per-route latency/count metrics
+// (WithMetrics), an http_request trace event carrying the request ID
+// (WithTrace), and one slog record per completed request (WithLogger).
+// With none of the three active it is the identity.
+func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.reg == nil && s.tr == nil && s.log == nil {
 		return h
 	}
-	hist := s.reg.Histogram("swsketch_http_request_seconds",
-		"HTTP request latency by route.", obs.Labels{"route": route}, nil)
+	var hist *obs.Histogram
+	if s.reg != nil {
+		hist = s.reg.Histogram("swsketch_http_request_seconds",
+			"HTTP request latency by route.", obs.Labels{"route": route}, nil)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := s.reqPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
-		hist.Observe(time.Since(start).Seconds())
-		s.reg.Counter("swsketch_http_requests_total",
-			"HTTP requests by route and status code.",
-			obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}).Inc()
+		dur := time.Since(start)
+		if hist != nil {
+			hist.Observe(dur.Seconds())
+			s.reg.Counter("swsketch_http_requests_total",
+				"HTTP requests by route and status code.",
+				obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}).Inc()
+		}
+		if s.tr.Enabled() {
+			// V1 = status code, V2 = latency in seconds; the note carries
+			// the request ID so a log line or response header can be
+			// joined against the trace ring.
+			s.tr.EmitNote("serve", trace.KindHTTP, 0,
+				float64(sw.code), dur.Seconds(), id+" "+r.Method+" "+route)
+		}
+		if s.log != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.code),
+				slog.Duration("duration", dur),
+			)
+		}
 	}
 }
 
@@ -296,22 +379,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		s.updates += uint64(len(req.Updates))
 		s.lastT, s.seen = prev, true
+		s.observeAudit(rows, times)
 		writeJSON(w, ingestResponse{Accepted: len(req.Updates), LastT: prev})
 		return
 	}
 	rows := make([]func(), 0, len(req.Updates))
+	var auditRows [][]float64
+	var auditTimes []float64
+	if s.audit != nil {
+		auditRows = make([][]float64, 0, len(req.Updates))
+		auditTimes = make([]float64, 0, len(req.Updates))
+	}
 	for i, u := range req.Updates {
 		if seen && u.T < prev {
 			httpError(w, http.StatusBadRequest, CodeInvalidArgument,
 				"update %d: timestamp %v precedes %v", i, u.T, prev)
 			return
 		}
-		apply, err := s.prepareUpdate(u)
+		apply, dense, err := s.prepareUpdate(u)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, CodeInvalidArgument, "update %d: %v", i, err)
 			return
 		}
 		rows = append(rows, apply)
+		if s.audit != nil {
+			auditRows = append(auditRows, dense)
+			auditTimes = append(auditTimes, u.T)
+		}
 		prev, seen = u.T, true
 	}
 	// The sketch enforces invariants the server cannot fully check —
@@ -324,7 +418,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.updates += uint64(len(req.Updates))
 	s.lastT, s.seen = prev, true
+	s.observeAudit(auditRows, auditTimes)
 	writeJSON(w, ingestResponse{Accepted: len(req.Updates), LastT: prev})
+}
+
+// observeAudit feeds freshly ingested rows to the auditor. The caller
+// holds s.mu, so the query closure (which the auditor may invoke for a
+// stride-triggered evaluation) reads the sketch consistently. The
+// closure queries the undecorated sketch so audit evaluations don't
+// pollute the serving query-latency metrics.
+func (s *Server) observeAudit(rows [][]float64, times []float64) {
+	if s.audit == nil {
+		return
+	}
+	s.audit.ObserveBatch(rows, times, func(t float64) *mat.Dense {
+		return s.raw.Query(t)
+	})
 }
 
 type approximationResponse struct {
@@ -509,6 +618,9 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 		s.updates = 0
 		s.seen = false
 		s.lastT = 0
+		// The restored window's contents are unknowable to the shadow
+		// oracle; re-arm it in the warming state.
+		s.audit.Reset()
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -517,6 +629,57 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "restored")
+}
+
+// healthResponse is the GET /v1/health payload. Status is "ok" or
+// "degraded"; Detail carries the auditor's full view when one is
+// attached.
+type healthResponse struct {
+	Status string        `json:"status"`
+	Audit  bool          `json:"audit"`
+	Detail *audit.Status `json:"detail,omitempty"`
+}
+
+// handleHealth reports accuracy health. Without an auditor it is a
+// plain liveness "ok". With one, the latest audited cova-err decides
+// ok (200) vs degraded (503); ?fresh=1 forces an evaluation first so
+// the verdict reflects the current window rather than the last stride
+// boundary.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.audit == nil {
+		writeJSON(w, healthResponse{Status: "ok"})
+		return
+	}
+	if r.URL.Query().Get("fresh") != "" {
+		s.mu.Lock()
+		s.audit.Evaluate(func(t float64) *mat.Dense { return s.raw.Query(t) })
+		s.mu.Unlock()
+	}
+	st := s.audit.Status()
+	resp := healthResponse{Status: "ok", Audit: true, Detail: &st}
+	if st.Degraded {
+		resp.Status = "degraded"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleTrace dumps the trace ring. The default body is JSONL (one
+// event per line, oldest first); ?format=summary returns the per-kind
+// counts and ring occupancy as a single JSON object.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "summary":
+		writeJSON(w, s.tr.Summarize())
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.tr.WriteJSONL(w)
+	default:
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "bad format %q", f)
+	}
 }
 
 // checkFiniteVals rejects NaN and overflow-ish values before they
@@ -531,26 +694,28 @@ func checkFiniteVals(vals []float64) error {
 }
 
 // prepareUpdate validates one ingest update and returns a closure that
-// applies it; validation and application are split so a bad batch is
-// rejected atomically.
-func (s *Server) prepareUpdate(u ingestUpdate) (func(), error) {
+// applies it plus the dense form of the row (for the audit shadow —
+// sparse rows are only densified when an auditor is attached);
+// validation and application are split so a bad batch is rejected
+// atomically.
+func (s *Server) prepareUpdate(u ingestUpdate) (func(), []float64, error) {
 	checkVals := checkFiniteVals
 	if len(u.Idx) > 0 || len(u.Val) > 0 {
 		if len(u.Row) > 0 {
-			return nil, fmt.Errorf("row and idx/val are mutually exclusive")
+			return nil, nil, fmt.Errorf("row and idx/val are mutually exclusive")
 		}
 		if len(u.Idx) != len(u.Val) {
-			return nil, fmt.Errorf("%d indices but %d values", len(u.Idx), len(u.Val))
+			return nil, nil, fmt.Errorf("%d indices but %d values", len(u.Idx), len(u.Val))
 		}
 		prev := -1
 		for _, ix := range u.Idx {
 			if ix <= prev || ix >= s.d {
-				return nil, fmt.Errorf("sparse index %d invalid for dimension %d", ix, s.d)
+				return nil, nil, fmt.Errorf("sparse index %d invalid for dimension %d", ix, s.d)
 			}
 			prev = ix
 		}
 		if err := checkVals(u.Val); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sr := mat.SparseRow{Idx: u.Idx, Val: u.Val}
 		// Capability lives on the undecorated sketch; the decorated one
@@ -558,18 +723,22 @@ func (s *Server) prepareUpdate(u ingestUpdate) (func(), error) {
 		// is recorded.
 		if _, ok := s.raw.(core.SparseUpdater); ok {
 			su := s.sk.(core.SparseUpdater)
-			return func() { su.UpdateSparse(sr, u.T) }, nil
+			var row []float64
+			if s.audit != nil {
+				row = sr.Dense(s.d)
+			}
+			return func() { su.UpdateSparse(sr, u.T) }, row, nil
 		}
 		dense := sr.Dense(s.d)
-		return func() { s.sk.Update(dense, u.T) }, nil
+		return func() { s.sk.Update(dense, u.T) }, dense, nil
 	}
 	if len(u.Row) != s.d {
-		return nil, fmt.Errorf("row length %d, want %d", len(u.Row), s.d)
+		return nil, nil, fmt.Errorf("row length %d, want %d", len(u.Row), s.d)
 	}
 	if err := checkVals(u.Row); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return func() { s.sk.Update(u.Row, u.T) }, nil
+	return func() { s.sk.Update(u.Row, u.T) }, u.Row, nil
 }
 
 // applyBatch feeds an all-dense batch through the sketch's bulk path,

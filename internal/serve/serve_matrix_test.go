@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/obs"
+	"swsketch/internal/trace"
+	"swsketch/internal/window"
+)
+
+// newMatrixServer mounts every optional route (metrics, trace, pprof)
+// with a small body cap so the full route × failure matrix is
+// exercisable against one server.
+func newMatrixServer(t *testing.T) (*httptest.Server, func()) {
+	t.Helper()
+	tr := trace.New(256)
+	sk := core.NewLMFD(window.Seq(100), 3, 8, 4)
+	srv := NewServer(sk, 3,
+		WithMetrics(obs.NewRegistry()),
+		WithTrace(tr),
+		WithPprof(),
+		WithMaxBody(1024),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	return ts, ts.Close
+}
+
+func do(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// wantEnvelope asserts a response is the machine-readable error
+// envelope with the given status and code.
+func wantEnvelope(t *testing.T, resp *http.Response, status int, code string) {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Errorf("status %d, want %d", resp.StatusCode, status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q, want application/json", ct)
+	}
+	var er errorResponse
+	decode(t, resp, &er)
+	if er.Error.Code != code {
+		t.Errorf("code %q, want %q", er.Error.Code, code)
+	}
+	if er.Error.Message == "" {
+		t.Error("empty envelope message")
+	}
+}
+
+// TestErrorEnvelopeMethodMatrix hits every route with methods it does
+// not allow; each must answer the 405 envelope with an Allow header
+// naming the methods it does.
+func TestErrorEnvelopeMethodMatrix(t *testing.T) {
+	ts, done := newMatrixServer(t)
+	defer done()
+
+	routes := []struct {
+		path  string
+		allow []string
+	}{
+		{"/v1/ingest", []string{"POST"}},
+		{"/v1/approximation", []string{"GET"}},
+		{"/v1/pca", []string{"GET"}},
+		{"/v1/stats", []string{"GET"}},
+		{"/v1/health", []string{"GET"}},
+		{"/v1/snapshot", []string{"GET", "POST"}},
+		{"/healthz", []string{"GET"}},
+		{"/metrics", []string{"GET"}},
+		{"/debug/trace", []string{"GET"}},
+	}
+	methods := []string{"GET", "POST", "PUT", "DELETE", "PATCH"}
+
+	allowed := func(m string, allow []string) bool {
+		for _, a := range allow {
+			if a == m {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, rt := range routes {
+		for _, m := range methods {
+			if allowed(m, rt.allow) {
+				continue
+			}
+			t.Run(m+" "+rt.path, func(t *testing.T) {
+				resp := do(t, m, ts.URL+rt.path, "")
+				wantEnvelope(t, resp, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+				got := resp.Header.Get("Allow")
+				for _, a := range rt.allow {
+					if !strings.Contains(got, a) {
+						t.Errorf("Allow %q missing %s", got, a)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestErrorEnvelopeOversizedBody checks the 413 envelope on every
+// body-accepting route under the WithMaxBody cap.
+func TestErrorEnvelopeOversizedBody(t *testing.T) {
+	ts, done := newMatrixServer(t)
+	defer done()
+
+	big := strings.Repeat("x", 2048) // cap is 1024
+	t.Run("ingest", func(t *testing.T) {
+		resp := do(t, "POST", ts.URL+"/v1/ingest", `{"updates":[{"row":[1,2,3],"t":0,"pad":"`+big+`"}]}`)
+		wantEnvelope(t, resp, http.StatusRequestEntityTooLarge, CodeBodyTooLarge)
+	})
+	t.Run("snapshot", func(t *testing.T) {
+		resp := do(t, "POST", ts.URL+"/v1/snapshot", big)
+		wantEnvelope(t, resp, http.StatusRequestEntityTooLarge, CodeBodyTooLarge)
+	})
+}
+
+// TestErrorEnvelopeMalformedBody checks the 400 envelopes: JSON routes
+// answer invalid_json for syntax errors and invalid_argument for
+// schema violations; the binary snapshot route answers
+// invalid_argument for garbage.
+func TestErrorEnvelopeMalformedBody(t *testing.T) {
+	ts, done := newMatrixServer(t)
+	defer done()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		code   string
+	}{
+		{"ingest syntax", "POST", "/v1/ingest", `{"updates":`, CodeInvalidJSON},
+		{"ingest not json", "POST", "/v1/ingest", `not json at all`, CodeInvalidJSON},
+		{"ingest unknown field", "POST", "/v1/ingest", `{"upd":[]}`, CodeInvalidJSON},
+		{"ingest empty batch", "POST", "/v1/ingest", `{"updates":[]}`, CodeInvalidArgument},
+		{"ingest bad row", "POST", "/v1/ingest", `{"updates":[{"row":[1],"t":0}]}`, CodeInvalidArgument},
+		{"snapshot garbage", "POST", "/v1/snapshot", "garbage", CodeInvalidArgument},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := do(t, c.method, ts.URL+c.path, c.body)
+			wantEnvelope(t, resp, http.StatusBadRequest, c.code)
+		})
+	}
+}
+
+// TestErrorEnvelopeUnknownRoutes checks the catch-all 404 envelope.
+func TestErrorEnvelopeUnknownRoutes(t *testing.T) {
+	ts, done := newMatrixServer(t)
+	defer done()
+	for _, path := range []string{"/", "/v1", "/v1/nope", "/v2/ingest"} {
+		t.Run(path, func(t *testing.T) {
+			resp := do(t, "GET", ts.URL+path, "")
+			wantEnvelope(t, resp, http.StatusNotFound, CodeNotFound)
+		})
+	}
+}
+
+// TestErrorEnvelopeQueryParams checks 400 envelopes on bad query
+// parameters for every GET route that takes them.
+func TestErrorEnvelopeQueryParams(t *testing.T) {
+	ts, done := newMatrixServer(t)
+	defer done()
+	for _, path := range []string{
+		"/v1/approximation?t=abc",
+		"/v1/pca?t=abc",
+		"/v1/pca?k=0",
+		"/v1/pca?k=abc",
+		"/debug/trace?format=xml",
+	} {
+		t.Run(path, func(t *testing.T) {
+			resp := do(t, "GET", ts.URL+path, "")
+			wantEnvelope(t, resp, http.StatusBadRequest, CodeInvalidArgument)
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"swsketch/internal/mat"
+	"swsketch/internal/trace"
 )
 
 // FD is the FrequentDirections sketch of Liberty (KDD 2013) as
@@ -34,7 +35,12 @@ type FD struct {
 	// Desai–Ghashami–Phillips observe diverging from worst-case bounds,
 	// exported for instrumentation via Shrinks/Stats.
 	shrinks uint64
+
+	tr *trace.Tracer
 }
+
+// SetTracer attaches a tracer; each shrink emits an fd_shrink span.
+func (f *FD) SetTracer(tr *trace.Tracer) { f.tr = tr }
 
 // NewFD returns a FrequentDirections sketch with at most ell rows over
 // dimension d. It panics unless ell ≥ 2 and d ≥ 1.
@@ -99,6 +105,7 @@ func (f *FD) shrink() {
 		return
 	}
 	f.shrinks++
+	sp := f.tr.Start("FD", trace.KindFDShrink, 0)
 	sub := mat.NewDenseData(n, f.d, b.Data()[:n*f.d])
 	vals, u := mat.EigenSym(sub.GramT()) // n×n, descending σ²
 
@@ -150,6 +157,7 @@ func (f *FD) shrink() {
 	}
 	f.buf, f.spare = out, f.buf
 	f.used = kept
+	sp.End(float64(n), float64(kept))
 }
 
 // Matrix returns the occupied rows of the buffer as the approximation B.

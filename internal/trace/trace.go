@@ -1,0 +1,345 @@
+// Package trace is a stdlib-only structured event tracer for the
+// sketch machinery: a fixed-size ring buffer of typed events emitted
+// from the hot structural transitions the metrics counters cannot
+// explain — LM level promotions and merge cascades, DI block closures
+// and retirements, FD shrink invocations, sampler candidate-queue
+// evictions, EH bucket merges, and snapshot/restore. Where a counter
+// says "37 merges happened", the trace says *which* merges, in what
+// order, triggered by which row — sequence and causality.
+//
+// The tracer is designed to sit inside per-row ingest paths:
+//
+//   - Every emission site calls through a possibly-nil *Tracer; a nil
+//     tracer is a single pointer test, and a disabled tracer a single
+//     atomic load — zero allocations either way.
+//   - Events are fixed-size structs stored by value in a ring; an
+//     enabled emission is one short mutex-protected ring write (the
+//     sketches are single-writer, so the lock is uncontended in
+//     practice and exists only so scrapes and dumps are race-free).
+//   - Sampling (SetSampleEvery) thins the ring for very hot kinds
+//     while per-kind counts and last-assigned event IDs stay exact,
+//     which is what the obs registry exports as exemplars.
+//
+// Sketches accept a tracer via the Traceable interface; the serve
+// layer exposes the ring as JSONL on GET /debug/trace.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds emitted by the instrumented frameworks. V1/V2 carry the
+// kind-specific quantities documented next to each constant.
+const (
+	// KindLMMerge: two LM blocks merged during a rebalance cascade.
+	// V1 = 1-based level the pair lived on, V2 = merged block mass.
+	KindLMMerge = "lm_merge"
+	// KindLMPromote: an oversized singleton block promoted a level
+	// without merging. V1 = level promoted from, V2 = singleton mass.
+	KindLMPromote = "lm_promote"
+	// KindLMClose: the LM active block closed into level 1.
+	// V1 = raw rows in the block, V2 = block mass.
+	KindLMClose = "lm_close"
+	// KindLMExpire: expiry dropped whole LM blocks. V1 = blocks
+	// dropped, V2 = raw rows trimmed from the active block.
+	KindLMExpire = "lm_expire"
+	// KindDIClose: a DI level closed its active block on a dyadic
+	// boundary. V1 = 1-based level, V2 = the block's end index.
+	KindDIClose = "di_close"
+	// KindDIRetire: expiry retired completed DI blocks. V1 = blocks
+	// dropped across levels, V2 = oldest surviving level-1 index.
+	KindDIRetire = "di_retire"
+	// KindDIRawOverflow: a DI open block outgrew the raw-row budget
+	// and fell back to the level-1 active sketch. V1 = rows dropped.
+	KindDIRawOverflow = "di_raw_overflow"
+	// KindFDShrink: one FrequentDirections SVD-and-shrink step.
+	// V1 = occupied rows before, V2 = surviving rows; Dur is set.
+	KindFDShrink = "fd_shrink"
+	// KindSamplerEvict: a sampler ingest evicted candidates.
+	// V1 = candidates evicted by priority domination (SWR) or rank
+	// overflow (SWOR), V2 = candidates dropped by expiry.
+	KindSamplerEvict = "sampler_evict"
+	// KindEHMerge: an exponential-histogram bucket merge. V1 = size
+	// class of the over-full bucket pair, V2 = merged bucket sum.
+	KindEHMerge = "eh_merge"
+	// KindSnapshot: a sketch serialised itself. V1 = snapshot bytes.
+	KindSnapshot = "snapshot"
+	// KindRestore: a sketch restored from a snapshot. V1 = bytes read.
+	KindRestore = "restore"
+	// KindHTTP: one HTTP request completed (emitted by the serve
+	// layer). V1 = status code, V2 = duration in seconds; Note holds
+	// the request ID and route, correlating surrounding sketch events
+	// to the request that caused them.
+	KindHTTP = "http_request"
+)
+
+// Event is one traced occurrence. Events are fixed-size values (two
+// interned strings, no slices) so the ring stores them without
+// allocation; V1/V2 are kind-specific (see the Kind constants) and
+// Note is optional free text (request IDs, filenames).
+type Event struct {
+	// Seq is the event's ID: a process-unique, strictly increasing
+	// sequence number assigned to every emission, sampled or not, so
+	// gaps in a sampled dump are visible and exemplar IDs exported to
+	// the metrics registry can be matched against dumped events.
+	Seq  uint64  `json:"seq"`
+	Wall int64   `json:"wall_ns"` // unix nanoseconds at emission
+	Algo string  `json:"algo"`    // emitting component ("LM-FD", "FD", "EH", "serve")
+	Kind string  `json:"kind"`    // one of the Kind constants
+	T    float64 `json:"t"`       // stream timestamp, 0 when not applicable
+	V1   float64 `json:"v1"`
+	V2   float64 `json:"v2"`
+	Dur  int64   `json:"dur_ns,omitempty"` // span duration, 0 for point events
+	Note string  `json:"note,omitempty"`
+}
+
+// KindStats summarises one event kind for the trace summary and the
+// registry bridge.
+type KindStats struct {
+	Count   uint64 `json:"count"`    // emissions, exact even under sampling
+	LastSeq uint64 `json:"last_seq"` // ID of the most recent emission (exemplar)
+}
+
+// Summary is the aggregate view served next to the JSONL dump.
+type Summary struct {
+	Enabled     bool                 `json:"enabled"`
+	SampleEvery int                  `json:"sample_every"`
+	Total       uint64               `json:"total"`    // events emitted since Reset
+	Recorded    uint64               `json:"recorded"` // events written to the ring
+	Dropped     uint64               `json:"dropped"`  // recorded events overwritten by ring wrap
+	Capacity    int                  `json:"capacity"`
+	Kinds       map[string]KindStats `json:"kinds"`
+}
+
+// Tracer collects events into a fixed-size ring. The zero value is
+// unusable; call New. A nil *Tracer is valid at every method and does
+// nothing, so emission sites need no guards.
+type Tracer struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu       sync.Mutex
+	ring     []Event
+	head     int    // next write position
+	recorded uint64 // total ring writes
+	every    uint64 // record 1-in-every emissions (1 = always)
+	counts   map[string]*KindStats
+}
+
+// New returns a disabled tracer with a ring of the given capacity
+// (clamped to at least 16). Call Enable to start recording.
+func New(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{
+		ring:   make([]Event, 0, capacity),
+		every:  1,
+		counts: make(map[string]*KindStats),
+	}
+}
+
+// Enable turns emission on.
+func (t *Tracer) Enable() {
+	if t != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable turns emission off; Emit becomes a single atomic load.
+func (t *Tracer) Disable() {
+	if t != nil {
+		t.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetSampleEvery records one in every k emissions into the ring
+// (counts stay exact). k < 1 panics.
+func (t *Tracer) SetSampleEvery(k int) {
+	if t == nil {
+		return
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("trace: sample interval %d", k))
+	}
+	t.mu.Lock()
+	t.every = uint64(k)
+	t.mu.Unlock()
+}
+
+// Emit records a point event. Safe on a nil or disabled tracer (a
+// pointer test / one atomic load, no allocation).
+func (t *Tracer) Emit(algo, kind string, ts, v1, v2 float64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.emit(Event{Algo: algo, Kind: kind, T: ts, V1: v1, V2: v2})
+}
+
+// EmitNote records a point event carrying a free-text note.
+func (t *Tracer) EmitNote(algo, kind string, ts, v1, v2 float64, note string) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.emit(Event{Algo: algo, Kind: kind, T: ts, V1: v1, V2: v2, Note: note})
+}
+
+func (t *Tracer) emit(e Event) {
+	e.Seq = t.seq.Add(1)
+	e.Wall = time.Now().UnixNano()
+	t.mu.Lock()
+	ks := t.counts[e.Kind]
+	if ks == nil {
+		ks = &KindStats{}
+		t.counts[e.Kind] = ks
+	}
+	ks.Count++
+	ks.LastSeq = e.Seq
+	if t.every <= 1 || e.Seq%t.every == 0 {
+		if len(t.ring) < cap(t.ring) {
+			t.ring = append(t.ring, e)
+		} else {
+			t.ring[t.head] = e
+		}
+		t.head = (t.head + 1) % cap(t.ring)
+		t.recorded++
+	}
+	t.mu.Unlock()
+}
+
+// Span measures a duration; obtain one with Start and finish it with
+// End. The zero Span (returned by a nil or disabled tracer) is a
+// no-op, so callers never branch.
+type Span struct {
+	t     *Tracer
+	algo  string
+	kind  string
+	ts    float64
+	start time.Time
+}
+
+// Start opens a span. On a nil or disabled tracer it costs one atomic
+// load and returns the no-op zero Span — in particular no clock read.
+func (t *Tracer) Start(algo, kind string, ts float64) Span {
+	if t == nil || !t.enabled.Load() {
+		return Span{}
+	}
+	return Span{t: t, algo: algo, kind: kind, ts: ts, start: time.Now()}
+}
+
+// End closes the span, emitting its event with Dur set.
+func (s Span) End(v1, v2 float64) {
+	if s.t == nil {
+		return
+	}
+	s.t.emit(Event{
+		Algo: s.algo, Kind: s.kind, T: s.ts, V1: v1, V2: v2,
+		Dur: time.Since(s.start).Nanoseconds(),
+	})
+}
+
+// Events returns the recorded events, oldest first. The slice is a
+// snapshot; the tracer keeps recording.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.head:]...)
+	return append(out, t.ring[:t.head]...)
+}
+
+// Total reports the number of events emitted since the last Reset
+// (including emissions thinned out of the ring by sampling).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Counts returns a copy of the per-kind statistics.
+func (t *Tracer) Counts() map[string]KindStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]KindStats, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = *v
+	}
+	return out
+}
+
+// Summarize returns the aggregate view of the tracer's state.
+func (t *Tracer) Summarize() Summary {
+	if t == nil {
+		return Summary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Summary{
+		Enabled:     t.enabled.Load(),
+		SampleEvery: int(t.every),
+		Total:       t.seq.Load(),
+		Recorded:    t.recorded,
+		Capacity:    cap(t.ring),
+		Kinds:       make(map[string]KindStats, len(t.counts)),
+	}
+	if held := uint64(len(t.ring)); t.recorded > held {
+		s.Dropped = t.recorded - held
+	}
+	for k, v := range t.counts {
+		s.Kinds[k] = *v
+	}
+	return s
+}
+
+// Reset clears the ring and every counter; the sequence numbering
+// restarts from 1 (enabled/sampling state is preserved).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.head = 0
+	t.recorded = 0
+	t.counts = make(map[string]*KindStats)
+	t.mu.Unlock()
+	t.seq.Store(0)
+}
+
+// WriteJSONL writes the recorded events, oldest first, one JSON object
+// per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Traceable is implemented by components that can emit into a tracer.
+// Implementations store the pointer and use it for all future
+// emissions; call SetTracer before the first Update (tracers attached
+// mid-stream may miss sub-components created earlier).
+type Traceable interface {
+	SetTracer(*Tracer)
+}

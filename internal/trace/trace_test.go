@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("X", KindLMMerge, 1, 2, 3)
+	tr.EmitNote("X", KindLMMerge, 1, 2, 3, "note")
+	tr.Enable()
+	tr.Disable()
+	tr.SetSampleEvery(4)
+	tr.Reset()
+	sp := tr.Start("X", KindFDShrink, 0)
+	sp.End(1, 2)
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Total() != 0 || tr.Events() != nil || tr.Counts() != nil {
+		t.Fatal("nil tracer holds state")
+	}
+	if s := tr.Summarize(); s.Total != 0 {
+		t.Fatalf("nil tracer summary %+v", s)
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := New(32)
+	tr.Emit("X", KindEHMerge, 1, 2, 3)
+	tr.Start("X", KindFDShrink, 0).End(1, 2)
+	if tr.Total() != 0 || len(tr.Events()) != 0 {
+		t.Fatalf("disabled tracer recorded: total=%d events=%d", tr.Total(), len(tr.Events()))
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	tr := New(32)
+	tr.Enable()
+	tr.Emit("LM-FD", KindLMClose, 10, 5, 2.5)
+	tr.Emit("LM-FD", KindLMMerge, 11, 1, 3.5)
+	tr.EmitNote("serve", KindHTTP, 0, 200, 0.001, "req-1 /v1/ingest")
+
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Wall == 0 {
+			t.Fatalf("event %d has zero wall clock", i)
+		}
+	}
+	if ev[0].Kind != KindLMClose || ev[0].V1 != 5 || ev[0].V2 != 2.5 || ev[0].T != 10 {
+		t.Fatalf("first event %+v", ev[0])
+	}
+	if ev[2].Note != "req-1 /v1/ingest" {
+		t.Fatalf("note %q", ev[2].Note)
+	}
+
+	counts := tr.Counts()
+	if counts[KindLMClose].Count != 1 || counts[KindLMClose].LastSeq != 1 {
+		t.Fatalf("lm_close stats %+v", counts[KindLMClose])
+	}
+	if counts[KindHTTP].LastSeq != 3 {
+		t.Fatalf("http stats %+v", counts[KindHTTP])
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tr := New(16)
+	tr.Enable()
+	for i := 0; i < 40; i++ {
+		tr.Emit("X", KindSamplerEvict, float64(i), 0, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 16 {
+		t.Fatalf("ring holds %d, want 16", len(ev))
+	}
+	// Oldest-first: seqs 25..40.
+	for i, e := range ev {
+		if want := uint64(25 + i); e.Seq != want {
+			t.Fatalf("ring[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	s := tr.Summarize()
+	if s.Total != 40 || s.Recorded != 40 || s.Dropped != 24 || s.Capacity != 16 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Kinds[KindSamplerEvict].Count != 40 {
+		t.Fatalf("kind count %+v", s.Kinds[KindSamplerEvict])
+	}
+}
+
+func TestSamplingKeepsExactCounts(t *testing.T) {
+	tr := New(64)
+	tr.Enable()
+	tr.SetSampleEvery(4)
+	for i := 0; i < 20; i++ {
+		tr.Emit("X", KindEHMerge, float64(i), 0, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 5 { // seqs 4, 8, 12, 16, 20
+		t.Fatalf("sampled ring holds %d, want 5", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(4 * (i + 1)); e.Seq != want {
+			t.Fatalf("sampled[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if c := tr.Counts()[KindEHMerge]; c.Count != 20 || c.LastSeq != 20 {
+		t.Fatalf("counts under sampling %+v", c)
+	}
+}
+
+func TestSpanSetsDuration(t *testing.T) {
+	tr := New(16)
+	tr.Enable()
+	sp := tr.Start("FD", KindFDShrink, 7)
+	sp.End(100, 50)
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	e := ev[0]
+	if e.Kind != KindFDShrink || e.V1 != 100 || e.V2 != 50 || e.T != 7 {
+		t.Fatalf("span event %+v", e)
+	}
+	if e.Dur <= 0 {
+		t.Fatalf("span duration %d", e.Dur)
+	}
+}
+
+func TestSpanStartedBeforeDisableStillEmits(t *testing.T) {
+	tr := New(16)
+	tr.Enable()
+	sp := tr.Start("FD", KindFDShrink, 0)
+	tr.Disable()
+	sp.End(1, 1)
+	if tr.Total() != 1 {
+		t.Fatalf("open span dropped on disable: total=%d", tr.Total())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(16)
+	tr.Enable()
+	tr.Emit("X", KindSnapshot, 0, 128, 0)
+	tr.Reset()
+	if tr.Total() != 0 || len(tr.Events()) != 0 || len(tr.Counts()) != 0 {
+		t.Fatal("reset left state behind")
+	}
+	if !tr.Enabled() {
+		t.Fatal("reset disabled the tracer")
+	}
+	tr.Emit("X", KindSnapshot, 0, 1, 0)
+	if ev := tr.Events(); len(ev) != 1 || ev[0].Seq != 1 {
+		t.Fatalf("post-reset events %+v", ev)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New(16)
+	tr.Enable()
+	tr.Emit("EH", KindEHMerge, 3, 1, 2)
+	tr.EmitNote("serve", KindHTTP, 0, 404, 0.002, "req-9 /nope")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0].Kind != KindEHMerge || lines[1].Note != "req-9 /nope" {
+		t.Fatalf("lines %+v", lines)
+	}
+	// Point events omit dur_ns.
+	var raw bytes.Buffer
+	_ = tr.WriteJSONL(&raw)
+	if strings.Contains(strings.SplitN(raw.String(), "\n", 2)[0], "dur_ns") {
+		t.Fatal("point event serialised dur_ns")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(128)
+	tr.Enable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				tr.Emit("X", KindSamplerEvict, float64(i), 0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 2000 {
+		t.Fatalf("total %d, want 2000", tr.Total())
+	}
+	if c := tr.Counts()[KindSamplerEvict]; c.Count != 2000 {
+		t.Fatalf("count %d, want 2000", c.Count)
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range tr.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in ring", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	tr := New(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit("X", KindSamplerEvict, 1, 2, 3)
+	}
+}
+
+func BenchmarkEmitNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit("X", KindSamplerEvict, 1, 2, 3)
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := New(4096)
+	tr.Enable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit("X", KindSamplerEvict, 1, 2, 3)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"swsketch/internal/binenc"
 	"swsketch/internal/eh"
 	"swsketch/internal/mat"
+	"swsketch/internal/trace"
 )
 
 // Kind distinguishes the two window models of the paper.
@@ -302,6 +303,10 @@ func (x *EHNorms) Size() int { return x.h.Buckets() }
 // (bucket count, size classes, items, running total) so sketches using
 // the EH tracker can surface them via core.Introspector.
 func (x *EHNorms) Stats() map[string]float64 { return x.h.Stats() }
+
+// SetTracer attaches a tracer to the underlying histogram, whose
+// bucket merges then emit eh_merge events.
+func (x *EHNorms) SetTracer(tr *trace.Tracer) { x.h.SetTracer(tr) }
 
 var (
 	_ NormTracker = (*ExactNorms)(nil)

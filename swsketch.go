@@ -32,15 +32,18 @@ package swsketch
 
 import (
 	"io"
+	"log/slog"
 
 	"swsketch/internal/core"
 	"swsketch/internal/data"
 	"swsketch/internal/dist"
 	"swsketch/internal/mat"
 	"swsketch/internal/obs"
+	"swsketch/internal/obs/audit"
 	"swsketch/internal/pca"
 	"swsketch/internal/serve"
 	"swsketch/internal/stream"
+	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
 
@@ -297,7 +300,7 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 type Server = serve.Server
 
 // ServerOption configures a Server (WithMetrics, WithPprof,
-// WithMaxBody).
+// WithMaxBody, WithTrace, WithAudit, WithLogger).
 type ServerOption = serve.Option
 
 // NewServer wraps a sketch of dimension d for HTTP serving; mount
@@ -315,6 +318,69 @@ func WithPprof() ServerOption { return serve.WithPprof() }
 
 // WithMaxBody caps request body sizes at n bytes (413 beyond it).
 func WithMaxBody(n int64) ServerOption { return serve.WithMaxBody(n) }
+
+// WithTrace attaches an event tracer to the server: the sketch's
+// structural transitions and every request record into it, and GET
+// /debug/trace serves the ring as JSONL.
+func WithTrace(tr *Tracer) ServerOption { return serve.WithTrace(tr) }
+
+// WithAudit attaches an online accuracy auditor: ingested rows are
+// shadowed by an exact window and GET /v1/health reports ok/degraded
+// against the audited cova-err.
+func WithAudit(a *Auditor) ServerOption { return serve.WithAudit(a) }
+
+// WithLogger enables structured per-request logging (default silent);
+// each record carries the request ID that also tags trace events.
+func WithLogger(l *slog.Logger) ServerOption { return serve.WithLogger(l) }
+
+// Tracer is a lock-cheap ring buffer of structural sketch events
+// (block merges, retires, shrinks, evictions, snapshots): attach one
+// to any sketch via SetTracer and see inside its maintenance machinery
+// as it runs. Zero overhead beyond an atomic load while disabled.
+type Tracer = trace.Tracer
+
+// TraceEvent is one recorded structural event.
+type TraceEvent = trace.Event
+
+// TraceSummary is the tracer's aggregate view: per-kind counts and
+// last-assigned event IDs plus ring occupancy.
+type TraceSummary = trace.Summary
+
+// Traceable is implemented by every sketch in this package: SetTracer
+// attaches (or detaches, with nil) a structural event tracer.
+type Traceable = trace.Traceable
+
+// NewTracer returns a disabled tracer with the given ring capacity
+// (minimum 16); call Enable to start recording.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// Auditor measures a serving sketch's covariance error online against
+// a budgeted exact shadow window — the paper's accuracy contract as
+// live telemetry.
+type Auditor = audit.Auditor
+
+// AuditConfig parameterises an Auditor (window spec, dimension,
+// evaluation stride, shadow row cap, degradation threshold).
+type AuditConfig = audit.Config
+
+// AuditResult is one audit evaluation's outcome (cova-err, observed
+// norm ratio, drift).
+type AuditResult = audit.Result
+
+// AuditStatus is the auditor's health view (served by GET /v1/health).
+type AuditStatus = audit.Status
+
+// NewAuditor returns an armed auditor publishing its gauges into reg
+// (nil for a private throwaway registry).
+func NewAuditor(cfg AuditConfig, reg *MetricsRegistry) *Auditor { return audit.New(cfg, reg) }
+
+// RegisterRuntimeMetrics adds Go runtime and process self-metrics
+// (goroutines, heap, GC, uptime, build info) to reg.
+func RegisterRuntimeMetrics(reg *MetricsRegistry) { obs.RegisterRuntimeMetrics(reg) }
+
+// RegisterTracer bridges a tracer's per-kind counts and exemplar event
+// IDs into reg as scrape-time gauges.
+func RegisterTracer(reg *MetricsRegistry, tr *Tracer) { obs.RegisterTracer(reg, tr) }
 
 // MetricsRegistry is a low-overhead metrics registry (counters,
 // gauges, histograms) with a hand-rolled Prometheus text exposition —

@@ -306,3 +306,58 @@ func TestPaperDimensionWiki(t *testing.T) {
 		t.Fatalf("sketch %d rows vs window %d — no savings at all", sketch.RowsStored(), oracle.Len())
 	}
 }
+
+// TestPublicAPIObservability exercises the tracing and auditing
+// facade: attach a tracer to a sketch, audit it against the exact
+// shadow, and bridge both into a metrics registry.
+func TestPublicAPIObservability(t *testing.T) {
+	const d, win = 6, 100
+	spec := swsketch.Seq(win)
+	rng := rand.New(rand.NewSource(7))
+
+	tr := swsketch.NewTracer(1024)
+	tr.Enable()
+	sk := swsketch.NewLMFD(spec, d, 8, 4)
+	var traceable swsketch.Traceable = sk
+	traceable.SetTracer(tr)
+
+	reg := swsketch.NewMetricsRegistry()
+	swsketch.RegisterRuntimeMetrics(reg)
+	swsketch.RegisterTracer(reg, tr)
+	aud := swsketch.NewAuditor(swsketch.AuditConfig{Spec: spec, D: d, Stride: 32}, reg)
+
+	for start := 0; start < 256; start += 32 {
+		rows := make([][]float64, 32)
+		times := make([]float64, 32)
+		for i := range rows {
+			rows[i] = randRow(rng, d)
+			times[i] = float64(start + i)
+		}
+		sk.UpdateBatch(rows, times)
+		aud.ObserveBatch(rows, times, sk.Query)
+	}
+
+	if tr.Total() == 0 {
+		t.Fatal("tracer recorded no structural events")
+	}
+	st := aud.Status()
+	if st.Evaluations == 0 || st.CovaErr < 0 {
+		t.Fatalf("audit status %+v", st)
+	}
+	out := reg.Expose()
+	for _, want := range []string{"swsketch_go_goroutines", "swsketch_trace_events", "swsketch_audit_cova_err"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry missing %q", want)
+		}
+	}
+
+	// The full observability stack over HTTP: trace + audit + logs.
+	srv := swsketch.NewServer(swsketch.NewLMFD(spec, d, 8, 4), d,
+		swsketch.WithMetrics(swsketch.NewMetricsRegistry()),
+		swsketch.WithTrace(swsketch.NewTracer(256)),
+		swsketch.WithAudit(swsketch.NewAuditor(swsketch.AuditConfig{Spec: spec, D: d}, nil)),
+	)
+	if srv.Handler() == nil {
+		t.Fatal("nil handler")
+	}
+}
