@@ -3,14 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz verify results examples clean check
+.PHONY: all build test race cover bench fuzz verify results examples clean check doclint linkcheck docs
 
 all: build test
 
 # Pre-merge gate: compile + vet, the full test suite, and the suite
 # again under the race detector (the concurrent wrappers and the
 # parallel compute kernels are only honest under -race).
-check: build test race
+check: build test race doclint linkcheck
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,18 @@ examples:
 	$(GO) run ./examples/activity
 	$(GO) run ./examples/checkpoint
 	$(GO) run ./examples/distributed
+	$(GO) run ./examples/multitenant
+
+# Documentation gates (both run in CI). doclint fails on undocumented
+# exported identifiers anywhere in the module; linkcheck fails on
+# broken local links/anchors in the tracked markdown.
+doclint:
+	$(GO) run ./cmd/doclint ./...
+
+linkcheck:
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md docs/API.md
+
+docs: doclint linkcheck
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,271 @@
+// Command doclint fails when an exported identifier lacks a doc
+// comment. It parses source with go/ast (no build step, no external
+// tooling) and checks every exported top-level declaration: types,
+// functions, methods with exported receivers, and each exported name
+// inside const/var groups (a group comment on the block satisfies its
+// members, matching godoc's rendering).
+//
+// Usage:
+//
+//	doclint [packages...]
+//
+// Package arguments are directory paths relative to the module root
+// ("." and the "./..." wildcard are understood). With no arguments it
+// checks the documentation surface this repository gates in CI: the
+// root facade and the serving-layer packages
+// internal/{serve,obs,trace,registry,dist} (see `make doclint`).
+//
+// Exit status is 1 when any undocumented exported identifier is found,
+// with one "path:line: identifier" diagnostic per finding; 0 otherwise.
+// Test files and generated files (a "Code generated ... DO NOT EDIT."
+// first comment) are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultPackages is the documentation surface gated in CI.
+var defaultPackages = []string{
+	".",
+	"internal/serve",
+	"internal/obs",
+	"internal/obs/audit",
+	"internal/trace",
+	"internal/registry",
+	"internal/dist",
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = defaultPackages
+	}
+	dirs, err := expandPackages(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expandPackages resolves the argument list to a sorted set of
+// directories containing Go files, expanding "./..." wildcards.
+func expandPackages(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "/..."); ok {
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return fs.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !hasGoFiles(arg) {
+			return nil, fmt.Errorf("no Go files in %q", arg)
+		}
+		add(arg)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDir checks every non-test Go file of one directory.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			if isGenerated(file) {
+				continue
+			}
+			findings = append(findings, lintFile(fset, file)...)
+		}
+	}
+	return findings, nil
+}
+
+// isGenerated detects the standard "Code generated ... DO NOT EDIT."
+// marker in a file's leading comments.
+func isGenerated(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.End() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "DO NOT EDIT") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lintFile reports every undocumented exported top-level identifier in
+// one parsed file.
+func lintFile(fset *token.FileSet, file *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s is undocumented", p.Filename, p.Line, name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || hasDoc(d.Doc) {
+				continue
+			}
+			// Methods count when both the receiver type and the method
+			// are exported (unexported receivers are internal surface).
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			report(d.Name.Pos(), nameOf(d))
+		case *ast.GenDecl:
+			groupDoc := hasDoc(d.Doc)
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && !groupDoc && !hasDoc(sp.Doc) {
+						report(sp.Name.Pos(), "type "+sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A const/var block's group comment documents its
+					// members; otherwise each exported name needs its
+					// spec documented (matching godoc's rendering).
+					if groupDoc || hasDoc(sp.Doc) {
+						continue
+					}
+					for _, n := range sp.Names {
+						if n.IsExported() {
+							report(n.Pos(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// hasDoc reports whether a doc comment carries actual text.
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+// exportedReceiver reports whether a method's receiver type is
+// exported (pointer receivers and generic instantiations unwrapped).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// nameOf renders a function or method name for diagnostics.
+func nameOf(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "func " + d.Name.Name
+	}
+	return "method " + receiverName(d.Recv) + "." + d.Name.Name
+}
+
+// receiverName renders the receiver type name.
+func receiverName(recv *ast.FieldList) string {
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return "?"
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command linkcheck verifies the local links in markdown files. It is
+// the CI gate behind `make linkcheck`: documentation that points at a
+// file, directory, or heading that no longer exists fails the build
+// instead of rotting silently.
+//
+// Usage:
+//
+//	linkcheck FILE.md [FILE.md...]
+//
+// For every inline link or image `[text](target)` it checks:
+//
+//   - relative file/directory targets exist on disk (resolved against
+//     the markdown file's directory), and
+//   - fragment targets (`#heading`, alone or after a file path) match a
+//     heading in the referenced markdown file, using GitHub's anchor
+//     slug rules (lowercase, spaces to dashes, punctuation stripped,
+//     duplicate slugs suffixed -1, -2, ...).
+//
+// External targets (http://, https://, mailto:) are skipped: CI must
+// not depend on network reachability. Fenced code blocks are ignored so
+// sample output containing brackets is not parsed as links.
+//
+// Exit status is 1 when any link is broken, with one
+// "path:line: message" diagnostic per finding; 0 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline links and images: [text](target). Nested
+// brackets in the text are not supported; the repo's docs do not use
+// them.
+var linkRe = regexp.MustCompile(`!?\[[^\]\n]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings (#, ##, ...).
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*)$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md [FILE.md...]")
+		os.Exit(2)
+	}
+	var broken int
+	for _, path := range os.Args[1:] {
+		findings, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		broken += len(findings)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile validates every local link in one markdown file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var findings []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(dir, path, target); msg != "" {
+				findings = append(findings, fmt.Sprintf("%s:%d: %s", path, i+1, msg))
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkTarget validates one link target; it returns a diagnostic
+// message, or "" when the target resolves.
+func checkTarget(dir, src, target string) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "" // external; not checked
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := src
+	if file != "" {
+		resolved = filepath.Join(dir, file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // fragments into non-markdown files are not checked
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken link %q: no heading with anchor #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// headingAnchors returns the set of GitHub-style anchor slugs for the
+// headings of one markdown file.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		// GitHub de-duplicates repeated headings as slug, slug-1, ...
+		for n := 0; ; n++ {
+			candidate := slug
+			if n > 0 {
+				candidate = fmt.Sprintf("%s-%d", slug, n)
+			}
+			if !anchors[candidate] {
+				anchors[candidate] = true
+				break
+			}
+		}
+	}
+	return anchors, nil
+}
+
+// slugify converts a heading to its GitHub anchor: lowercase, markdown
+// emphasis/code markers and punctuation stripped, spaces to dashes.
+func slugify(heading string) string {
+	// Drop inline code/emphasis markers and trailing anchors.
+	heading = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(heading)
+	heading = strings.TrimSpace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		default:
+			// punctuation is removed
+		}
+	}
+	return b.String()
+}

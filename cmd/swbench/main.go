@@ -29,6 +29,9 @@
 //	obs      overhead of the observability stack (metrics decorator
 //	         and disabled tracer), bare vs wrapped, per-row and
 //	         batched ingest; writes BENCH_obs.json (see -obs-out)
+//	tenants  multi-tenant registry scaling: ingest throughput vs fleet
+//	         size (1..1024 tenants, parallel workers) plus spill/
+//	         restore cost; writes BENCH_tenants.json (see -tenants-out)
 //	verify   run the qualitative shape checks; non-zero exit on DIFF
 //	all      everything above plus the qualitative shape checks
 //
@@ -55,10 +58,11 @@ func main() {
 		stride = flag.Int("stride", 0, "override query stride")
 		kOut   = flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernels experiment")
 		oOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
+		tOut   = flag.String("tenants-out", "BENCH_tenants.json", "output path for the tenants experiment")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|obs|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|obs|tenants|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -113,6 +117,11 @@ func main() {
 	case "obs":
 		if err := runObs(out, sc, *oOut); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: obs: %v\n", err)
+			os.Exit(1)
+		}
+	case "tenants":
+		if err := runTenants(out, sc, *tOut); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: tenants: %v\n", err)
 			os.Exit(1)
 		}
 	case "kernels":

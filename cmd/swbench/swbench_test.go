@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -196,5 +198,37 @@ func TestExperimentsSmoke(t *testing.T) {
 	runProjErr(&buf, sc)
 	if !strings.Contains(buf.String(), "Projection error study") {
 		t.Fatal("projerr output missing")
+	}
+}
+
+func TestRunTenantsSmoke(t *testing.T) {
+	sc := defaultScale()
+	sc.seqN = 1024 // micro scale: total clamps to the 4096-row floor
+	out := t.TempDir() + "/BENCH_tenants.json"
+	var buf bytes.Buffer
+	if err := runTenants(&buf, sc, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tenant scaling") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []tenantResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 3 {
+		t.Fatalf("results = %d, want >= 3 fleet sizes", len(results))
+	}
+	if results[0].Tenants != 1 || results[0].VsSingleTenant != 1 {
+		t.Fatalf("baseline row %+v", results[0])
+	}
+	for _, r := range results {
+		if r.NsPerRow <= 0 || r.RowsPerSec <= 0 || r.RowsTotal <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
 	}
 }

@@ -1,19 +1,33 @@
-// Command swserve exposes a sliding-window matrix sketch over HTTP.
+// Command swserve exposes sliding-window matrix sketches over HTTP.
 //
 //	swserve -algo lm-fd -d 64 -window 10000 -addr :8080 -metrics
+//
+// The -algo/-d/... flags describe the default sketch, served on the
+// single-sketch routes; further tenants — independent named sketches
+// with their own configs — are created and queried at runtime under
+// /v1/tenants/{id}/... (see docs/API.md for the full reference).
 //
 // Endpoints (JSON):
 //
 //	POST /v1/ingest         {"updates":[{"row":[...],"t":1.5},...]}
+//	POST /v1/ingest/bulk    multi-tenant ingest in one request
 //	GET  /v1/approximation  [?t=...]      window approximation B
 //	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
 //	GET  /v1/stats                        sketch metadata + internals
 //	GET  /v1/health         accuracy health: ok/degraded (with -audit)
 //	GET  /v1/snapshot       binary snapshot (POST restores one)
+//	*    /v1/tenants...     tenant CRUD + per-tenant ingest/query routes
 //	GET  /healthz
 //	GET  /metrics           Prometheus exposition (with -metrics)
 //	GET  /debug/trace       structural event trace, JSONL (with -trace)
 //	     /debug/pprof/...   runtime profiles (with -pprof)
+//
+// Multi-tenant operation is tuned by three flags: -tenants-max caps
+// the resident fleet (LRU eviction on create), -evict-ttl evicts
+// tenants idle longer than the given duration (a background sweeper
+// runs at a fraction of the TTL), and -spill-dir preserves evicted
+// tenants on disk — they restore transparently on their next touch,
+// and a restarted process resumes the spilled fleet lazily.
 //
 // Errors use the envelope {"error":{"code":"...","message":"..."}};
 // see the serve package documentation for the code list.
@@ -37,6 +51,7 @@ import (
 	"swsketch/internal/core"
 	"swsketch/internal/obs"
 	"swsketch/internal/obs/audit"
+	"swsketch/internal/registry"
 	"swsketch/internal/serve"
 	"swsketch/internal/trace"
 	"swsketch/internal/window"
@@ -65,6 +80,9 @@ func main() {
 		aCap    = flag.Int("audit-cap", 0, "audit shadow row cap; auditing disarms beyond it (0 = default, <0 = uncapped)")
 		aThresh = flag.Float64("audit-threshold", 0, "cova-err level that flips /v1/health to degraded (0 = default)")
 		logReq  = flag.Bool("log", false, "log each request (structured, stderr) with its request ID")
+		tenMax  = flag.Int("tenants-max", 0, "cap on resident tenants; LRU-evicts on create (0 = uncapped)")
+		evictT  = flag.Duration("evict-ttl", 0, "evict tenants idle longer than this (0 = never)")
+		spill   = flag.String("spill-dir", "", "spill evicted tenants to this directory and restore on touch")
 	)
 	flag.Parse()
 	if *d < 1 {
@@ -120,8 +138,9 @@ func main() {
 	if *maxBody > 0 {
 		opts = append(opts, serve.WithMaxBody(*maxBody))
 	}
+	var tr *trace.Tracer
 	if *traceOn {
-		tr := trace.New(*trCap)
+		tr = trace.New(*trCap)
 		tr.SetSampleEvery(*trEvery)
 		tr.Enable()
 		opts = append(opts, serve.WithTrace(tr))
@@ -136,10 +155,60 @@ func main() {
 		opts = append(opts, serve.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	}
 
+	// Multi-tenant tuning: hand serve a registry only when a tenant
+	// flag is set (serve builds a plain one otherwise).
+	if *tenMax > 0 || *evictT > 0 || *spill != "" {
+		var ropts []registry.Option
+		if *tenMax > 0 {
+			ropts = append(ropts, registry.WithMaxTenants(*tenMax))
+		}
+		if *evictT > 0 {
+			ropts = append(ropts, registry.WithEvictTTL(*evictT))
+		}
+		if *spill != "" {
+			ropts = append(ropts, registry.WithSpillDir(*spill))
+		}
+		if reg != nil {
+			ropts = append(ropts, registry.WithObs(reg))
+		}
+		if tr != nil {
+			ropts = append(ropts, registry.WithTrace(tr))
+		}
+		treg, err := registry.New(ropts...)
+		if err != nil {
+			log.Fatalf("swserve: %v", err)
+		}
+		opts = append(opts, serve.WithRegistry(treg))
+	}
+
+	server := serve.NewServer(sk, *d, opts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewServer(sk, *d, opts...).Handler(),
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// The registry never sweeps by itself; with a TTL configured, run
+	// the sweeper at a fraction of it so idle tenants leave memory
+	// within ~1.25× the TTL.
+	sweepDone := make(chan struct{})
+	if *evictT > 0 {
+		interval := *evictT / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sweepDone:
+					return
+				case <-tick.C:
+					server.Registry().Sweep()
+				}
+			}
+		}()
 	}
 
 	done := make(chan struct{})
@@ -151,6 +220,7 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
+		close(sweepDone)
 		close(done)
 	}()
 
@@ -166,6 +236,15 @@ func main() {
 	}
 	if *auditOn {
 		extras += " audit"
+	}
+	if *tenMax > 0 {
+		extras += fmt.Sprintf(" tenants-max=%d", *tenMax)
+	}
+	if *evictT > 0 {
+		extras += fmt.Sprintf(" evict-ttl=%v", *evictT)
+	}
+	if *spill != "" {
+		extras += " spill-dir=" + *spill
 	}
 	log.Printf("swserve: %s over %v window, d=%d, listening on %s%s", sk.Name(), spec, *d, *addr, extras)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -144,3 +144,43 @@ func ExampleReadMatrixMarket() {
 	// Output:
 	// 2 rows × 3 cols
 }
+
+// ExampleNewTenantRegistry hosts several independent sliding windows
+// in one process: tenants are declared by config, ingested separately,
+// and answer their own windows (see examples/multitenant for the full
+// demo with eviction and restore).
+func ExampleNewTenantRegistry() {
+	reg, err := swsketch.NewTenantRegistry()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cfg := swsketch.TenantConfig{
+		Framework: "lm-fd", Window: "sequence", Size: 50, D: 3, Ell: 8, B: 4,
+	}
+	for _, id := range []string{"alpha", "beta"} {
+		if _, err := reg.Create(id, cfg); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	alpha, _ := reg.Get("alpha")
+	if err := alpha.Acquire(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i := 0; i < 100; i++ {
+		alpha.Sketch().Update([]float64{1, 0, 1}, float64(i))
+	}
+	alpha.Commit(100, 99)
+	alpha.Release()
+
+	fmt.Println("tenants:", reg.Len())
+	for _, info := range reg.List() {
+		fmt.Printf("%s: %s, %d updates\n", info.ID, info.Algorithm, info.Updates)
+	}
+	// Output:
+	// tenants: 2
+	// alpha: LM-FD, 100 updates
+	// beta: LM-FD, 0 updates
+}

@@ -48,6 +48,8 @@ const (
 	UpdateNs
 )
 
+// String names the metric as it appears in the paper's figure
+// captions.
 func (m Metric) String() string {
 	switch m {
 	case AvgErr:

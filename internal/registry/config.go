@@ -1,0 +1,210 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"swsketch/internal/core"
+	"swsketch/internal/window"
+)
+
+// Framework names accepted by Config.Framework; they match the -algo
+// vocabulary of cmd/swserve and cmd/swstream.
+const (
+	// FrameworkSWR is the sampling-with-replacement sketch.
+	FrameworkSWR = "swr"
+	// FrameworkSWOR is the sampling-without-replacement sketch.
+	FrameworkSWOR = "swor"
+	// FrameworkSWORAll is the SWOR variant answering with every
+	// candidate row.
+	FrameworkSWORAll = "swor-all"
+	// FrameworkLMFD is the Logarithmic Method over FrequentDirections
+	// — the paper's recommended general-purpose sketch and the only
+	// framework whose spill/restore is bit-exact deterministic.
+	FrameworkLMFD = "lm-fd"
+	// FrameworkLMHash is the Logarithmic Method over feature hashing.
+	FrameworkLMHash = "lm-hash"
+	// FrameworkDIFD is the Dyadic Interval framework over
+	// FrequentDirections (sequence windows only).
+	FrameworkDIFD = "di-fd"
+)
+
+// Window kind names accepted by Config.Window.
+const (
+	// WindowSequence selects a sequence-based window of Size rows.
+	WindowSequence = "sequence"
+	// WindowTime selects a time-based window of span Size.
+	WindowTime = "time"
+)
+
+// Config declaratively describes one tenant's sliding-window sketch:
+// the framework, the window, and the sketch-size knobs. It is the
+// JSON body of PUT /v1/tenants/{id} and the header of a spill file,
+// so a tenant can be rebuilt from its config plus a binary snapshot.
+//
+// Sizing is either explicit (Ell, and B for the LM frameworks) or
+// automatic: leave Ell zero and set Eps to a target covariance error,
+// and the swr/lm-fd frameworks size themselves via the harness
+// calibration (core.AutoSWR / core.AutoLMFD).
+type Config struct {
+	// Framework selects the sketch family; one of the Framework
+	// constants ("swr", "swor", "swor-all", "lm-fd", "lm-hash",
+	// "di-fd").
+	Framework string `json:"framework"`
+	// Window is "sequence" (Size = N rows) or "time" (Size = span Δ).
+	Window string `json:"window"`
+	// Size is the window extent: the row count N for sequence windows
+	// or the timestamp span Δ for time windows.
+	Size float64 `json:"size"`
+	// D is the row dimension.
+	D int `json:"d"`
+	// Ell is the sketch-size parameter ℓ (rows per block for LM/DI,
+	// sample budget for the samplers). Zero defers to Eps auto-sizing
+	// where supported.
+	Ell int `json:"ell,omitempty"`
+	// B is the LM blocks-per-level knob (≈ 8/ε); ignored elsewhere.
+	// Zero defaults to 8.
+	B int `json:"b,omitempty"`
+	// Eps is the target covariance error used to auto-size the sketch
+	// when Ell is zero (swr and lm-fd only).
+	Eps float64 `json:"eps,omitempty"`
+	// Seed seeds the samplers' random source and the hashing
+	// frameworks' hash functions. Zero defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// L is the DI level count; required for di-fd.
+	L int `json:"levels,omitempty"`
+	// R is the DI maximum squared row norm bound; required for di-fd.
+	R float64 `json:"r,omitempty"`
+}
+
+// normalize fills defaulted fields and canonicalises the enum casing.
+func (c Config) normalize() Config {
+	c.Framework = strings.ToLower(strings.TrimSpace(c.Framework))
+	c.Window = strings.ToLower(strings.TrimSpace(c.Window))
+	if c.Window == "" {
+		c.Window = WindowSequence
+	}
+	if c.B == 0 {
+		c.B = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate checks the config without building a sketch; it reports
+// the first problem found, phrased for an API error message.
+func (c Config) Validate() error {
+	c = c.normalize()
+	switch c.Framework {
+	case FrameworkSWR, FrameworkSWOR, FrameworkSWORAll, FrameworkLMFD, FrameworkLMHash, FrameworkDIFD:
+	case "":
+		return fmt.Errorf("framework is required")
+	default:
+		return fmt.Errorf("unknown framework %q", c.Framework)
+	}
+	switch c.Window {
+	case WindowSequence, WindowTime:
+	default:
+		return fmt.Errorf("unknown window kind %q (want %q or %q)", c.Window, WindowSequence, WindowTime)
+	}
+	if c.Size <= 0 {
+		return fmt.Errorf("window size must be positive, got %v", c.Size)
+	}
+	if c.Window == WindowSequence && c.Size != float64(int(c.Size)) {
+		return fmt.Errorf("sequence window size must be an integer row count, got %v", c.Size)
+	}
+	if c.D < 1 {
+		return fmt.Errorf("dimension d must be ≥ 1, got %d", c.D)
+	}
+	if c.Ell < 0 {
+		return fmt.Errorf("ell must be ≥ 0, got %d", c.Ell)
+	}
+	if c.Ell == 0 {
+		switch c.Framework {
+		case FrameworkSWR, FrameworkLMFD:
+			if c.Eps <= 0 || c.Eps >= 1 {
+				return fmt.Errorf("ell is zero, so eps must be in (0,1) to auto-size, got %v", c.Eps)
+			}
+		default:
+			return fmt.Errorf("framework %q requires an explicit ell", c.Framework)
+		}
+	}
+	if c.B < 0 {
+		return fmt.Errorf("b must be ≥ 0, got %d", c.B)
+	}
+	if c.Framework == FrameworkDIFD {
+		if c.Window != WindowSequence {
+			return fmt.Errorf("di-fd supports sequence windows only")
+		}
+		if c.L < 1 {
+			return fmt.Errorf("di-fd requires levels ≥ 1, got %d", c.L)
+		}
+		if c.R <= 0 {
+			return fmt.Errorf("di-fd requires a positive max squared row norm r, got %v", c.R)
+		}
+	}
+	return nil
+}
+
+// algoName maps the framework to the sketch's Name() without building
+// one (used when registering spilled stubs at startup).
+func (c Config) algoName() string {
+	switch c.normalize().Framework {
+	case FrameworkSWR:
+		return "SWR"
+	case FrameworkSWOR:
+		return "SWOR"
+	case FrameworkSWORAll:
+		return "SWOR-ALL"
+	case FrameworkLMFD:
+		return "LM-FD"
+	case FrameworkLMHash:
+		return "LM-HASH"
+	case FrameworkDIFD:
+		return "DI-FD"
+	}
+	return c.Framework
+}
+
+// Spec returns the window specification the config describes.
+func (c Config) Spec() window.Spec {
+	c = c.normalize()
+	if c.Window == WindowTime {
+		return window.TimeSpan(c.Size)
+	}
+	return window.Seq(int(c.Size))
+}
+
+// Build validates the config and constructs the sketch it describes.
+func (c Config) Build() (core.WindowSketch, error) {
+	c = c.normalize()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	spec := c.Spec()
+	switch c.Framework {
+	case FrameworkSWR:
+		if c.Ell == 0 {
+			return core.AutoSWR(spec, c.D, c.Eps, c.Seed), nil
+		}
+		return core.NewSWR(spec, c.Ell, c.D, c.Seed), nil
+	case FrameworkSWOR:
+		return core.NewSWOR(spec, c.Ell, c.D, c.Seed), nil
+	case FrameworkSWORAll:
+		return core.NewSWORAll(spec, c.Ell, c.D, c.Seed), nil
+	case FrameworkLMFD:
+		if c.Ell == 0 {
+			return core.AutoLMFD(spec, c.D, c.Eps), nil
+		}
+		return core.NewLMFD(spec, c.D, c.Ell, c.B), nil
+	case FrameworkLMHash:
+		return core.NewLMHash(spec, c.D, c.Ell, c.B, uint64(c.Seed)), nil
+	case FrameworkDIFD:
+		return core.NewDIFD(core.DIConfig{
+			N: int(c.Size), R: c.R, L: c.L, Ell: c.Ell, RSlack: 1.01,
+		}, c.D), nil
+	}
+	return nil, fmt.Errorf("unknown framework %q", c.Framework)
+}

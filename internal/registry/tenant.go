@@ -1,0 +1,144 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"swsketch/internal/core"
+)
+
+// ErrDeleted is returned by Tenant.Acquire when the tenant was removed
+// from its registry after the caller obtained the pointer.
+var ErrDeleted = errors.New("registry: tenant deleted")
+
+// Tenant is one named sliding-window sketch inside a Registry. All
+// sketch and clock access goes through Acquire/Release — the tenant's
+// own mutex — so ingest into different tenants runs in parallel while
+// each tenant stays single-writer (the sketches' contract).
+//
+// A tenant can be *resident* (sketch in memory) or *spilled* (state on
+// disk under the registry's spill directory); Acquire transparently
+// restores a spilled tenant before returning.
+type Tenant struct {
+	id     string
+	cfg    Config
+	algo   string
+	d      int
+	pinned bool
+	reg    *Registry
+
+	mu      sync.Mutex
+	sk      core.WindowSketch // the built sketch; nil while spilled
+	serving core.WindowSketch // optional decorated front (metrics); nil = sk
+	lastT   float64
+	seen    bool
+	deleted bool
+	spilled atomic.Bool
+
+	updates   atomic.Uint64
+	lastRows  atomic.Int64 // RowsStored at the last Release (lock-free reads)
+	lastTouch atomic.Int64 // unix nanos of the last Release/Get
+}
+
+// ID returns the tenant's registry key.
+func (t *Tenant) ID() string { return t.id }
+
+// Config returns the declarative config the tenant was created from.
+// Adopted tenants (Registry.Adopt) have a zero config.
+func (t *Tenant) Config() Config { return t.cfg }
+
+// Algorithm returns the sketch's algorithm name (e.g. "LM-FD").
+func (t *Tenant) Algorithm() string { return t.algo }
+
+// D returns the tenant's row dimension.
+func (t *Tenant) D() int { return t.d }
+
+// Pinned reports whether the tenant is exempt from eviction (the
+// serve layer's adopted default tenant is).
+func (t *Tenant) Pinned() bool { return t.pinned }
+
+// Resident reports, lock-free, whether the sketch is in memory (true)
+// or spilled to disk (false).
+func (t *Tenant) Resident() bool { return !t.spilled.Load() }
+
+// Updates returns, lock-free, the number of rows committed so far.
+func (t *Tenant) Updates() uint64 { return t.updates.Load() }
+
+// Rows returns, lock-free, the sketch's row count as of the last
+// Release (the live value requires Acquire).
+func (t *Tenant) Rows() int { return int(t.lastRows.Load()) }
+
+// Acquire locks the tenant for exclusive sketch access, transparently
+// restoring a spilled tenant from disk first. Every successful
+// Acquire must be paired with Release. It fails when the tenant was
+// deleted concurrently (ErrDeleted) or the spilled state cannot be
+// read back.
+func (t *Tenant) Acquire() error {
+	t.mu.Lock()
+	if t.deleted {
+		t.mu.Unlock()
+		return ErrDeleted
+	}
+	if t.sk == nil {
+		if err := t.reg.restore(t); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// Release unlocks the tenant, stamping its recency (for LRU/TTL
+// eviction) and publishing the sketch's row count for lock-free
+// observers.
+func (t *Tenant) Release() {
+	if t.sk != nil {
+		t.lastRows.Store(int64(t.sk.RowsStored()))
+	}
+	t.touch()
+	t.mu.Unlock()
+}
+
+// touch stamps the tenant as recently used.
+func (t *Tenant) touch() { t.lastTouch.Store(t.reg.now().UnixNano()) }
+
+// Sketch returns the serving sketch — the decorated front when one was
+// installed with SetServing, the raw sketch otherwise. Callers must
+// hold the tenant via Acquire.
+func (t *Tenant) Sketch() core.WindowSketch {
+	if t.serving != nil {
+		return t.serving
+	}
+	return t.sk
+}
+
+// Raw returns the undecorated sketch, for capability checks (snapshot
+// support, introspection) and audit-path queries. Callers must hold
+// the tenant via Acquire.
+func (t *Tenant) Raw() core.WindowSketch { return t.sk }
+
+// SetServing installs a decorated front (e.g. obs.Instrumented) that
+// Sketch will return in place of the raw sketch. Callers must hold
+// the tenant via Acquire.
+func (t *Tenant) SetServing(sk core.WindowSketch) { t.serving = sk }
+
+// Clock returns the tenant's ingest clock: the last committed
+// timestamp and whether any row has been committed. Callers must hold
+// the tenant via Acquire.
+func (t *Tenant) Clock() (lastT float64, seen bool) { return t.lastT, t.seen }
+
+// Commit advances the ingest clock after n rows were applied up to
+// timestamp lastT. Callers must hold the tenant via Acquire.
+func (t *Tenant) Commit(n int, lastT float64) {
+	t.updates.Add(uint64(n))
+	t.lastT, t.seen = lastT, true
+}
+
+// ResetClock zeroes the ingest clock (after a snapshot restore, whose
+// stream position is unrelated to the pre-restore one). Callers must
+// hold the tenant via Acquire.
+func (t *Tenant) ResetClock() {
+	t.updates.Store(0)
+	t.lastT, t.seen = 0, false
+}

@@ -1,14 +1,16 @@
-// Package serve exposes a sliding-window matrix sketch over HTTP: an
-// ingest endpoint for timestamped rows, query endpoints for the window
-// approximation and its PCA, a stats endpoint with sketch internals,
-// binary snapshots, and optional Prometheus metrics and pprof. One
-// Server guards one sketch; all handlers serialise on its mutex
-// (sketch updates are cheap relative to request handling, so a single
-// writer lock is the right simplicity/performance trade).
+// Package serve exposes sliding-window matrix sketches over HTTP. A
+// Server fronts a multi-tenant registry of named sketches
+// (internal/registry): every tenant gets ingest and query endpoints
+// under /v1/tenants/{id}/..., and the legacy single-sketch routes
+// under /v1/ remain as thin aliases for the reserved "default" tenant
+// — the sketch passed to NewServer. Per-tenant access serialises on
+// the tenant's own mutex, so ingest into different tenants runs in
+// parallel.
 //
 // Routes are registered with Go 1.22 method patterns:
 //
 //	POST /v1/ingest         body: {"updates":[{"row":[...],"t":1.5},...]}
+//	POST /v1/ingest/bulk    body: {"tenants":[{"id":"a","updates":[...]},...]}
 //	GET  /v1/approximation  [?t=...]      window approximation B
 //	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
 //	GET  /v1/stats          sketch metadata + "internals" (Introspector)
@@ -16,6 +18,19 @@
 //	                        (?fresh=1 forces an evaluation) (WithAudit)
 //	GET  /v1/snapshot       binary sketch snapshot
 //	POST /v1/snapshot       restore a snapshot
+//
+//	GET    /v1/tenants                       list tenants
+//	PUT    /v1/tenants/{id}                  create a tenant (body: registry.Config)
+//	GET    /v1/tenants/{id}                  one tenant's summary + config
+//	DELETE /v1/tenants/{id}                  remove a tenant (and its spill file)
+//	POST   /v1/tenants/{id}/ingest           as /v1/ingest
+//	GET    /v1/tenants/{id}/approximation    as /v1/approximation
+//	GET    /v1/tenants/{id}/pca              as /v1/pca
+//	GET    /v1/tenants/{id}/stats            as /v1/stats, plus tenant fields
+//	GET    /v1/tenants/{id}/health           liveness + residency (no audit)
+//	GET    /v1/tenants/{id}/snapshot         as /v1/snapshot
+//	POST   /v1/tenants/{id}/snapshot         restore
+//
 //	GET  /healthz           200 ok
 //	GET  /metrics           Prometheus text exposition (WithMetrics)
 //	GET  /debug/trace       event-trace JSONL dump (?format=summary for counts)
@@ -31,15 +46,19 @@
 //	invalid_json        400  request body is not valid JSON for the endpoint
 //	invalid_argument    400  a field or query parameter is out of range
 //	method_not_allowed  405  wrong HTTP method (Allow header lists valid ones)
-//	not_found           404  unknown route
+//	not_found           404  unknown route or unknown tenant
 //	conflict            409  the sketch's invariants rejected the operation
-//	                         (e.g. a timestamp behind a restored clock)
+//	                         (e.g. a timestamp behind a restored clock), or a
+//	                         tenant with that ID already exists
 //	unsupported         501  the sketch lacks the capability (snapshots)
 //	body_too_large      413  body exceeded the WithMaxBody limit
-//	internal            500  server-side failure
+//	internal            500  server-side failure (e.g. a spilled tenant whose
+//	                         state could not be restored from disk)
 //
 // Snapshot endpoints require the underlying sketch to support binary
-// snapshots (SWR, SWOR, SWOR-ALL, LM-FD do); others get 501.
+// snapshots (SWR, SWOR, SWOR-ALL, LM-FD do); others get 501. Tenant
+// IDs are restricted to [A-Za-z0-9._-], at most 128 bytes; "default"
+// names the adopted legacy sketch and cannot be created or deleted.
 package serve
 
 import (
@@ -53,7 +72,6 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,7 +79,7 @@ import (
 	"swsketch/internal/mat"
 	"swsketch/internal/obs"
 	"swsketch/internal/obs/audit"
-	"swsketch/internal/pca"
+	"swsketch/internal/registry"
 	"swsketch/internal/trace"
 )
 
@@ -77,15 +95,19 @@ const (
 	CodeInternal         = "internal"
 )
 
-// Server wraps a WindowSketch for HTTP access.
+// DefaultTenant is the reserved tenant ID aliased by the legacy
+// single-sketch routes (/v1/ingest and friends): the sketch passed to
+// NewServer. It cannot be created, deleted, or evicted over the API.
+const DefaultTenant = "default"
+
+// Server routes HTTP traffic onto a tenant registry. The sketch given
+// to NewServer is adopted as the pinned "default" tenant; further
+// tenants are created over the API or pre-registered in the registry
+// passed via WithRegistry.
 type Server struct {
-	mu      sync.Mutex
-	sk      core.WindowSketch // possibly obs.Instrumented; the ingest/query path
-	raw     core.WindowSketch // the undecorated sketch, for capability checks
-	d       int
-	updates uint64
-	lastT   float64
-	seen    bool
+	treg *registry.Registry
+	def  *registry.Tenant
+	d    int // default tenant's dimension
 
 	reg     *obs.Registry
 	pprof   bool
@@ -102,10 +124,12 @@ type Server struct {
 // Option configures a Server; see WithMetrics, WithPprof, WithMaxBody.
 type Option func(*Server)
 
-// WithMetrics wraps the sketch in an obs.Instrumented recording
-// ingest/query latencies and internals into reg, instruments every
-// route with request counters and latency histograms, and mounts
-// GET /metrics serving reg's Prometheus text exposition.
+// WithMetrics wraps the default tenant's sketch in an obs.Instrumented
+// recording ingest/query latencies and internals into reg, instruments
+// every route with request counters and latency histograms, and mounts
+// GET /metrics serving reg's Prometheus text exposition. When the
+// server builds its own registry (no WithRegistry), the registry's
+// tenant-lifecycle metrics land in reg too.
 func WithMetrics(reg *obs.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
@@ -128,7 +152,7 @@ func WithMaxBody(n int64) Option {
 	}
 }
 
-// WithTrace attaches an event tracer: the sketch's structural
+// WithTrace attaches an event tracer: the default sketch's structural
 // transitions emit into it (when the sketch is trace.Traceable),
 // completed requests emit http_request events tagged with their
 // request IDs, and GET /debug/trace serves the ring as JSONL. When
@@ -138,11 +162,12 @@ func WithTrace(tr *trace.Tracer) Option {
 	return func(s *Server) { s.tr = tr }
 }
 
-// WithAudit attaches an online accuracy auditor: every ingested row is
-// shadowed, cova-err is evaluated on the auditor's stride, and GET
-// /v1/health reports ok/degraded against its threshold. The auditor's
-// gauges live in whatever registry it was built with — pass the same
-// registry to WithMetrics to serve them on /metrics.
+// WithAudit attaches an online accuracy auditor to the default
+// tenant: every ingested row is shadowed, cova-err is evaluated on
+// the auditor's stride, and GET /v1/health reports ok/degraded
+// against its threshold. The auditor's gauges live in whatever
+// registry it was built with — pass the same registry to WithMetrics
+// to serve them on /metrics.
 func WithAudit(a *audit.Auditor) Option {
 	return func(s *Server) { s.audit = a }
 }
@@ -154,18 +179,57 @@ func WithLogger(l *slog.Logger) Option {
 	return func(s *Server) { s.log = l }
 }
 
-// NewServer returns a server around the given sketch and dimension.
+// WithRegistry mounts a caller-built tenant registry (eviction TTL,
+// spill directory, caps — see internal/registry's options) instead of
+// the plain one the server otherwise creates. The NewServer sketch is
+// still adopted into it as the pinned "default" tenant.
+func WithRegistry(reg *registry.Registry) Option {
+	return func(s *Server) {
+		if reg == nil {
+			panic("serve: nil registry")
+		}
+		s.treg = reg
+	}
+}
+
+// NewServer returns a server around the given default sketch and
+// dimension.
 func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 	if d < 1 {
 		panic(fmt.Sprintf("serve: dimension %d", d))
 	}
-	s := &Server{sk: sk, raw: sk, d: d}
+	s := &Server{d: d}
 	for _, o := range opts {
 		o(s)
 	}
 	// Request IDs: a short per-server entropy prefix plus a counter, so
 	// IDs from restarted servers don't collide in aggregated logs.
 	s.reqPrefix = strconv.FormatInt(time.Now().UnixNano()&0xffffff, 36)
+	if s.treg == nil {
+		var ropts []registry.Option
+		if s.reg != nil {
+			ropts = append(ropts, registry.WithObs(s.reg))
+		}
+		if s.tr != nil {
+			ropts = append(ropts, registry.WithTrace(s.tr))
+		}
+		treg, err := registry.New(ropts...)
+		if err != nil {
+			panic(fmt.Sprintf("serve: registry: %v", err))
+		}
+		s.treg = treg
+	}
+	def, err := s.treg.Adopt(DefaultTenant, sk, d)
+	if errors.Is(err, registry.ErrExists) {
+		// The name is reserved: discard any stub a spill-dir scan may
+		// have registered under it and take the slot.
+		s.treg.Delete(DefaultTenant)
+		def, err = s.treg.Adopt(DefaultTenant, sk, d)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("serve: adopt default tenant: %v", err))
+	}
+	s.def = def
 	if s.tr != nil {
 		if t, ok := sk.(trace.Traceable); ok {
 			t.SetTracer(s.tr)
@@ -173,17 +237,27 @@ func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 	}
 	if s.reg != nil {
 		// Scrape-time reads of the sketch (rows stored, internals) run
-		// under the server mutex so /metrics never races an ingest.
-		s.sk = obs.NewInstrumented(sk, s.reg, obs.WithSync(func(f func()) {
-			s.mu.Lock()
-			defer s.mu.Unlock()
+		// under the default tenant's lock so /metrics never races an
+		// ingest.
+		instrumented := obs.NewInstrumented(sk, s.reg, obs.WithSync(func(f func()) {
+			if s.def.Acquire() != nil {
+				return // the pinned default tenant cannot actually fail
+			}
+			defer s.def.Release()
 			f()
 		}))
+		_ = s.def.Acquire()
+		s.def.SetServing(instrumented)
+		s.def.Release()
 		obs.RegisterRuntimeMetrics(s.reg)
 		obs.RegisterTracer(s.reg, s.tr)
 	}
 	return s
 }
+
+// Registry returns the server's tenant registry (for sweepers and
+// direct programmatic access).
+func (s *Server) Registry() *registry.Registry { return s.treg }
 
 // Handler returns the HTTP routes listed in the package comment.
 func (s *Server) Handler() http.Handler {
@@ -198,12 +272,24 @@ func (s *Server) Handler() http.Handler {
 		}
 	}
 	handle("POST /v1/ingest", s.handleIngest, "POST")
+	handle("POST /v1/ingest/bulk", s.handleBulkIngest, "POST")
 	handle("GET /v1/approximation", s.handleApproximation, "GET")
 	handle("GET /v1/pca", s.handlePCA, "GET")
 	handle("GET /v1/stats", s.handleStats, "GET")
 	handle("GET /v1/health", s.handleHealth, "GET")
 	handle("GET /v1/snapshot", s.handleSnapshotGet) // fallback shared below
 	handle("POST /v1/snapshot", s.handleSnapshotPost, "GET", "POST")
+	handle("GET /v1/tenants", s.handleTenantList, "GET")
+	handle("PUT /v1/tenants/{id}", s.handleTenantPut)  // fallback shared below
+	handle("GET /v1/tenants/{id}", s.handleTenantInfo) // fallback shared below
+	handle("DELETE /v1/tenants/{id}", s.handleTenantDelete, "GET", "PUT", "DELETE")
+	handle("POST /v1/tenants/{id}/ingest", s.handleTenantIngest, "POST")
+	handle("GET /v1/tenants/{id}/approximation", s.handleTenantApproximation, "GET")
+	handle("GET /v1/tenants/{id}/pca", s.handleTenantPCA, "GET")
+	handle("GET /v1/tenants/{id}/stats", s.handleTenantStats, "GET")
+	handle("GET /v1/tenants/{id}/health", s.handleTenantHealth, "GET")
+	handle("GET /v1/tenants/{id}/snapshot", s.handleTenantSnapshotGet) // fallback shared below
+	handle("POST /v1/tenants/{id}/snapshot", s.handleTenantSnapshotPost, "GET", "POST")
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -233,7 +319,9 @@ func (s *Server) Handler() http.Handler {
 // an X-Request-ID response header, per-route latency/count metrics
 // (WithMetrics), an http_request trace event carrying the request ID
 // (WithTrace), and one slog record per completed request (WithLogger).
-// With none of the three active it is the identity.
+// With none of the three active it is the identity. Route labels use
+// the registered pattern ("/v1/tenants/{id}/ingest"), not the raw
+// path, so metric cardinality stays bounded by the route table.
 func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 	if s.reg == nil && s.tr == nil && s.log == nil {
 		return h
@@ -297,247 +385,29 @@ func methodNotAllowed(allow ...string) http.HandlerFunc {
 	}
 }
 
-type ingestRequest struct {
-	Updates []ingestUpdate `json:"updates"`
+// acquire locks a tenant for the duration of a request, translating
+// acquisition failures (concurrent deletion, unreadable spill file)
+// into envelope errors. On true the caller must Release.
+func (s *Server) acquire(w http.ResponseWriter, t *registry.Tenant) bool {
+	err := t.Acquire()
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, registry.ErrDeleted) {
+		httpError(w, http.StatusNotFound, CodeNotFound, "tenant %q deleted", t.ID())
+	} else {
+		httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+	}
+	return false
 }
 
-type ingestUpdate struct {
-	Row []float64 `json:"row,omitempty"`
-	// Sparse form: parallel indices/values; mutually exclusive with Row.
-	Idx []int     `json:"idx,omitempty"`
-	Val []float64 `json:"val,omitempty"`
-	T   float64   `json:"t"`
-}
-
-type ingestResponse struct {
-	Accepted int     `json:"accepted"`
-	LastT    float64 `json:"last_t"`
-}
-
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body := r.Body
-	if s.maxBody > 0 {
-		body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	}
-	var req ingestRequest
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
-				"body exceeds %d bytes", tooLarge.Limit)
-			return
-		}
-		httpError(w, http.StatusBadRequest, CodeInvalidJSON, "bad JSON: %v", err)
-		return
-	}
-	if len(req.Updates) == 0 {
-		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "no updates")
-		return
-	}
-	// Validate before touching the sketch so a bad batch is all-or-
-	// nothing.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	prev := s.lastT
-	seen := s.seen
-	allDense := true
-	for _, u := range req.Updates {
-		if len(u.Idx) > 0 || len(u.Val) > 0 {
-			allDense = false
-			break
-		}
-	}
-	if allDense {
-		// Fast path: an all-dense batch goes through the sketch's bulk
-		// ingest in one call, amortising per-row bookkeeping.
-		rows := make([][]float64, 0, len(req.Updates))
-		times := make([]float64, 0, len(req.Updates))
-		for i, u := range req.Updates {
-			if seen && u.T < prev {
-				httpError(w, http.StatusBadRequest, CodeInvalidArgument,
-					"update %d: timestamp %v precedes %v", i, u.T, prev)
-				return
-			}
-			if len(u.Row) != s.d {
-				httpError(w, http.StatusBadRequest, CodeInvalidArgument,
-					"update %d: row length %d, want %d", i, len(u.Row), s.d)
-				return
-			}
-			if err := checkFiniteVals(u.Row); err != nil {
-				httpError(w, http.StatusBadRequest, CodeInvalidArgument, "update %d: %v", i, err)
-				return
-			}
-			rows = append(rows, u.Row)
-			times = append(times, u.T)
-			prev, seen = u.T, true
-		}
-		if err := applyBatch(s.sk, rows, times); err != nil {
-			httpError(w, http.StatusConflict, CodeConflict, "ingest rejected by sketch: %v", err)
-			return
-		}
-		s.updates += uint64(len(req.Updates))
-		s.lastT, s.seen = prev, true
-		s.observeAudit(rows, times)
-		writeJSON(w, ingestResponse{Accepted: len(req.Updates), LastT: prev})
-		return
-	}
-	rows := make([]func(), 0, len(req.Updates))
-	var auditRows [][]float64
-	var auditTimes []float64
-	if s.audit != nil {
-		auditRows = make([][]float64, 0, len(req.Updates))
-		auditTimes = make([]float64, 0, len(req.Updates))
-	}
-	for i, u := range req.Updates {
-		if seen && u.T < prev {
-			httpError(w, http.StatusBadRequest, CodeInvalidArgument,
-				"update %d: timestamp %v precedes %v", i, u.T, prev)
-			return
-		}
-		apply, dense, err := s.prepareUpdate(u)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, CodeInvalidArgument, "update %d: %v", i, err)
-			return
-		}
-		rows = append(rows, apply)
-		if s.audit != nil {
-			auditRows = append(auditRows, dense)
-			auditTimes = append(auditTimes, u.T)
-		}
-		prev, seen = u.T, true
-	}
-	// The sketch enforces invariants the server cannot fully check —
-	// e.g. after a snapshot restore the sketch's internal clock may be
-	// ahead of the server's. Surface those as 409 instead of crashing
-	// the connection.
-	if err := applyAll(rows); err != nil {
-		httpError(w, http.StatusConflict, CodeConflict, "ingest rejected by sketch: %v", err)
-		return
-	}
-	s.updates += uint64(len(req.Updates))
-	s.lastT, s.seen = prev, true
-	s.observeAudit(auditRows, auditTimes)
-	writeJSON(w, ingestResponse{Accepted: len(req.Updates), LastT: prev})
-}
-
-// observeAudit feeds freshly ingested rows to the auditor. The caller
-// holds s.mu, so the query closure (which the auditor may invoke for a
-// stride-triggered evaluation) reads the sketch consistently. The
-// closure queries the undecorated sketch so audit evaluations don't
-// pollute the serving query-latency metrics.
-func (s *Server) observeAudit(rows [][]float64, times []float64) {
-	if s.audit == nil {
-		return
-	}
-	s.audit.ObserveBatch(rows, times, func(t float64) *mat.Dense {
-		return s.raw.Query(t)
-	})
-}
-
-type approximationResponse struct {
-	Rows [][]float64 `json:"rows"`
-	T    float64     `json:"t"`
-}
-
-func (s *Server) handleApproximation(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.queryTime(w, r)
+// tenantOf resolves the {id} path segment against the registry.
+func (s *Server) tenantOf(w http.ResponseWriter, r *http.Request) (*registry.Tenant, bool) {
+	id := r.PathValue("id")
+	t, ok := s.treg.Get(id)
 	if !ok {
-		return
-	}
-	s.mu.Lock()
-	b := s.sk.Query(t)
-	s.mu.Unlock()
-	rows := make([][]float64, b.Rows())
-	for i := range rows {
-		rows[i] = b.RowCopy(i)
-	}
-	writeJSON(w, approximationResponse{Rows: rows, T: t})
-}
-
-type pcaResponse struct {
-	Components [][]float64 `json:"components"`
-	Explained  []float64   `json:"explained"`
-	T          float64     `json:"t"`
-}
-
-func (s *Server) handlePCA(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.queryTime(w, r)
-	if !ok {
-		return
-	}
-	k := 3
-	if kq := r.URL.Query().Get("k"); kq != "" {
-		var err error
-		k, err = strconv.Atoi(kq)
-		if err != nil || k < 1 {
-			httpError(w, http.StatusBadRequest, CodeInvalidArgument, "bad k %q", kq)
-			return
-		}
-	}
-	s.mu.Lock()
-	b := s.sk.Query(t)
-	s.mu.Unlock()
-	if b.Rows() == 0 {
-		writeJSON(w, pcaResponse{Components: [][]float64{}, Explained: []float64{}, T: t})
-		return
-	}
-	res := pca.Compute(b, k)
-	comps := make([][]float64, res.Components.Rows())
-	for i := range comps {
-		comps[i] = res.Components.RowCopy(i)
-	}
-	writeJSON(w, pcaResponse{Components: comps, Explained: res.Explained, T: t})
-}
-
-type statsResponse struct {
-	Algorithm  string             `json:"algorithm"`
-	Dimension  int                `json:"dimension"`
-	RowsStored int                `json:"rows_stored"`
-	Updates    uint64             `json:"updates"`
-	LastT      float64            `json:"last_t"`
-	Internals  map[string]float64 `json:"internals,omitempty"`
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	resp := statsResponse{
-		Algorithm:  s.sk.Name(),
-		Dimension:  s.d,
-		RowsStored: s.sk.RowsStored(),
-		Updates:    s.updates,
-		LastT:      s.lastT,
-	}
-	if in, ok := s.raw.(core.Introspector); ok {
-		resp.Internals = in.Stats()
-	}
-	s.mu.Unlock()
-	writeJSON(w, resp)
-}
-
-// queryTime parses ?t=; when omitted, the last ingested timestamp is
-// used (query "now").
-func (s *Server) queryTime(w http.ResponseWriter, r *http.Request) (float64, bool) {
-	tq := r.URL.Query().Get("t")
-	if tq == "" {
-		s.mu.Lock()
-		t := s.lastT
-		s.mu.Unlock()
-		return t, true
-	}
-	t, err := strconv.ParseFloat(tq, 64)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "bad t %q", tq)
-		return 0, false
-	}
-	s.mu.Lock()
-	last, seen := s.lastT, s.seen
-	s.mu.Unlock()
-	if seen && t < last {
-		httpError(w, http.StatusBadRequest, CodeInvalidArgument,
-			"t %v precedes last ingested %v", t, last)
-		return 0, false
+		httpError(w, http.StatusNotFound, CodeNotFound, "no tenant %q", id)
+		return nil, false
 	}
 	return t, true
 }
@@ -566,107 +436,6 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// handleSnapshotGet downloads the sketch state when the sketch
-// supports binary snapshots.
-func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) {
-	m, ok := s.raw.(encoding.BinaryMarshaler)
-	if !ok {
-		httpError(w, http.StatusNotImplemented, CodeUnsupported,
-			"%s does not support snapshots", s.raw.Name())
-		return
-	}
-	s.mu.Lock()
-	data, err := m.MarshalBinary()
-	s.mu.Unlock()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, CodeInternal, "snapshot: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(data)
-}
-
-// handleSnapshotPost replaces the sketch state from an uploaded
-// snapshot. On success the server's own ingest clock (updates, lastT,
-// seen) resets to zero: the restored sketch carries its own clock, and
-// keeping the pre-restore lastT would make default-t queries answer at
-// a timestamp unrelated to the restored state.
-func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
-	u, ok := s.raw.(encoding.BinaryUnmarshaler)
-	if !ok {
-		httpError(w, http.StatusNotImplemented, CodeUnsupported,
-			"%s does not support snapshots", s.raw.Name())
-		return
-	}
-	limit := int64(1 << 30)
-	if s.maxBody > 0 {
-		limit = s.maxBody
-	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "read body: %v", err)
-		return
-	}
-	if int64(len(data)) > limit {
-		httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
-			"body exceeds %d bytes", limit)
-		return
-	}
-	s.mu.Lock()
-	err = u.UnmarshalBinary(data)
-	if err == nil {
-		s.updates = 0
-		s.seen = false
-		s.lastT = 0
-		// The restored window's contents are unknowable to the shadow
-		// oracle; re-arm it in the warming state.
-		s.audit.Reset()
-	}
-	s.mu.Unlock()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "restore: %v", err)
-		return
-	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "restored")
-}
-
-// healthResponse is the GET /v1/health payload. Status is "ok" or
-// "degraded"; Detail carries the auditor's full view when one is
-// attached.
-type healthResponse struct {
-	Status string        `json:"status"`
-	Audit  bool          `json:"audit"`
-	Detail *audit.Status `json:"detail,omitempty"`
-}
-
-// handleHealth reports accuracy health. Without an auditor it is a
-// plain liveness "ok". With one, the latest audited cova-err decides
-// ok (200) vs degraded (503); ?fresh=1 forces an evaluation first so
-// the verdict reflects the current window rather than the last stride
-// boundary.
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.audit == nil {
-		writeJSON(w, healthResponse{Status: "ok"})
-		return
-	}
-	if r.URL.Query().Get("fresh") != "" {
-		s.mu.Lock()
-		s.audit.Evaluate(func(t float64) *mat.Dense { return s.raw.Query(t) })
-		s.mu.Unlock()
-	}
-	st := s.audit.Status()
-	resp := healthResponse{Status: "ok", Audit: true, Detail: &st}
-	if st.Degraded {
-		resp.Status = "degraded"
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(resp)
-		return
-	}
-	writeJSON(w, resp)
-}
-
 // handleTrace dumps the trace ring. The default body is JSONL (one
 // event per line, oldest first); ?format=summary returns the per-kind
 // counts and ring occupancy as a single JSON object.
@@ -693,54 +462,6 @@ func checkFiniteVals(vals []float64) error {
 	return nil
 }
 
-// prepareUpdate validates one ingest update and returns a closure that
-// applies it plus the dense form of the row (for the audit shadow —
-// sparse rows are only densified when an auditor is attached);
-// validation and application are split so a bad batch is rejected
-// atomically.
-func (s *Server) prepareUpdate(u ingestUpdate) (func(), []float64, error) {
-	checkVals := checkFiniteVals
-	if len(u.Idx) > 0 || len(u.Val) > 0 {
-		if len(u.Row) > 0 {
-			return nil, nil, fmt.Errorf("row and idx/val are mutually exclusive")
-		}
-		if len(u.Idx) != len(u.Val) {
-			return nil, nil, fmt.Errorf("%d indices but %d values", len(u.Idx), len(u.Val))
-		}
-		prev := -1
-		for _, ix := range u.Idx {
-			if ix <= prev || ix >= s.d {
-				return nil, nil, fmt.Errorf("sparse index %d invalid for dimension %d", ix, s.d)
-			}
-			prev = ix
-		}
-		if err := checkVals(u.Val); err != nil {
-			return nil, nil, err
-		}
-		sr := mat.SparseRow{Idx: u.Idx, Val: u.Val}
-		// Capability lives on the undecorated sketch; the decorated one
-		// (which forwards sparse updates) takes the call so the update
-		// is recorded.
-		if _, ok := s.raw.(core.SparseUpdater); ok {
-			su := s.sk.(core.SparseUpdater)
-			var row []float64
-			if s.audit != nil {
-				row = sr.Dense(s.d)
-			}
-			return func() { su.UpdateSparse(sr, u.T) }, row, nil
-		}
-		dense := sr.Dense(s.d)
-		return func() { s.sk.Update(dense, u.T) }, dense, nil
-	}
-	if len(u.Row) != s.d {
-		return nil, nil, fmt.Errorf("row length %d, want %d", len(u.Row), s.d)
-	}
-	if err := checkVals(u.Row); err != nil {
-		return nil, nil, err
-	}
-	return func() { s.sk.Update(u.Row, u.T) }, u.Row, nil
-}
-
 // applyBatch feeds an all-dense batch through the sketch's bulk path,
 // converting sketch panics into errors like applyAll.
 func applyBatch(sk core.WindowSketch, rows [][]float64, times []float64) (err error) {
@@ -765,4 +486,128 @@ func applyAll(rows []func()) (err error) {
 		apply()
 	}
 	return nil
+}
+
+// snapshotGet downloads a tenant's sketch state when the sketch
+// supports binary snapshots.
+func (s *Server) snapshotGet(w http.ResponseWriter, t *registry.Tenant) {
+	if !s.acquire(w, t) {
+		return
+	}
+	defer t.Release()
+	m, ok := t.Raw().(encoding.BinaryMarshaler)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, CodeUnsupported,
+			"%s does not support snapshots", t.Raw().Name())
+		return
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, CodeInternal, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+// snapshotPost replaces a tenant's sketch state from an uploaded
+// snapshot. On success the tenant's ingest clock (updates, lastT,
+// seen) resets to zero: the restored sketch carries its own clock, and
+// keeping the pre-restore lastT would make default-t queries answer at
+// a timestamp unrelated to the restored state.
+func (s *Server) snapshotPost(w http.ResponseWriter, r *http.Request, t *registry.Tenant) {
+	limit := int64(1 << 30)
+	if s.maxBody > 0 {
+		limit = s.maxBody
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "read body: %v", err)
+		return
+	}
+	if int64(len(data)) > limit {
+		httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			"body exceeds %d bytes", limit)
+		return
+	}
+	if !s.acquire(w, t) {
+		return
+	}
+	defer t.Release()
+	u, ok := t.Raw().(encoding.BinaryUnmarshaler)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, CodeUnsupported,
+			"%s does not support snapshots", t.Raw().Name())
+		return
+	}
+	if err := u.UnmarshalBinary(data); err != nil {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "restore: %v", err)
+		return
+	}
+	t.ResetClock()
+	if t == s.def {
+		// The restored window's contents are unknowable to the shadow
+		// oracle; re-arm it in the warming state.
+		s.audit.Reset()
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "restored")
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) {
+	s.snapshotGet(w, s.def)
+}
+
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	s.snapshotPost(w, r, s.def)
+}
+
+func (s *Server) handleTenantSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	if t, ok := s.tenantOf(w, r); ok {
+		s.snapshotGet(w, t)
+	}
+}
+
+func (s *Server) handleTenantSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	if t, ok := s.tenantOf(w, r); ok {
+		s.snapshotPost(w, r, t)
+	}
+}
+
+// healthResponse is the GET /v1/health payload. Status is "ok" or
+// "degraded"; Detail carries the auditor's full view when one is
+// attached.
+type healthResponse struct {
+	Status string        `json:"status"`
+	Audit  bool          `json:"audit"`
+	Detail *audit.Status `json:"detail,omitempty"`
+}
+
+// handleHealth reports the default tenant's accuracy health. Without
+// an auditor it is a plain liveness "ok". With one, the latest
+// audited cova-err decides ok (200) vs degraded (503); ?fresh=1
+// forces an evaluation first so the verdict reflects the current
+// window rather than the last stride boundary.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.audit == nil {
+		writeJSON(w, healthResponse{Status: "ok"})
+		return
+	}
+	if r.URL.Query().Get("fresh") != "" {
+		if !s.acquire(w, s.def) {
+			return
+		}
+		s.audit.Evaluate(func(t float64) *mat.Dense { return s.def.Raw().Query(t) })
+		s.def.Release()
+	}
+	st := s.audit.Status()
+	resp := healthResponse{Status: "ok", Audit: true, Detail: &st}
+	if st.Degraded {
+		resp.Status = "degraded"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
 }

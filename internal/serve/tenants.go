@@ -1,0 +1,239 @@
+package serve
+
+// Tenant lifecycle routes (/v1/tenants...) and the bulk multi-tenant
+// ingest route. Tenant IDs accepted over HTTP are restricted to
+// [A-Za-z0-9._-] and at most registry.MaxIDLen bytes; the registry
+// itself allows any non-empty string (programmatic callers may use
+// richer IDs), the serve layer is stricter so IDs embed cleanly in
+// URLs, metric labels, and log lines.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"swsketch/internal/registry"
+)
+
+// validTenantID reports whether an ID is acceptable over the HTTP API.
+func validTenantID(id string) bool {
+	if id == "" || len(id) > registry.MaxIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type tenantListResponse struct {
+	Tenants []registry.Info `json:"tenants"`
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.treg.List()
+	if infos == nil {
+		infos = []registry.Info{}
+	}
+	writeJSON(w, tenantListResponse{Tenants: infos})
+}
+
+// tenantInfoResponse is the GET /v1/tenants/{id} payload (also
+// returned by PUT on creation).
+type tenantInfoResponse struct {
+	ID        string           `json:"id"`
+	Algorithm string           `json:"algorithm"`
+	Dimension int              `json:"dimension"`
+	Resident  bool             `json:"resident"`
+	Rows      int              `json:"rows_stored"`
+	Updates   uint64           `json:"updates"`
+	Pinned    bool             `json:"pinned,omitempty"`
+	Config    *registry.Config `json:"config,omitempty"`
+}
+
+func tenantInfo(t *registry.Tenant) tenantInfoResponse {
+	resp := tenantInfoResponse{
+		ID:        t.ID(),
+		Algorithm: t.Algorithm(),
+		Dimension: t.D(),
+		Resident:  t.Resident(),
+		Rows:      t.Rows(),
+		Updates:   t.Updates(),
+		Pinned:    t.Pinned(),
+	}
+	if cfg := t.Config(); cfg.Framework != "" {
+		resp.Config = &cfg
+	}
+	return resp
+}
+
+// handleTenantPut creates a tenant from a declarative config. The body
+// is a registry.Config JSON object; unknown fields are rejected. A
+// duplicate ID answers 409 conflict, a config the registry cannot
+// build answers 400 invalid_argument.
+func (s *Server) handleTenantPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validTenantID(id) {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"tenant ID must match [A-Za-z0-9._-]{1,%d}", registry.MaxIDLen)
+		return
+	}
+	if id == DefaultTenant {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"tenant ID %q is reserved", DefaultTenant)
+		return
+	}
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	var cfg registry.Config
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, CodeInvalidJSON, "bad JSON: %v", err)
+		return
+	}
+	t, err := s.treg.Create(id, cfg)
+	switch {
+	case errors.Is(err, registry.ErrExists):
+		httpError(w, http.StatusConflict, CodeConflict, "tenant %q already exists", id)
+		return
+	case errors.Is(err, registry.ErrBadID):
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(tenantInfo(t))
+}
+
+func (s *Server) handleTenantInfo(w http.ResponseWriter, r *http.Request) {
+	if t, ok := s.tenantOf(w, r); ok {
+		writeJSON(w, tenantInfo(t))
+	}
+}
+
+type tenantDeleteResponse struct {
+	Deleted string `json:"deleted"`
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == DefaultTenant {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"tenant %q cannot be deleted", DefaultTenant)
+		return
+	}
+	if !s.treg.Delete(id) {
+		httpError(w, http.StatusNotFound, CodeNotFound, "no tenant %q", id)
+		return
+	}
+	writeJSON(w, tenantDeleteResponse{Deleted: id})
+}
+
+// tenantHealthResponse is the GET /v1/tenants/{id}/health payload: a
+// cheap liveness/residency probe that never forces a spilled tenant
+// back into memory (unlike the query routes, it does not Acquire).
+type tenantHealthResponse struct {
+	Status   string `json:"status"`
+	Tenant   string `json:"tenant"`
+	Resident bool   `json:"resident"`
+	Updates  uint64 `json:"updates"`
+}
+
+func (s *Server) handleTenantHealth(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, tenantHealthResponse{
+		Status:   "ok",
+		Tenant:   t.ID(),
+		Resident: t.Resident(),
+		Updates:  t.Updates(),
+	})
+}
+
+type bulkIngestRequest struct {
+	Tenants []bulkTenantUpdates `json:"tenants"`
+}
+
+type bulkTenantUpdates struct {
+	ID      string         `json:"id"`
+	Updates []ingestUpdate `json:"updates"`
+}
+
+// bulkResult is one tenant's outcome inside a bulk ingest response:
+// either Accepted/LastT on success or Error on failure.
+type bulkResult struct {
+	ID       string     `json:"id"`
+	Accepted int        `json:"accepted"`
+	LastT    float64    `json:"last_t,omitempty"`
+	Error    *errorBody `json:"error,omitempty"`
+}
+
+type bulkIngestResponse struct {
+	Results []bulkResult `json:"results"`
+}
+
+// handleBulkIngest applies per-tenant update batches in one request.
+// Each tenant's batch is all-or-nothing, but tenants are independent:
+// one tenant's failure (reported in its result's error field, with the
+// same codes as single-tenant ingest) does not abort the others, and
+// the response is always 200 with one result per requested tenant, in
+// request order.
+func (s *Server) handleBulkIngest(w http.ResponseWriter, r *http.Request) {
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	var req bulkIngestRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, CodeInvalidJSON, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Tenants) == 0 {
+		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "no tenants")
+		return
+	}
+	results := make([]bulkResult, 0, len(req.Tenants))
+	for _, item := range req.Tenants {
+		res := bulkResult{ID: item.ID}
+		t, ok := s.treg.Get(item.ID)
+		if !ok {
+			res.Error = &errorBody{Code: CodeNotFound, Message: fmt.Sprintf("no tenant %q", item.ID)}
+		} else if resp, apiErr := s.ingestTenant(t, item.Updates); apiErr != nil {
+			res.Error = &errorBody{Code: apiErr.code, Message: apiErr.msg}
+		} else {
+			res.Accepted = resp.Accepted
+			res.LastT = resp.LastT
+		}
+		results = append(results, res)
+	}
+	writeJSON(w, bulkIngestResponse{Results: results})
+}

@@ -76,6 +76,19 @@ const (
 	// the request ID and route, correlating surrounding sketch events
 	// to the request that caused them.
 	KindHTTP = "http_request"
+	// KindTenantCreate: the registry admitted a new tenant. V1 = the
+	// registry's resident tenant count afterwards; Note = tenant ID.
+	KindTenantCreate = "tenant_create"
+	// KindTenantEvict: the registry evicted an idle tenant. V1 = rows
+	// the tenant's sketch held, V2 = 1 when the state was spilled to
+	// disk and 0 when it was dropped; Note = tenant ID.
+	KindTenantEvict = "tenant_evict"
+	// KindTenantRestore: a spilled tenant was restored on touch.
+	// V1 = spill-file bytes read; Note = tenant ID.
+	KindTenantRestore = "tenant_restore"
+	// KindTenantDelete: a tenant was removed explicitly. Note = the
+	// tenant ID.
+	KindTenantDelete = "tenant_delete"
 )
 
 // Event is one traced occurrence. Events are fixed-size values (two

@@ -27,6 +27,7 @@ const (
 	Time
 )
 
+// String returns the canonical lowercase name of the window kind.
 func (k Kind) String() string {
 	switch k {
 	case Sequence:

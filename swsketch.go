@@ -33,6 +33,7 @@ package swsketch
 import (
 	"io"
 	"log/slog"
+	"time"
 
 	"swsketch/internal/core"
 	"swsketch/internal/data"
@@ -41,6 +42,7 @@ import (
 	"swsketch/internal/obs"
 	"swsketch/internal/obs/audit"
 	"swsketch/internal/pca"
+	"swsketch/internal/registry"
 	"swsketch/internal/serve"
 	"swsketch/internal/stream"
 	"swsketch/internal/trace"
@@ -448,3 +450,65 @@ func AutoDIFD(n, d int, eps, maxSqNorm, ratio float64) *DI {
 func AutoSWR(spec Spec, d int, eps float64, seed int64) *SWR {
 	return core.AutoSWR(spec, d, eps, seed)
 }
+
+// TenantRegistry is a sharded, concurrency-safe collection of named
+// sliding-window sketches ("tenants"), each created from a declarative
+// TenantConfig — the multi-tenant serving substrate mounted by the
+// HTTP server under /v1/tenants/. Supports idle eviction with
+// snapshot-to-disk spill and transparent restore; see internal/registry
+// for the design notes.
+type TenantRegistry = registry.Registry
+
+// TenantConfig declares one tenant's sketch: framework, window kind
+// and size, dimension, and sizing knobs (explicit ℓ or a target ε).
+type TenantConfig = registry.Config
+
+// Tenant is one named sketch inside a TenantRegistry; all sketch
+// access goes through its Acquire/Release mutex.
+type Tenant = registry.Tenant
+
+// TenantInfo is one tenant's lock-free summary (ID, algorithm,
+// residency, row count, update count).
+type TenantInfo = registry.Info
+
+// RegistryOption configures a TenantRegistry (WithMaxTenants,
+// WithEvictTTL, WithSpillDir, WithTenantMetrics, WithTenantTrace).
+type RegistryOption = registry.Option
+
+// NewTenantRegistry builds a tenant registry; the only fallible option
+// is WithSpillDir (directory creation plus the startup scan that
+// lazily resumes previously spilled tenants).
+func NewTenantRegistry(opts ...RegistryOption) (*TenantRegistry, error) {
+	return registry.New(opts...)
+}
+
+// WithMaxTenants caps resident tenants; a create into a full registry
+// LRU-evicts an idle tenant first (spill or drop).
+func WithMaxTenants(n int) RegistryOption { return registry.WithMaxTenants(n) }
+
+// WithEvictTTL marks tenants idle longer than ttl evictable by
+// TenantRegistry.Sweep (run Sweep on a ticker; the registry starts no
+// goroutines itself).
+func WithEvictTTL(ttl time.Duration) RegistryOption { return registry.WithEvictTTL(ttl) }
+
+// WithSpillDir preserves evicted tenants on disk: snapshot-capable
+// sketches spill to dir and restore transparently on next touch.
+func WithSpillDir(dir string) RegistryOption { return registry.WithSpillDir(dir) }
+
+// WithTenantMetrics publishes tenant-lifecycle counters and residency
+// gauges into reg.
+func WithTenantMetrics(reg *MetricsRegistry) RegistryOption { return registry.WithObs(reg) }
+
+// WithTenantTrace emits tenant lifecycle events (create, evict,
+// restore, delete) into tr.
+func WithTenantTrace(tr *Tracer) RegistryOption { return registry.WithTrace(tr) }
+
+// WithRegistryClock overrides the registry's time source for recency
+// stamps and TTL decisions — deterministic eviction in tests and
+// demos (see examples/multitenant).
+func WithRegistryClock(now func() time.Time) RegistryOption { return registry.WithClock(now) }
+
+// WithRegistry mounts a caller-built tenant registry on a Server
+// instead of the plain one it otherwise creates; the server's default
+// sketch is adopted into it as the pinned "default" tenant.
+func WithRegistry(reg *TenantRegistry) ServerOption { return serve.WithRegistry(reg) }
