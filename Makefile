@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz verify results examples clean check doclint linkcheck docs
+.PHONY: all build test race cover bench bench-fd fuzz verify results examples clean check doclint linkcheck docs
 
 all: build test
 
@@ -29,6 +29,12 @@ cover:
 # ablations; writes the artifact shipped as bench_output.txt.
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# FastFD ingest artifact: sweeps (buffer, alpha) at ℓ∈{64,256}, gates
+# the default config (b=2, α=1) at 1.2× the committed baseline, then
+# refreshes BENCH_fd.json in place.
+bench-fd:
+	$(GO) run ./cmd/swbench -fd-baseline BENCH_fd.json -fd-out BENCH_fd.json fd
 
 # Short fuzzing pass over the stateful structures.
 fuzz:
@@ -57,6 +63,7 @@ examples:
 	$(GO) run ./examples/checkpoint
 	$(GO) run ./examples/distributed
 	$(GO) run ./examples/multitenant
+	$(GO) run ./examples/fastfd
 
 # Documentation gates (both run in CI). doclint fails on undocumented
 # exported identifiers anywhere in the module; linkcheck fails on

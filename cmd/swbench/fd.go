@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+)
+
+// fdResult is one row of the BENCH_fd.json artifact: the FastFD ingest
+// hot path at one (ℓ, b, α) point — wall-clock per row plus the
+// measured covariance error against the exact stream, judged against
+// Liberty's 2/ℓ bound.
+type fdResult struct {
+	Ell    int     `json:"ell"`
+	D      int     `json:"d"`
+	Buffer int     `json:"buffer"`
+	Alpha  float64 `json:"alpha"`
+	// NsPerUpdate is the amortized per-row ingest cost.
+	NsPerUpdate float64 `json:"ns_per_update"`
+	// CovaErr is the relative covariance error ‖AᵀA−BᵀB‖₂/‖A‖²_F.
+	CovaErr float64 `json:"cova_err"`
+	// Bound is the FD guarantee 2/ℓ in the same relative units.
+	Bound       float64 `json:"bound"`
+	WithinBound bool    `json:"within_bound"`
+	// SpeedupVsClassic compares against the (b=1, α=1) run at the same
+	// ℓ — the headline number for the doubled-buffer discipline.
+	SpeedupVsClassic float64 `json:"speedup_vs_classic"`
+	// Regime names the shrink's eigenproblem side: "n-side" solves the
+	// m×m Gram of the working buffer (m = b·ℓ rows), "d-side" the d×d
+	// covariance. Once b·ℓ ≥ d the shrink flips to d-side, which is why
+	// b=4 at ℓ=64, d=256 is slower than b=2 despite shrinking less
+	// often.
+	Regime string `json:"regime"`
+}
+
+// fdArtifact is the BENCH_fd.json document.
+type fdArtifact struct {
+	// KernelsAccelerated records whether the AVX2+FMA assembly kernels
+	// were active — numbers from different backends are not comparable.
+	KernelsAccelerated bool       `json:"kernels_accelerated"`
+	Results            []fdResult `json:"results"`
+}
+
+// fdGrid is the shipped sweep: every (b, α) combination the facade
+// exposes as a recommendation, at the two sketch sizes the acceptance
+// bar names.
+var (
+	fdElls    = []int{64, 256}
+	fdBuffers = []int{1, 2, 4}
+	fdAlphas  = []float64{0.25, 0.5, 1}
+)
+
+const fdDim = 256
+
+// runFD benchmarks the FastFD ingest hot path across the (b, α) grid
+// and writes the artifact to path. When baselinePath names a previous
+// artifact, the default configuration (b=2, α=1) is additionally gated
+// against it: a regression past 1.2× the baseline ns/update is an
+// error (the CI contract; compared per ℓ, same-backend runs only).
+func runFD(out io.Writer, path, baselinePath string) error {
+	baseline, err := loadFDBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+
+	var results []fdResult
+	// The classic cadence is every row's speedup denominator, so
+	// measure it first.
+	classic := map[int]fdResult{}
+	for _, ell := range fdElls {
+		classic[ell] = benchFDPoint(ell, 1, 1)
+	}
+	for _, ell := range fdElls {
+		for _, b := range fdBuffers {
+			for _, alpha := range fdAlphas {
+				r := classic[ell]
+				if b != 1 || alpha != 1 {
+					r = benchFDPoint(ell, b, alpha)
+				}
+				r.SpeedupVsClassic = classic[ell].NsPerUpdate / r.NsPerUpdate
+				results = append(results, r)
+				fmt.Fprintf(out, "fd ell=%-4d b=%d alpha=%-4v %10.0f ns/update  err %.5f (bound %.5f)  %5.2fx  %s\n",
+					r.Ell, r.Buffer, r.Alpha, r.NsPerUpdate, r.CovaErr, r.Bound, r.SpeedupVsClassic, r.Regime)
+				if !r.WithinBound {
+					return fmt.Errorf("fd: b=%d alpha=%v ell=%d error %v exceeds bound %v",
+						b, alpha, ell, r.CovaErr, r.Bound)
+				}
+			}
+		}
+	}
+
+	art := fdArtifact{KernelsAccelerated: mat.KernelsAccelerated(), Results: results}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d results)\n", path, len(results))
+
+	return checkFDRegression(out, baseline, results)
+}
+
+// benchFDPoint times one configuration and measures its accuracy on
+// the same deterministic Gaussian stream.
+func benchFDPoint(ell, b int, alpha float64) fdResult {
+	rng := rand.New(rand.NewSource(97))
+	m := b * ell
+	n := 3 * m
+	if n < 2048 {
+		n = 2048
+	}
+	a := mat.NewDense(n, fdDim)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+
+	opts := stream.FDOpts{Buffer: b, Alpha: alpha}
+	// Warm-up pass: page in the buffers and exercise at least one full
+	// shrink cycle before the timed run.
+	warm := stream.NewFDOpts(ell, fdDim, opts)
+	for i := 0; i < m+1 && i < n; i++ {
+		warm.Update(a.Row(i))
+	}
+
+	best := 0.0
+	var f *stream.FD
+	for rep := 0; rep < 3; rep++ {
+		f = stream.NewFDOpts(ell, fdDim, opts)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f.Update(a.Row(i))
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(n)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+
+	errRel := mat.CovarianceError(a.Gram(), a.FrobeniusSq(), f.Matrix())
+	bound := 2 / float64(ell)
+	regime := "n-side"
+	if m >= fdDim {
+		regime = "d-side"
+	}
+	return fdResult{
+		Ell: ell, D: fdDim, Buffer: b, Alpha: alpha,
+		NsPerUpdate: best,
+		CovaErr:     errRel,
+		Bound:       bound,
+		WithinBound: errRel <= bound,
+		Regime:      regime,
+	}
+}
+
+// loadFDBaseline reads a previous artifact for the regression gate;
+// an empty path disables the gate, a missing or foreign-backend file
+// just produces a notice (first run, or numbers that are not
+// comparable).
+func loadFDBaseline(path string) (*fdArtifact, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var art fdArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("fd baseline %s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// checkFDRegression gates the default configuration (b=2, α=1) against
+// the baseline artifact at each ℓ: past 1.2× the baseline ns/update
+// the run fails.
+func checkFDRegression(out io.Writer, baseline *fdArtifact, results []fdResult) error {
+	if baseline == nil {
+		fmt.Fprintln(out, "fd: no baseline artifact, regression gate skipped")
+		return nil
+	}
+	if baseline.KernelsAccelerated != mat.KernelsAccelerated() {
+		fmt.Fprintln(out, "fd: baseline ran on a different kernel backend, regression gate skipped")
+		return nil
+	}
+	find := func(rs []fdResult, ell int) *fdResult {
+		for i := range rs {
+			if rs[i].Ell == ell && rs[i].Buffer == 2 && rs[i].Alpha == 1 {
+				return &rs[i]
+			}
+		}
+		return nil
+	}
+	for _, ell := range fdElls {
+		base, cur := find(baseline.Results, ell), find(results, ell)
+		if base == nil || cur == nil {
+			continue
+		}
+		ratio := cur.NsPerUpdate / base.NsPerUpdate
+		fmt.Fprintf(out, "fd: default config ell=%d %0.0f ns vs baseline %0.0f ns (%.2fx)\n",
+			ell, cur.NsPerUpdate, base.NsPerUpdate, ratio)
+		if ratio > 1.2 {
+			return fmt.Errorf("fd: default config (b=2, alpha=1) at ell=%d regressed %.2fx past baseline (limit 1.2x)", ell, ratio)
+		}
+	}
+	return nil
+}

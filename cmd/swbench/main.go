@@ -26,6 +26,10 @@
 //	winsweep sketch space vs window size (the sublinearity headline)
 //	kernels  compute-layer micro-benchmarks vs naive baselines;
 //	         writes BENCH_kernels.json (see -kernels-out)
+//	fd       FastFD ingest hot path: ns/update and cova-err across the
+//	         (buffer, alpha) grid at ℓ∈{64,256}, d=256; writes
+//	         BENCH_fd.json (see -fd-out) and optionally gates the
+//	         default config against a baseline artifact (-fd-baseline)
 //	obs      overhead of the observability stack (metrics decorator
 //	         and disabled tracer), bare vs wrapped, per-row and
 //	         batched ingest; writes BENCH_obs.json (see -obs-out)
@@ -57,12 +61,14 @@ func main() {
 		maxQ   = flag.Int("maxq", 0, "override max evaluated windows per run")
 		stride = flag.Int("stride", 0, "override query stride")
 		kOut   = flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernels experiment")
+		fdOut  = flag.String("fd-out", "BENCH_fd.json", "output path for the fd experiment")
+		fdBase = flag.String("fd-baseline", "", "baseline BENCH_fd.json for the fd regression gate (empty disables)")
 		oOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
 		tOut   = flag.String("tenants-out", "BENCH_tenants.json", "output path for the tenants experiment")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|obs|tenants|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|obs|tenants|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -127,6 +133,11 @@ func main() {
 	case "kernels":
 		if err := runKernels(out, *kOut); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: kernels: %v\n", err)
+			os.Exit(1)
+		}
+	case "fd":
+		if err := runFD(out, *fdOut, *fdBase); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: fd: %v\n", err)
 			os.Exit(1)
 		}
 	case "verify":

@@ -10,6 +10,7 @@ import (
 
 	"swsketch/internal/data"
 	"swsketch/internal/eval"
+	"swsketch/internal/mat"
 )
 
 func TestDiLevels(t *testing.T) {
@@ -198,6 +199,72 @@ func TestExperimentsSmoke(t *testing.T) {
 	runProjErr(&buf, sc)
 	if !strings.Contains(buf.String(), "Projection error study") {
 		t.Fatal("projerr output missing")
+	}
+}
+
+func TestBenchFDPoint(t *testing.T) {
+	// One fast configuration end to end: timing positive, accuracy
+	// within the bound, regime classified by m = b·ℓ against d.
+	r := benchFDPoint(8, 2, 0.5)
+	if r.NsPerUpdate <= 0 {
+		t.Fatalf("ns/update = %v", r.NsPerUpdate)
+	}
+	if !r.WithinBound || r.CovaErr > r.Bound {
+		t.Fatalf("error %v exceeds bound %v", r.CovaErr, r.Bound)
+	}
+	if r.Regime != "n-side" {
+		t.Fatalf("ell=8 b=2 d=256 regime %q, want n-side", r.Regime)
+	}
+}
+
+func TestFDRegressionGate(t *testing.T) {
+	mk := func(ns64, ns256 float64) []fdResult {
+		return []fdResult{
+			{Ell: 64, Buffer: 2, Alpha: 1, NsPerUpdate: ns64},
+			{Ell: 256, Buffer: 2, Alpha: 1, NsPerUpdate: ns256},
+		}
+	}
+	base := &fdArtifact{KernelsAccelerated: mat.KernelsAccelerated(), Results: mk(1000, 2000)}
+	var buf bytes.Buffer
+	// Within 1.2x: passes.
+	if err := checkFDRegression(&buf, base, mk(1100, 2200)); err != nil {
+		t.Fatalf("within-limit run failed gate: %v", err)
+	}
+	// Past 1.2x: fails.
+	if err := checkFDRegression(&buf, base, mk(1300, 2000)); err == nil {
+		t.Fatal("1.3x regression passed the gate")
+	}
+	// Different backend: skipped.
+	other := &fdArtifact{KernelsAccelerated: !mat.KernelsAccelerated(), Results: mk(1, 1)}
+	if err := checkFDRegression(&buf, other, mk(1300, 2600)); err != nil {
+		t.Fatalf("foreign-backend baseline not skipped: %v", err)
+	}
+	// No baseline: skipped.
+	if err := checkFDRegression(&buf, nil, mk(1300, 2600)); err != nil {
+		t.Fatalf("nil baseline not skipped: %v", err)
+	}
+}
+
+func TestLoadFDBaseline(t *testing.T) {
+	if art, err := loadFDBaseline(""); err != nil || art != nil {
+		t.Fatalf("empty path: %v, %v", art, err)
+	}
+	if art, err := loadFDBaseline(t.TempDir() + "/missing.json"); err != nil || art != nil {
+		t.Fatalf("missing file: %v, %v", art, err)
+	}
+	p := t.TempDir() + "/base.json"
+	if err := os.WriteFile(p, []byte(`{"kernels_accelerated":true,"results":[{"ell":64}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	art, err := loadFDBaseline(p)
+	if err != nil || art == nil || len(art.Results) != 1 || !art.KernelsAccelerated {
+		t.Fatalf("good file: %+v, %v", art, err)
+	}
+	if err := os.WriteFile(p, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFDBaseline(p); err == nil {
+		t.Fatal("corrupt baseline accepted")
 	}
 }
 

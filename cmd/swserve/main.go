@@ -53,6 +53,7 @@ import (
 	"swsketch/internal/obs/audit"
 	"swsketch/internal/registry"
 	"swsketch/internal/serve"
+	"swsketch/internal/stream"
 	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
@@ -67,6 +68,8 @@ func main() {
 		b       = flag.Int("b", 8, "LM blocks per level")
 		levels  = flag.Int("L", 6, "DI levels (di-fd)")
 		rBound  = flag.Float64("R", 0, "DI max squared row norm (required for di-fd)")
+		fdBuf   = flag.Int("fd-buffer", 0, "FastFD working-buffer factor b for the FD frameworks (0/1 = classic, 2 = recommended)")
+		fdAlpha = flag.Float64("fd-alpha", 0, "FastFD shrink aggressiveness α in (0,1] for the FD frameworks (0 = classic 1)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		addr    = flag.String("addr", ":8080", "listen address")
 		metrics = flag.Bool("metrics", false, "serve Prometheus metrics on /metrics")
@@ -97,6 +100,20 @@ func main() {
 		spec = window.Seq(int(*winSize))
 	}
 
+	fdo := stream.FDOpts{Buffer: *fdBuf, Alpha: *fdAlpha}
+	if *fdBuf < 0 || *fdAlpha < 0 || *fdAlpha > 1 {
+		fmt.Fprintln(os.Stderr, "swserve: -fd-buffer must be ≥ 0 and -fd-alpha in (0,1] (0 for the default)")
+		os.Exit(2)
+	}
+	switch strings.ToLower(*algo) {
+	case "lm-fd", "di-fd":
+	default:
+		if *fdBuf != 0 || *fdAlpha != 0 {
+			fmt.Fprintf(os.Stderr, "swserve: -fd-buffer/-fd-alpha apply to the FD frameworks only, not %q\n", *algo)
+			os.Exit(2)
+		}
+	}
+
 	var sk core.WindowSketch
 	switch strings.ToLower(*algo) {
 	case "swr":
@@ -106,7 +123,7 @@ func main() {
 	case "swor-all":
 		sk = core.NewSWORAll(spec, *ell, *d, *seed)
 	case "lm-fd":
-		sk = core.NewLMFD(spec, *d, *ell, *b)
+		sk = core.NewLMFDOpts(spec, *d, *ell, *b, fdo)
 	case "lm-hash":
 		sk = core.NewLMHash(spec, *d, *ell, *b, uint64(*seed))
 	case "di-fd":
@@ -118,9 +135,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "swserve: di-fd requires -R (the max squared row norm)")
 			os.Exit(2)
 		}
-		sk = core.NewDIFD(core.DIConfig{
+		sk = core.NewDIFDOpts(core.DIConfig{
 			N: int(*winSize), R: *rBound, L: *levels, Ell: *ell, RSlack: 1.01,
-		}, *d)
+		}, *d, fdo)
 	default:
 		fmt.Fprintf(os.Stderr, "swserve: unknown algorithm %q\n", *algo)
 		os.Exit(2)

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] [-stats] [-trace] [-audit] < stream.csv
+//	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] [-fd-buffer 2] [-fd-alpha 0.5] [-stats] [-trace] [-audit] < stream.csv
 //
 // With -stats the run ends with an instrumentation summary: rows and
 // batches ingested, update/query latency totals, and the sketch's
@@ -44,6 +44,7 @@ import (
 	"swsketch/internal/mat"
 	"swsketch/internal/obs"
 	"swsketch/internal/obs/audit"
+	"swsketch/internal/stream"
 	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
@@ -59,6 +60,8 @@ func main() {
 		b       = flag.Int("b", 8, "LM blocks per level")
 		levels  = flag.Int("L", 6, "DI levels")
 		rBound  = flag.Float64("R", 0, "DI norm bound R (required for di-fd)")
+		fdBuf   = flag.Int("fd-buffer", 0, "FastFD working-buffer factor b for the FD frameworks (0/1 = classic, 2 = recommended)")
+		fdAlpha = flag.Float64("fd-alpha", 0, "FastFD shrink aggressiveness α in (0,1] for the FD frameworks (0 = classic 1)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		topK    = flag.Int("top", 5, "singular values to print")
 		stats   = flag.Bool("stats", false, "print an instrumentation summary at end of stream")
@@ -72,6 +75,7 @@ func main() {
 	if err := run(os.Stdin, os.Stdout, options{
 		algo: *algo, winSize: *winSize, useTime: *useTime, every: *every,
 		batch: *batch, ell: *ell, b: *b, levels: *levels, rBound: *rBound,
+		fdBuffer: *fdBuf, fdAlpha: *fdAlpha,
 		seed: *seed, topK: *topK, stats: *stats,
 		trace: *traceOn, traceOut: *trOut, audit: *auditOn, auditStride: *aStride,
 	}); err != nil {
@@ -88,6 +92,8 @@ type options struct {
 	batch          int
 	ell, b, levels int
 	rBound         float64
+	fdBuffer       int
+	fdAlpha        float64
 	seed           int64
 	topK           int
 	stats          bool
@@ -325,6 +331,21 @@ func printInstrumentation(w io.Writer, reg *obs.Registry, sk core.WindowSketch) 
 }
 
 func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error) {
+	fdo := stream.FDOpts{Buffer: opt.fdBuffer, Alpha: opt.fdAlpha}
+	if opt.fdBuffer < 0 {
+		return nil, fmt.Errorf("-fd-buffer must be ≥ 0, got %d", opt.fdBuffer)
+	}
+	if opt.fdAlpha < 0 || opt.fdAlpha > 1 {
+		return nil, fmt.Errorf("-fd-alpha must be in (0,1] (0 for the default), got %v", opt.fdAlpha)
+	}
+	isFD := false
+	switch strings.ToLower(opt.algo) {
+	case "lm-fd", "di-fd":
+		isFD = true
+	}
+	if !isFD && (opt.fdBuffer != 0 || opt.fdAlpha != 0) {
+		return nil, fmt.Errorf("-fd-buffer/-fd-alpha apply to the FD frameworks only, not %q", opt.algo)
+	}
 	switch strings.ToLower(opt.algo) {
 	case "swr":
 		return core.NewSWR(spec, opt.ell, d, opt.seed), nil
@@ -333,7 +354,7 @@ func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error
 	case "swor-all":
 		return core.NewSWORAll(spec, opt.ell, d, opt.seed), nil
 	case "lm-fd":
-		return core.NewLMFD(spec, d, opt.ell, opt.b), nil
+		return core.NewLMFDOpts(spec, d, opt.ell, opt.b, fdo), nil
 	case "lm-hash":
 		return core.NewLMHash(spec, d, opt.ell, opt.b, uint64(opt.seed)), nil
 	case "di-fd":
@@ -344,9 +365,9 @@ func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error
 		if r == 0 {
 			return nil, fmt.Errorf("di-fd requires -R (the max squared row norm)")
 		}
-		return core.NewDIFD(core.DIConfig{
+		return core.NewDIFDOpts(core.DIConfig{
 			N: int(opt.winSize), R: r, L: opt.levels, Ell: opt.ell, RSlack: 1.01,
-		}, d), nil
+		}, d, fdo), nil
 	case "best":
 		return core.NewBest(spec, opt.ell, d), nil
 	default:

@@ -1,0 +1,15 @@
+package main
+
+// Example runs the demo end to end; the output is deterministic (the
+// stream is seeded, the shrink cadence is purely structural, and the
+// accuracy lines print bound checks rather than raw floats), so this
+// doubles as a regression test that `go test ./...` executes in CI.
+func Example() {
+	main()
+	// Output:
+	// config                   shrinks   rows-kept   within 2/ℓ bound
+	// classic  b=1 alpha=1.0   352       32          true
+	// buffered b=2 alpha=1.0   122       32          true
+	// deep     b=4 alpha=0.5   56        32          true
+	// lm-fd (b=2) window approximation: 33×64, cova-err below 0.2: true
+}

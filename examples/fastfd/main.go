@@ -1,0 +1,78 @@
+// FastFD tuning: the ingest hot path behind every FD-backed framework
+// batches b·ℓ working rows and shrinks once per fill, instead of
+// eigendecomposing every time the classic ℓ-row buffer refills. The
+// knobs demonstrated here are exactly what the CLIs expose:
+//
+//	swstream -algo lm-fd -d 64 -window 1500 -fd-buffer 2
+//	swserve  -algo di-fd -d 64 -R 80 -fd-buffer 4 -fd-alpha 0.5
+//
+// The demo streams the same deterministic rows through three FD
+// configurations, showing the shrink cadence drop while the answer
+// stays within the 2/ℓ covariance bound, then runs the tuned options
+// through a sliding-window LM-FD — the framework the flags configure.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swsketch"
+)
+
+const (
+	d   = 64   // row dimension
+	ell = 32   // sketch size parameter ℓ
+	n   = 6000 // stream length
+	win = 1500 // sliding window for the LM-FD part
+)
+
+func main() {
+	// One deterministic Gaussian stream shared by every configuration.
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+
+	// An exact oracle over the whole stream judges each sketch against
+	// the FD guarantee ‖AᵀA−BᵀB‖₂ ≤ 2‖A‖²_F/ℓ.
+	oracle := swsketch.NewExactWindow(swsketch.Seq(n), d)
+	for i, row := range rows {
+		oracle.Update(row, float64(i))
+	}
+
+	configs := []struct {
+		name string
+		opts swsketch.FDOpts
+	}{
+		{"classic  b=1 alpha=1.0", swsketch.FDOpts{}},
+		{"buffered b=2 alpha=1.0", swsketch.FDOpts{Buffer: 2}},
+		{"deep     b=4 alpha=0.5", swsketch.FDOpts{Buffer: 4, Alpha: 0.5}},
+	}
+	fmt.Printf("%-24s %-9s %-11s %s\n", "config", "shrinks", "rows-kept", "within 2/ℓ bound")
+	for _, c := range configs {
+		f := swsketch.NewFDOpts(ell, d, c.opts)
+		for _, row := range rows {
+			f.Update(row)
+		}
+		err := oracle.CovaErr(f.Matrix())
+		fmt.Printf("%-24s %-9d %-11d %v\n", c.name, f.Shrinks(), f.RowsStored(), err <= 2.0/float64(ell))
+	}
+
+	// The same options applied to a sliding-window framework, as the
+	// -fd-buffer/-fd-alpha flags do: every block sketch inside LM-FD
+	// ingests with the amortized cadence, and the space accounting
+	// (rows stored) still charges ℓ rows per sketch.
+	lm := swsketch.NewLMFDOpts(swsketch.Seq(win), d, 24, 8, swsketch.FDOpts{Buffer: 2})
+	lmOracle := swsketch.NewExactWindow(swsketch.Seq(win), d)
+	for i, row := range rows {
+		lm.Update(row, float64(i))
+		lmOracle.Update(row, float64(i))
+	}
+	b := lm.Query(float64(n - 1))
+	fmt.Printf("lm-fd (b=2) window approximation: %d×%d, cova-err below 0.2: %v\n",
+		b.Rows(), b.Cols(), lmOracle.CovaErr(b) < 0.2)
+}

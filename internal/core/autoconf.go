@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"swsketch/internal/stream"
 	"swsketch/internal/window"
 )
 
@@ -22,12 +23,19 @@ import (
 // per level b ≈ 1/(3ε) controls the expiring-block term, which only
 // binds on drifting data.
 func AutoLMFD(spec window.Spec, d int, eps float64) *LM {
+	return AutoLMFDOpts(spec, d, eps, stream.FDOpts{})
+}
+
+// AutoLMFDOpts is AutoLMFD with FastFD ingest tuning applied to the
+// auto-sized block sketches; sizing is unchanged (the error bound is
+// (b, α)-independent), so the zero FDOpts reproduces AutoLMFD exactly.
+func AutoLMFDOpts(spec window.Spec, d int, eps float64, o stream.FDOpts) *LM {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("core: AutoLMFD target eps %v outside (0,1)", eps))
 	}
 	ell := clampInt(int(math.Ceil(1/eps)), 8, 512)
 	b := clampInt(int(math.Ceil(1/(3*eps))), 4, 64)
-	return NewLMFD(spec, d, ell, b)
+	return NewLMFDOpts(spec, d, ell, b, o)
 }
 
 // AutoDIFD returns a DI-FD sketch sized for target error eps over a

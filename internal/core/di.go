@@ -177,13 +177,21 @@ func NewDI(cfg DIConfig, d int, name string, factory func(level, d int) stream.S
 // NewDIFD builds DI over FrequentDirections: the paper's DI-FD
 // (Corollary 7.1), the most space-efficient choice when R is small.
 func NewDIFD(cfg DIConfig, d int) *DI {
+	return NewDIFDOpts(cfg, d, stream.FDOpts{})
+}
+
+// NewDIFDOpts builds DI-FD with FastFD ingest tuning applied to every
+// per-level sketch (see stream.FDOpts). The zero FDOpts reproduces
+// NewDIFD exactly.
+func NewDIFDOpts(cfg DIConfig, d int, o stream.FDOpts) *DI {
 	c := cfg.validate()
+	o = o.Normalize()
 	return NewDI(cfg, d, "DI-FD", func(level, dim int) stream.Sketch {
 		ell := c.levelEll(level)
 		if ell < 2 {
 			ell = 2
 		}
-		return stream.NewFD(ell, dim)
+		return stream.NewFDOpts(ell, dim, o)
 	})
 }
 
@@ -492,10 +500,16 @@ func (s *DI) Stats() map[string]float64 {
 	}
 	blocks, shrinks := 0, uint64(0)
 	haveShrinks := false
+	amort := 0.0
 	addShrinks := func(sk stream.Sketch) {
 		if sc, ok := sk.(interface{ Shrinks() uint64 }); ok {
 			shrinks += sc.Shrinks()
 			haveShrinks = true
+		}
+		if am, ok := sk.(interface{ Amortization() float64 }); ok {
+			if a := am.Amortization(); a > amort {
+				amort = a
+			}
 		}
 	}
 	for i := range s.levels {
@@ -513,6 +527,7 @@ func (s *DI) Stats() map[string]float64 {
 	}
 	if haveShrinks {
 		m["fd_shrinks"] = float64(shrinks)
+		m["fd_amortization"] = amort
 	}
 	return m
 }

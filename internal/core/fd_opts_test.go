@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/stream"
+	"swsketch/internal/window"
+)
+
+// TestLMFDOptsZeroBitIdentical pins the compatibility contract at the
+// framework layer: LM-FD built through the opts constructor with the
+// zero configuration must produce byte-for-byte the same snapshot as
+// the legacy constructor — the property PR-5 era spill files rely on.
+func TestLMFDOptsZeroBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	legacy := NewLMFD(window.Seq(64), 5, 8, 4)
+	opts := NewLMFDOpts(window.Seq(64), 5, 8, 4, stream.FDOpts{})
+	for i := 0; i < 300; i++ {
+		row := randRow(rng, 5)
+		legacy.Update(row, float64(i))
+		opts.Update(row, float64(i))
+	}
+	lb, err := legacy.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := opts.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, ob) {
+		t.Fatal("zero-opts LM-FD snapshot differs from legacy constructor")
+	}
+}
+
+// TestLMFDOptsTunedRoundTrip checks that a FastFD-tuned LM survives a
+// snapshot round trip (the block blobs carry their own (b, α) in the v2
+// format) and continues the stream identically.
+func TestLMFDOptsTunedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	o := stream.FDOpts{Buffer: 2, Alpha: 0.5}
+	l := NewLMFDOpts(window.Seq(64), 5, 8, 4, o)
+	for i := 0; i < 300; i++ {
+		l.Update(randRow(rng, 5), float64(i))
+	}
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewLMFDOpts(window.Seq(64), 5, 8, 4, o)
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 300; i < 400; i++ {
+		row := randRow(rng, 5)
+		l.Update(row, float64(i))
+		restored.Update(row, float64(i))
+	}
+	a, b := l.Query(399), restored.Query(399)
+	if !a.Equal(b, 0) {
+		t.Fatal("restored tuned LM-FD diverged from original")
+	}
+}
+
+// TestTunedConstructorsReasonable feeds each FastFD-tuned constructor
+// a windowed stream and checks the answers stay close to the exact
+// window — the tuning must not change what the sketch approximates.
+func TestTunedConstructorsReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const d, n = 6, 512
+	o := stream.FDOpts{Buffer: 2, Alpha: 0.5}
+	sketches := map[string]WindowSketch{
+		"lm-fd":  NewLMFDOpts(window.Seq(128), d, 16, 4, o),
+		"di-fd":  NewDIFDOpts(DIConfig{N: 128, R: 8 * d, L: 4, Ell: 16, RSlack: 1.01}, d, o),
+		"stream": NewUnboundedFDOpts(16, d, o),
+		"auto":   AutoLMFDOpts(window.Seq(128), d, 0.25, o),
+	}
+	exact := window.NewExact(window.Seq(128), d)
+	for i := 0; i < n; i++ {
+		row := randRow(rng, d)
+		for _, sk := range sketches {
+			sk.Update(row, float64(i))
+		}
+		exact.Update(row, float64(i))
+	}
+	for name, sk := range sketches {
+		b := sk.Query(float64(n - 1))
+		if b == nil || b.Cols() != d {
+			t.Fatalf("%s: bad answer shape", name)
+		}
+		// Loose sanity bound: unbounded FD sees the whole stream (a
+		// stationary source, so its window answer is still close);
+		// everything windowed must be well under 1.
+		if err := exact.CovaErr(b); err > 0.75 {
+			t.Errorf("%s: covariance error %v unreasonably large", name, err)
+		}
+	}
+}
+
+// TestLMFDStatsCarryAmortization pins the observability contract: once
+// a tuned LM-FD has shrunk blocks, its Stats — and therefore the
+// swsketch_internal gauge set — report the FastFD shrink count and the
+// working buffer's amortization factor.
+func TestLMFDStatsCarryAmortization(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	lm := NewLMFDOpts(window.Seq(256), 6, 8, 4, stream.FDOpts{Buffer: 2})
+	for i := 0; i < 2000; i++ {
+		lm.Update(randRow(rng, 6), float64(i))
+	}
+	st := lm.Stats()
+	if st["fd_shrinks"] <= 0 {
+		t.Fatalf("fd_shrinks = %v after 2000 rows", st["fd_shrinks"])
+	}
+	amort, ok := st["fd_amortization"]
+	if !ok {
+		t.Fatal("fd_amortization missing from LM-FD stats")
+	}
+	if amort <= 1 {
+		t.Fatalf("fd_amortization = %v with b=2, want > 1", amort)
+	}
+}

@@ -89,6 +89,10 @@ type LM struct {
 	ell     float64 // block mass threshold (= per-block sketch rows for FD)
 	b       int     // blocks per level
 	factory stream.MergeableFactory
+	// fdOpts is the FastFD tuning baked into the factory — recorded so
+	// snapshots can rebuild an identically-tuned factory on restore.
+	// Meaningful for LM-FD only; zero elsewhere.
+	fdOpts stream.FDOpts
 
 	// levels[0] is level 1 (most recent); each level holds blocks
 	// oldest-first. The active block is separate.
@@ -146,9 +150,21 @@ func NewLM(spec window.Spec, d int, ell float64, b int, name string, factory str
 // paper's LM-FD (Corollary 6.1), its recommended general-purpose
 // sliding-window sketch.
 func NewLMFD(spec window.Spec, d, ell, b int) *LM {
-	return NewLM(spec, d, float64(ell), b, "LM-FD", func(dim int) stream.Mergeable {
-		return stream.NewFD(ell, dim)
+	return NewLMFDOpts(spec, d, ell, b, stream.FDOpts{})
+}
+
+// NewLMFDOpts builds LM-FD with FastFD ingest tuning applied to every
+// block sketch: o.Buffer widens each block's working buffer for
+// amortized shrinks and o.Alpha tunes the shrink cadence. The zero
+// FDOpts reproduces NewLMFD exactly (including snapshot bytes); the
+// covariance guarantee holds for any valid (b, α).
+func NewLMFDOpts(spec window.Spec, d, ell, b int, o stream.FDOpts) *LM {
+	o = o.Normalize()
+	l := NewLM(spec, d, float64(ell), b, "LM-FD", func(dim int) stream.Mergeable {
+		return stream.NewFDOpts(ell, dim, o)
 	})
+	l.fdOpts = o
+	return l
 }
 
 // NewLMHash builds LM over feature-hashing blocks of ℓ buckets: the
@@ -399,6 +415,7 @@ func (l *LM) Stats() map[string]float64 {
 	}
 	blocks, rawBlocks, shrinks := 0, 0, uint64(0)
 	haveShrinks := false
+	amort := 0.0
 	for i := range l.levels {
 		m[fmt.Sprintf("level%d_blocks", i+1)] = float64(len(l.levels[i]))
 		for j := range l.levels[i] {
@@ -412,6 +429,11 @@ func (l *LM) Stats() map[string]float64 {
 				shrinks += sc.Shrinks()
 				haveShrinks = true
 			}
+			if am, ok := blk.sk.(interface{ Amortization() float64 }); ok {
+				if a := am.Amortization(); a > amort {
+					amort = a
+				}
+			}
 		}
 	}
 	m["blocks"] = float64(blocks)
@@ -419,6 +441,7 @@ func (l *LM) Stats() map[string]float64 {
 	m["blocks_sketched"] = float64(blocks - rawBlocks)
 	if haveShrinks {
 		m["fd_shrinks"] = float64(shrinks)
+		m["fd_amortization"] = amort
 	}
 	return m
 }

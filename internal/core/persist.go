@@ -25,6 +25,10 @@ const (
 	swrMagic  = uint64(0x53575253_00000001) // "SWRS" v1
 	sworMagic = uint64(0x53574F52_00000001) // "SWOR" v1
 	lmfdMagic = uint64(0x4C4D4644_00000001) // "LMFD" v1
+	// lmfdMagicV2 adds the FastFD factory tuning (buffer factor, alpha)
+	// after the b field; classic-tuned LMs keep writing v1 so their
+	// snapshot bytes stay identical across versions.
+	lmfdMagicV2 = uint64(0x4C4D4644_00000002) // "LMFD" v2
 )
 
 func writeSpec(w *binenc.Writer, spec window.Spec) {
@@ -253,11 +257,20 @@ func (l *LM) MarshalBinary() ([]byte, error) {
 	}
 	l.snapshots++
 	w := binenc.NewWriter()
-	w.U64(lmfdMagic)
+	classic := l.fdOpts.Buffer <= 1 && (l.fdOpts.Alpha == 0 || l.fdOpts.Alpha == 1)
+	if classic {
+		w.U64(lmfdMagic)
+	} else {
+		w.U64(lmfdMagicV2)
+	}
 	writeSpec(w, l.spec)
 	w.Int(l.d)
 	w.F64(l.ell)
 	w.Int(l.b)
+	if !classic {
+		w.Int(l.fdOpts.Buffer)
+		w.F64(l.fdOpts.Alpha)
+	}
 	w.F64(l.lastT)
 	w.Bool(l.seen)
 	w.Int(len(l.levels))
@@ -359,7 +372,8 @@ func readLMBlock(r *binenc.Reader, d int) (lmBlock, error) {
 // UnmarshalBinary restores an LM-FD snapshot into the receiver.
 func (l *LM) UnmarshalBinary(data []byte) error {
 	r := binenc.NewReader(data)
-	if magic := r.U64(); magic != lmfdMagic && r.Err() == nil {
+	magic := r.U64()
+	if magic != lmfdMagic && magic != lmfdMagicV2 && r.Err() == nil {
 		return fmt.Errorf("core: LM snapshot magic %#x unrecognised", magic)
 	}
 	spec, err := readSpec(r)
@@ -369,6 +383,14 @@ func (l *LM) UnmarshalBinary(data []byte) error {
 	d := r.Int()
 	ell := r.F64()
 	b := r.Int()
+	fdo := stream.FDOpts{}
+	if magic == lmfdMagicV2 {
+		fdo.Buffer = r.Int()
+		fdo.Alpha = r.F64()
+		if r.Err() == nil && (fdo.Buffer < 1 || !(fdo.Alpha > 0 && fdo.Alpha <= 1)) {
+			return fmt.Errorf("core: LM snapshot has invalid FD tuning buffer=%d alpha=%v", fdo.Buffer, fdo.Alpha)
+		}
+	}
 	lastT := r.F64()
 	seen := r.Bool()
 	nLevels := r.Int()
@@ -378,7 +400,7 @@ func (l *LM) UnmarshalBinary(data []byte) error {
 	if d < 1 || ell < 1 || b < 2 || nLevels < 0 {
 		return fmt.Errorf("core: LM snapshot shape d=%d ell=%v b=%d levels=%d", d, ell, b, nLevels)
 	}
-	restored := NewLMFD(spec, d, int(ell), b)
+	restored := NewLMFDOpts(spec, d, int(ell), b, fdo)
 	restored.lastT, restored.seen = lastT, seen
 	for i := 0; i < nLevels; i++ {
 		n := r.Int()

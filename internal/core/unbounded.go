@@ -29,7 +29,14 @@ func NewUnbounded(name string, d int, sk stream.Sketch) *Unbounded {
 
 // NewUnboundedFD wraps a FrequentDirections sketch of ℓ rows.
 func NewUnboundedFD(ell, d int) *Unbounded {
-	return NewUnbounded("STREAM-FD", d, stream.NewFD(ell, d))
+	return NewUnboundedFDOpts(ell, d, stream.FDOpts{})
+}
+
+// NewUnboundedFDOpts wraps a FrequentDirections sketch with FastFD
+// ingest tuning (see stream.FDOpts); the zero FDOpts reproduces
+// NewUnboundedFD exactly.
+func NewUnboundedFDOpts(ell, d int, o stream.FDOpts) *Unbounded {
+	return NewUnbounded("STREAM-FD", d, stream.NewFDOpts(ell, d, o))
 }
 
 // Update feeds the row to the streaming sketch; the timestamp is

@@ -44,12 +44,10 @@ func Compute(b *mat.Dense, k int) Result {
 		total += s * s
 	}
 	comp := mat.NewDense(k, b.Cols())
+	mat.TransposeInto(comp, svd.V, k)
 	explained := make([]float64, k)
 	vals := make([]float64, k)
 	for i := 0; i < k; i++ {
-		for j := 0; j < b.Cols(); j++ {
-			comp.Set(i, j, svd.V.At(j, i))
-		}
 		vals[i] = svd.S[i]
 		if total > 0 {
 			explained[i] = svd.S[i] * svd.S[i] / total

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"swsketch/internal/core"
+	"swsketch/internal/stream"
 	"swsketch/internal/window"
 )
 
@@ -75,6 +76,15 @@ type Config struct {
 	L int `json:"levels,omitempty"`
 	// R is the DI maximum squared row norm bound; required for di-fd.
 	R float64 `json:"r,omitempty"`
+	// FDBuffer is the FastFD working-buffer factor b applied to every
+	// FrequentDirections block sketch (lm-fd and di-fd only): the
+	// sketch buffers up to b·ℓ rows between amortized shrinks. Zero
+	// and 1 both select the classic shrink-on-full cadence — and the
+	// classic snapshot bytes; 2 is the benchmarked recommendation.
+	FDBuffer int `json:"fd_buffer,omitempty"`
+	// FDAlpha is the FastFD shrink aggressiveness α ∈ (0,1] (lm-fd and
+	// di-fd only); zero defaults to 1, the classic halving shrink.
+	FDAlpha float64 `json:"fd_alpha,omitempty"`
 }
 
 // normalize fills defaulted fields and canonicalises the enum casing.
@@ -145,7 +155,26 @@ func (c Config) Validate() error {
 			return fmt.Errorf("di-fd requires a positive max squared row norm r, got %v", c.R)
 		}
 	}
+	if c.FDBuffer < 0 {
+		return fmt.Errorf("fd_buffer must be ≥ 0, got %d", c.FDBuffer)
+	}
+	if c.FDAlpha < 0 || c.FDAlpha > 1 {
+		return fmt.Errorf("fd_alpha must be in (0,1] (0 for the default), got %v", c.FDAlpha)
+	}
+	if c.FDBuffer != 0 || c.FDAlpha != 0 {
+		switch c.Framework {
+		case FrameworkLMFD, FrameworkDIFD:
+		default:
+			return fmt.Errorf("fd_buffer/fd_alpha apply to the FD frameworks only, not %q", c.Framework)
+		}
+	}
 	return nil
+}
+
+// fdOpts translates the FastFD knobs into the stream-layer options;
+// zero fields fall through to the classic defaults.
+func (c Config) fdOpts() stream.FDOpts {
+	return stream.FDOpts{Buffer: c.FDBuffer, Alpha: c.FDAlpha}
 }
 
 // algoName maps the framework to the sketch's Name() without building
@@ -196,15 +225,15 @@ func (c Config) Build() (core.WindowSketch, error) {
 		return core.NewSWORAll(spec, c.Ell, c.D, c.Seed), nil
 	case FrameworkLMFD:
 		if c.Ell == 0 {
-			return core.AutoLMFD(spec, c.D, c.Eps), nil
+			return core.AutoLMFDOpts(spec, c.D, c.Eps, c.fdOpts()), nil
 		}
-		return core.NewLMFD(spec, c.D, c.Ell, c.B), nil
+		return core.NewLMFDOpts(spec, c.D, c.Ell, c.B, c.fdOpts()), nil
 	case FrameworkLMHash:
 		return core.NewLMHash(spec, c.D, c.Ell, c.B, uint64(c.Seed)), nil
 	case FrameworkDIFD:
-		return core.NewDIFD(core.DIConfig{
+		return core.NewDIFDOpts(core.DIConfig{
 			N: int(c.Size), R: c.R, L: c.L, Ell: c.Ell, RSlack: 1.01,
-		}, c.D), nil
+		}, c.D, c.fdOpts()), nil
 	}
 	return nil, fmt.Errorf("unknown framework %q", c.Framework)
 }

@@ -126,6 +126,13 @@ func TestConfigValidate(t *testing.T) {
 		{"di time", Config{Framework: "di-fd", Window: "time", Size: 10, D: 4, Ell: 4, L: 2, R: 1}, "sequence windows only"},
 		{"di no levels", Config{Framework: "di-fd", Size: 10, D: 4, Ell: 4, R: 1}, "levels"},
 		{"di no r", Config{Framework: "di-fd", Size: 10, D: 4, Ell: 4, L: 2}, "squared row norm"},
+		{"fastfd lm-fd", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDBuffer: 2, FDAlpha: 0.5}, ""},
+		{"fastfd di-fd", Config{Framework: "di-fd", Size: 64, D: 4, Ell: 8, L: 3, R: 1, FDBuffer: 2}, ""},
+		{"fastfd auto lm-fd", Config{Framework: "lm-fd", Size: 100, D: 4, Eps: 0.2, FDBuffer: 4}, ""},
+		{"bad fd buffer", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDBuffer: -1}, "fd_buffer"},
+		{"bad fd alpha", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDAlpha: 1.5}, "fd_alpha"},
+		{"fd knobs on swr", Config{Framework: "swr", Size: 10, D: 4, Ell: 4, FDBuffer: 2}, "FD frameworks only"},
+		{"fd alpha on hash", Config{Framework: "lm-hash", Size: 10, D: 4, Ell: 4, FDAlpha: 0.5}, "FD frameworks only"},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()

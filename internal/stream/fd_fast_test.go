@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/mat"
+)
+
+var fastGrid = []FDOpts{
+	{Buffer: 1, Alpha: 0.25},
+	{Buffer: 1, Alpha: 0.5},
+	{Buffer: 2, Alpha: 0.25},
+	{Buffer: 2, Alpha: 0.5},
+	{Buffer: 2, Alpha: 1},
+	{Buffer: 4, Alpha: 0.5},
+	{Buffer: 4, Alpha: 1},
+}
+
+func TestNewFDOptsValidation(t *testing.T) {
+	for _, o := range []FDOpts{{Buffer: -1}, {Alpha: -0.5}, {Alpha: 1.5}, {Alpha: math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for opts %+v", o)
+				}
+			}()
+			NewFDOpts(8, 4, o)
+		}()
+	}
+	// Zero values normalize to the classic configuration.
+	f := NewFDOpts(8, 4, FDOpts{})
+	if f.BufferFactor() != 1 || f.Alpha() != 1 {
+		t.Fatalf("zero opts → b=%d α=%v, want 1, 1", f.BufferFactor(), f.Alpha())
+	}
+}
+
+// TestFDFastErrorBound verifies Liberty's covariance guarantee
+// ‖AᵀA − BᵀB‖ ≤ 2‖A‖²_F/ℓ for every shipped (b, α) combination: the
+// buffered shrink removes at least as much spectral mass per row as
+// the classic cadence, so the bound is configuration-independent.
+func TestFDFastErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, o := range fastGrid {
+		for _, ell := range []int{8, 16} {
+			f := NewFDOpts(ell, 10, o)
+			a := feed(t, f, rng, 600, 10)
+			errAbs := covaErr(a, f.Matrix()) * a.FrobeniusSq()
+			bound := 2 * a.FrobeniusSq() / float64(ell)
+			if errAbs > bound {
+				t.Fatalf("b=%d α=%v ell=%d: error %v exceeds FD bound %v",
+					o.Buffer, o.Alpha, ell, errAbs, bound)
+			}
+		}
+	}
+}
+
+// TestFDClassicOptsBitIdentical pins the compatibility contract: a
+// sketch built through NewFDOpts with the classic configuration must
+// produce byte-for-byte the same state as the legacy constructor on
+// the same stream — including snapshot bytes, which PR-5 era tenants
+// persist.
+func TestFDClassicOptsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	legacy := NewFD(8, 6)
+	opts := NewFDOpts(8, 6, FDOpts{Buffer: 1, Alpha: 1})
+	for i := 0; i < 300; i++ {
+		row := randRow(rng, 6)
+		legacy.Update(row)
+		opts.Update(row)
+	}
+	lb, err := legacy.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := opts.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, ob) {
+		t.Fatal("classic-config NewFDOpts snapshot differs from legacy NewFD")
+	}
+}
+
+func TestFDBufferGrowsLazily(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := NewFDOpts(8, 5, FDOpts{Buffer: 4})
+	if got := f.Matrix().Rows(); got != 0 {
+		t.Fatalf("fresh sketch has %d rows", got)
+	}
+	if f.Stats()["buffer_cap"] != 32 {
+		t.Fatalf("buffer_cap = %v, want 32", f.Stats()["buffer_cap"])
+	}
+	maxUsed := 0
+	for i := 0; i < 400; i++ {
+		f.Update(randRow(rng, 5))
+		if u := f.Used(); u > maxUsed {
+			maxUsed = u
+		}
+		if f.Used() > 32 {
+			t.Fatalf("used %d exceeds b·ℓ = 32", f.Used())
+		}
+	}
+	if maxUsed <= 8 {
+		t.Fatalf("buffer never filled past ℓ (max used %d); doubled shrink not exercised", maxUsed)
+	}
+	// The paper's space measure is rows of sketch state per window,
+	// which stays ℓ regardless of the working buffer.
+	if f.RowsStored() != 8 {
+		t.Fatalf("RowsStored = %d, want ℓ=8", f.RowsStored())
+	}
+	if f.Shrinks() == 0 {
+		t.Fatal("no shrinks recorded")
+	}
+	st := f.Stats()
+	for _, k := range []string{"ell", "used", "headroom", "shrinks", "buffer_cap", "buffer_factor", "alpha", "amortization"} {
+		if _, ok := st[k]; !ok {
+			t.Fatalf("Stats missing key %q", k)
+		}
+	}
+	if st["amortization"] < 1 {
+		t.Fatalf("amortization %v < 1 after shrinking", st["amortization"])
+	}
+}
+
+func TestFDUpdateDenseMatchesUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, o := range []FDOpts{{}, {Buffer: 2}, {Buffer: 2, Alpha: 0.5}} {
+		byRow := NewFDOpts(6, 4, o)
+		byBlock := NewFDOpts(6, 4, o)
+		for chunk := 0; chunk < 10; chunk++ {
+			n := 1 + rng.Intn(17)
+			block := mat.NewDense(n, 4)
+			for i := 0; i < n; i++ {
+				copy(block.Row(i), randRow(rng, 4))
+			}
+			for i := 0; i < n; i++ {
+				byRow.Update(block.Row(i))
+			}
+			byBlock.UpdateDense(block)
+		}
+		a, b := byRow.Matrix(), byBlock.Matrix()
+		if a.Rows() != b.Rows() {
+			t.Fatalf("opts %+v: row-wise %d rows, dense %d rows", o, a.Rows(), b.Rows())
+		}
+		for i := range a.Data() {
+			if a.Data()[i] != b.Data()[i] {
+				t.Fatalf("opts %+v: state diverges at %d: %v vs %v", o, i, a.Data()[i], b.Data()[i])
+			}
+		}
+	}
+}
+
+// TestFDUpdateSparseMatchesUpdate pins the sparse path to the buffered
+// discipline: a widened sketch fed sparse rows must track the dense
+// path bit-for-bit (this once panicked — UpdateSparse kept the
+// pre-buffer shrink-at-ℓ logic).
+func TestFDUpdateSparseMatchesUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, o := range []FDOpts{{}, {Buffer: 2}, {Buffer: 4, Alpha: 0.5}} {
+		dense := NewFDOpts(8, 6, o)
+		sparse := NewFDOpts(8, 6, o)
+		for i := 0; i < 400; i++ {
+			row := make([]float64, 6)
+			// Mix dense, sparse, and empty rows.
+			for j := 0; j < 6; j++ {
+				if rng.Intn(3) == 0 {
+					row[j] = rng.NormFloat64()
+				}
+			}
+			dense.Update(row)
+			sparse.UpdateSparse(mat.SparseFromDense(row))
+		}
+		a, b := dense.Matrix(), sparse.Matrix()
+		if a.Rows() != b.Rows() {
+			t.Fatalf("opts %+v: dense %d rows, sparse %d rows", o, a.Rows(), b.Rows())
+		}
+		for i := range a.Data() {
+			if a.Data()[i] != b.Data()[i] {
+				t.Fatalf("opts %+v: sparse path diverges at %d", o, i)
+			}
+		}
+	}
+}
+
+func TestFDOptsCloneEmptyPreservesConfig(t *testing.T) {
+	f := NewFDOpts(8, 5, FDOpts{Buffer: 4, Alpha: 0.5})
+	c := f.CloneEmpty().(*FD)
+	if c.BufferFactor() != 4 || c.Alpha() != 0.5 {
+		t.Fatalf("CloneEmpty → b=%d α=%v, want 4, 0.5", c.BufferFactor(), c.Alpha())
+	}
+	if c.Used() != 0 {
+		t.Fatalf("CloneEmpty used = %d", c.Used())
+	}
+}
+
+func TestFDFastMergeWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := mat.NewDense(400, 8)
+	for i := 0; i < 400; i++ {
+		copy(a.Row(i), randRow(rng, 8))
+	}
+	left := NewFDOpts(16, 8, FDOpts{Buffer: 2})
+	right := NewFDOpts(16, 8, FDOpts{Buffer: 2})
+	for i := 0; i < 200; i++ {
+		left.Update(a.Row(i))
+		right.Update(a.Row(200 + i))
+	}
+	left.Merge(right)
+	errAbs := covaErr(a, left.Matrix()) * a.FrobeniusSq()
+	// Merging two FD sketches at most doubles the error mass.
+	bound := 4 * a.FrobeniusSq() / 16
+	if errAbs > bound {
+		t.Fatalf("merged error %v exceeds %v", errAbs, bound)
+	}
+}

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 )
@@ -49,5 +51,111 @@ func TestFDSnapshotRejectsBadData(t *testing.T) {
 	}
 	if err := fd.UnmarshalBinary(append(append([]byte{}, b...), 9)); err == nil {
 		t.Fatal("accepted trailing bytes")
+	}
+	// v2 header with out-of-range geometry.
+	bad := fdHeader(fdMagicV2, 8, 3, fdMaxBuffer+1)
+	if err := fd.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted oversized buffer factor")
+	}
+}
+
+// fdHeader writes a little-endian u64 magic followed by int64 fields,
+// enough of a header to exercise the decoder's validation paths.
+func fdHeader(magic uint64, fields ...int) []byte {
+	var b bytes.Buffer
+	binary.Write(&b, binary.LittleEndian, magic)
+	for _, f := range fields {
+		binary.Write(&b, binary.LittleEndian, int64(f))
+	}
+	return b.Bytes()
+}
+
+// TestFDSnapshotMagicSelection pins the on-disk versioning contract:
+// classic-cadence sketches (b=1, α=1) must keep emitting the v1 magic —
+// and therefore the exact PR-5 era byte layout — while any tuned
+// configuration switches to v2.
+func TestFDSnapshotMagicSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	classic := NewFDOpts(8, 5, FDOpts{})
+	tuned := NewFDOpts(8, 5, FDOpts{Buffer: 2, Alpha: 0.5})
+	for i := 0; i < 60; i++ {
+		row := randRow(rng, 5)
+		classic.Update(row)
+		tuned.Update(row)
+	}
+	cb, err := classic.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(cb); got != fdMagic {
+		t.Fatalf("classic config magic %#x, want v1 %#x", got, fdMagic)
+	}
+	tb, err := tuned.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(tb); got != fdMagicV2 {
+		t.Fatalf("tuned config magic %#x, want v2 %#x", got, fdMagicV2)
+	}
+}
+
+// TestFDSnapshotV1BitExact is the cross-version regression: a v1 blob
+// restored by the v2-aware decoder must re-marshal to the identical
+// bytes, proving nothing about the legacy format drifted.
+func TestFDSnapshotV1BitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	fd := NewFD(8, 5)
+	for i := 0; i < 137; i++ {
+		fd.Update(randRow(rng, 5))
+	}
+	v1, err := fd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored FD
+	if err := restored.UnmarshalBinary(v1); err != nil {
+		t.Fatal(err)
+	}
+	if restored.BufferFactor() != 1 || restored.Alpha() != 1 {
+		t.Fatalf("v1 restore → b=%d α=%v, want classic", restored.BufferFactor(), restored.Alpha())
+	}
+	again, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1, again) {
+		t.Fatal("v1 snapshot did not re-marshal bit-exactly")
+	}
+}
+
+// TestFDSnapshotV2RoundTrip covers the tuned-geometry format: the (b, α)
+// configuration must survive the round trip and the restored sketch must
+// continue the stream identically to the original.
+func TestFDSnapshotV2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, o := range fastGrid {
+		fd := NewFDOpts(8, 5, o)
+		for i := 0; i < 120; i++ {
+			fd.Update(randRow(rng, 5))
+		}
+		data, err := fd.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored FD
+		if err := restored.UnmarshalBinary(data); err != nil {
+			t.Fatalf("opts %+v: %v", o, err)
+		}
+		if restored.BufferFactor() != o.Buffer || restored.Alpha() != o.Alpha {
+			t.Fatalf("opts %+v restored as b=%d α=%v", o, restored.BufferFactor(), restored.Alpha())
+		}
+		for i := 0; i < 80; i++ {
+			row := randRow(rng, 5)
+			fd.Update(row)
+			restored.Update(row)
+		}
+		if !fd.Matrix().Equal(restored.Matrix(), 0) {
+			t.Fatalf("opts %+v: restored sketch diverged from original", o)
+		}
 	}
 }

@@ -22,9 +22,7 @@ func (f *FD) UpdateSparse(row mat.SparseRow) {
 	if m := row.MaxIdx(); m >= f.d {
 		panic(fmt.Sprintf("stream: FD sparse row index %d, dimension %d", m, f.d))
 	}
-	if f.used == f.ell {
-		f.shrink()
-	}
+	f.ensureRoom()
 	dst := f.buf.Row(f.used)
 	for j := range dst {
 		dst[j] = 0

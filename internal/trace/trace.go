@@ -58,7 +58,9 @@ const (
 	// and fell back to the level-1 active sketch. V1 = rows dropped.
 	KindDIRawOverflow = "di_raw_overflow"
 	// KindFDShrink: one FrequentDirections SVD-and-shrink step.
-	// V1 = occupied rows before, V2 = surviving rows; Dur is set.
+	// V1 = occupied rows before, V2 = surviving rows; Dur is set. Note
+	// carries the buffer occupancy and amortization factor
+	// ("occ=<used>/<cap> amort=<x> b=<buffer> alpha=<α>").
 	KindFDShrink = "fd_shrink"
 	// KindSamplerEvict: a sampler ingest evicted candidates.
 	// V1 = candidates evicted by priority domination (SWR) or rank
@@ -258,6 +260,23 @@ func (s Span) End(v1, v2 float64) {
 		Dur: time.Since(s.start).Nanoseconds(),
 	})
 }
+
+// EndNote closes the span like End, attaching a free-text note to the
+// emitted event.
+func (s Span) EndNote(v1, v2 float64, note string) {
+	if s.t == nil {
+		return
+	}
+	s.t.emit(Event{
+		Algo: s.algo, Kind: s.kind, T: s.ts, V1: v1, V2: v2, Note: note,
+		Dur: time.Since(s.start).Nanoseconds(),
+	})
+}
+
+// Active reports whether the span will emit on End — false for the
+// zero Span handed out by a nil or disabled tracer. Callers use it to
+// skip building note strings that would be thrown away.
+func (s Span) Active() bool { return s.t != nil }
 
 // Events returns the recorded events, oldest first. The slice is a
 // snapshot; the tracer keeps recording.

@@ -103,6 +103,12 @@ type LM = core.LM
 // the per-block sketch size, b the blocks per level (≈ 8/ε).
 func NewLMFD(spec Spec, d, ell, b int) *LM { return core.NewLMFD(spec, d, ell, b) }
 
+// NewLMFDOpts returns LM-FD with FastFD ingest tuning applied to every
+// block sketch; the zero FDOpts reproduces NewLMFD exactly.
+func NewLMFDOpts(spec Spec, d, ell, b int, o FDOpts) *LM {
+	return core.NewLMFDOpts(spec, d, ell, b, o)
+}
+
 // NewLMHash returns LM over feature-hashing blocks (Appendix A).
 func NewLMHash(spec Spec, d, ell, b int, seed uint64) *LM {
 	return core.NewLMHash(spec, d, ell, b, seed)
@@ -117,6 +123,10 @@ type DIConfig = core.DIConfig
 // NewDIFD returns DI over FrequentDirections — the paper's DI-FD, the
 // most space-efficient sketch when the norm ratio R is small.
 func NewDIFD(cfg DIConfig, d int) *DI { return core.NewDIFD(cfg, d) }
+
+// NewDIFDOpts returns DI-FD with FastFD ingest tuning applied to every
+// per-level sketch; the zero FDOpts reproduces NewDIFD exactly.
+func NewDIFDOpts(cfg DIConfig, d int, o FDOpts) *DI { return core.NewDIFDOpts(cfg, d, o) }
 
 // NewDIRP returns DI over random projections (Appendix A).
 func NewDIRP(cfg DIConfig, d int, seed int64) *DI { return core.NewDIRP(cfg, d, seed) }
@@ -169,6 +179,16 @@ type FD = stream.FD
 
 // NewFD returns a FrequentDirections sketch of at most ell rows.
 func NewFD(ell, d int) *FD { return stream.NewFD(ell, d) }
+
+// FDOpts configures the FastFD ingest hot path: Buffer widens the
+// working buffer to b·ℓ rows so shrinks amortize (2 is the benchmarked
+// recommendation), Alpha ∈ (0,1] tunes how deep each shrink cuts
+// (1 = the classic halving). The zero value is the classic cadence;
+// the covariance guarantee holds for every valid combination.
+type FDOpts = stream.FDOpts
+
+// NewFDOpts returns a FrequentDirections sketch with FastFD tuning.
+func NewFDOpts(ell, d int, o FDOpts) *FD { return stream.NewFDOpts(ell, d, o) }
 
 // StreamSketch is a streaming (unbounded) matrix sketch.
 type StreamSketch = stream.Sketch
@@ -244,6 +264,12 @@ type Unbounded = core.Unbounded
 
 // NewUnboundedFD wraps a whole-history FrequentDirections sketch.
 func NewUnboundedFD(ell, d int) *Unbounded { return core.NewUnboundedFD(ell, d) }
+
+// NewUnboundedFDOpts wraps a whole-history FrequentDirections sketch
+// with FastFD ingest tuning.
+func NewUnboundedFDOpts(ell, d int, o FDOpts) *Unbounded {
+	return core.NewUnboundedFDOpts(ell, d, o)
+}
 
 // Zero is the degenerate always-empty baseline (covariance error
 // σ₁²/Σσᵢ²); any useful sketch must beat it.
