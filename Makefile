@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fd fuzz verify results examples clean check doclint linkcheck docs
+.PHONY: all build test race cover bench bench-fd bench-load fuzz verify results examples clean check doclint linkcheck docs
 
 all: build test
 
@@ -36,6 +36,12 @@ bench:
 bench-fd:
 	$(GO) run ./cmd/swbench -fd-baseline BENCH_fd.json -fd-out BENCH_fd.json fd
 
+# Ingest-plane load artifact: the three wire generations against a
+# Zipf-skewed tenant fleet, soft-gated against the committed baseline,
+# refreshing BENCH_load.json in place.
+bench-load:
+	$(GO) run ./cmd/swbench -load-baseline BENCH_load.json -load-out BENCH_load.json load
+
 # Short fuzzing pass over the stateful structures.
 fuzz:
 	$(GO) test -fuzz FuzzEstimate -fuzztime 30s ./internal/eh
@@ -64,6 +70,7 @@ examples:
 	$(GO) run ./examples/distributed
 	$(GO) run ./examples/multitenant
 	$(GO) run ./examples/fastfd
+	$(GO) run ./examples/walrecovery
 
 # Documentation gates (both run in CI). doclint fails on undocumented
 # exported identifiers anywhere in the module; linkcheck fails on

@@ -36,6 +36,11 @@
 //	tenants  multi-tenant registry scaling: ingest throughput vs fleet
 //	         size (1..1024 tenants, parallel workers) plus spill/
 //	         restore cost; writes BENCH_tenants.json (see -tenants-out)
+//	load     ingest-plane load: per-request v1 JSON vs the /v2 stream
+//	         (NDJSON and binary frames) against a Zipf-skewed tenant
+//	         fleet on a self-hosted server; writes BENCH_load.json
+//	         (see -load-out) and optionally gates throughput against
+//	         a baseline artifact (-load-baseline)
 //	verify   run the qualitative shape checks; non-zero exit on DIFF
 //	all      everything above plus the qualitative shape checks
 //
@@ -65,10 +70,12 @@ func main() {
 		fdBase = flag.String("fd-baseline", "", "baseline BENCH_fd.json for the fd regression gate (empty disables)")
 		oOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
 		tOut   = flag.String("tenants-out", "BENCH_tenants.json", "output path for the tenants experiment")
+		lOut   = flag.String("load-out", "BENCH_load.json", "output path for the load experiment")
+		lBase  = flag.String("load-baseline", "", "baseline BENCH_load.json for the load regression gate (empty disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|obs|tenants|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|obs|tenants|load|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -128,6 +135,11 @@ func main() {
 	case "tenants":
 		if err := runTenants(out, sc, *tOut); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: tenants: %v\n", err)
+			os.Exit(1)
+		}
+	case "load":
+		if err := runLoad(out, sc, *lOut, *lBase); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: load: %v\n", err)
 			os.Exit(1)
 		}
 	case "kernels":

@@ -1,0 +1,112 @@
+// Command swload drives synthetic multi-tenant ingest traffic against
+// a swsketch server and reports throughput and tail latency.
+//
+//	swload -tenants 2000 -rows 200000 -zipf 1.2 -mode all
+//
+// Without -url it self-hosts an in-process server (the common CI
+// shape); point -url at a running swserve to load a real deployment.
+// Tenant selection is Zipf-skewed (-zipf > 1) so a few tenants run
+// hot while a long tail stays cold — the contention profile
+// multi-tenant ingest actually sees.
+//
+// Modes (-mode):
+//
+//	v1      one JSON POST per batch — the request-per-batch baseline
+//	ndjson  /v2 streaming ingest, NDJSON framing
+//	frames  /v2 streaming ingest, binary framing
+//	all     the three in sequence, with speedups vs v1
+//
+// Results go to stdout as an aligned table and to -out (default
+// BENCH_load.json) as a JSON array of per-mode measurements.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"swsketch/internal/core"
+	"swsketch/internal/load"
+	"swsketch/internal/serve"
+	"swsketch/internal/window"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "target server root (empty = self-host in-process)")
+		mode    = flag.String("mode", "all", "wire mode: v1 | ndjson | frames | all")
+		tenants = flag.Int("tenants", 1000, "fleet size")
+		rows    = flag.Int("rows", 100000, "total row budget")
+		batch   = flag.Int("batch", 64, "rows per block")
+		workers = flag.Int("workers", 8, "concurrent connections")
+		zipf    = flag.Float64("zipf", 1.2, "tenant-selection skew (>1; ≤1 = uniform)")
+		d       = flag.Int("d", 16, "row dimension")
+		win     = flag.Int("window", 1024, "tenant window size (rows)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "BENCH_load.json", "JSON results path (empty disables)")
+	)
+	flag.Parse()
+
+	base := *url
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("swload: listen: %v", err)
+		}
+		sk := core.NewLMFD(window.Seq(*win), *d, 16, 8)
+		srv := &http.Server{Handler: serve.NewServer(sk, *d).Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("swload: self-hosted server on %s\n", base)
+	}
+
+	modes := []string{*mode}
+	if *mode == "all" {
+		modes = []string{load.ModeV1, load.ModeNDJSON, load.ModeFrames}
+	}
+	cfg := load.Config{
+		BaseURL: base, Tenants: *tenants, D: *d, Window: *win,
+		Rows: *rows, Batch: *batch, Workers: *workers, ZipfS: *zipf, Seed: *seed,
+	}
+	fmt.Printf("swload: %d tenants, %d rows, batch %d, %d workers, zipf %.2f\n",
+		*tenants, *rows, *batch, *workers, *zipf)
+	fmt.Printf("%8s %12s %10s %10s %8s\n", "mode", "rows/sec", "p50 ms", "p99 ms", "errors")
+
+	var results []load.Result
+	var v1Rate float64
+	for _, m := range modes {
+		cfg.Mode = m
+		res, err := load.Run(cfg)
+		if err != nil {
+			log.Fatalf("swload: %s: %v", m, err)
+		}
+		if m == load.ModeV1 {
+			v1Rate = res.RowsPerSec
+		} else if v1Rate > 0 {
+			res.SpeedupVsV1 = res.RowsPerSec / v1Rate
+		}
+		results = append(results, res)
+		fmt.Printf("%8s %12.0f %10.2f %10.2f %8d", res.Mode, res.RowsPerSec, res.P50Ms, res.P99Ms, res.Errors)
+		if res.SpeedupVsV1 > 0 {
+			fmt.Printf("  %.1fx vs v1", res.SpeedupVsV1)
+		}
+		fmt.Println()
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			log.Fatalf("swload: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("swload: %v", err)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"swsketch/internal/serve"
 	"swsketch/internal/stream"
 	"swsketch/internal/trace"
+	"swsketch/internal/wal"
 	"swsketch/internal/window"
 )
 
@@ -86,6 +87,8 @@ func main() {
 		tenMax  = flag.Int("tenants-max", 0, "cap on resident tenants; LRU-evicts on create (0 = uncapped)")
 		evictT  = flag.Duration("evict-ttl", 0, "evict tenants idle longer than this (0 = never)")
 		spill   = flag.String("spill-dir", "", "spill evicted tenants to this directory and restore on touch")
+		walDir  = flag.String("wal-dir", "", "journal ingest into a per-shard write-ahead log under this directory and replay it on startup")
+		walSync = flag.Duration("wal-sync", 5*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
 	)
 	flag.Parse()
 	if *d < 1 {
@@ -198,7 +201,33 @@ func main() {
 		opts = append(opts, serve.WithRegistry(treg))
 	}
 
+	var wlog *wal.Log
+	if *walDir != "" {
+		var werr error
+		wlog, werr = wal.Open(*walDir, wal.WithSyncInterval(*walSync),
+			walObs(reg), walTrace(tr))
+		if werr != nil {
+			log.Fatalf("swserve: open wal: %v", werr)
+		}
+		opts = append(opts, serve.WithWAL(wlog))
+	}
+
 	server := serve.NewServer(sk, *d, opts...)
+	if wlog != nil {
+		st, err := server.RecoverWAL()
+		if err != nil {
+			log.Fatalf("swserve: wal replay: %v", err)
+		}
+		note := ""
+		if st.Torn {
+			note = " (torn tail truncated)"
+		}
+		if st.Damaged {
+			note = " (CORRUPTION: replay stopped early, serving degraded)"
+		}
+		log.Printf("swserve: wal replayed %d records from %d segments: %d applied, %d skipped, %d rows%s",
+			st.Records, st.Segments, st.Applied, st.Skipped, st.Rows, note)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.Handler(),
@@ -263,9 +292,34 @@ func main() {
 	if *spill != "" {
 		extras += " spill-dir=" + *spill
 	}
+	if *walDir != "" {
+		extras += " wal-dir=" + *walDir
+	}
 	log.Printf("swserve: %s over %v window, d=%d, listening on %s%s", sk.Name(), spec, *d, *addr, extras)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("swserve: %v", err)
 	}
 	<-done
+	if wlog != nil {
+		// Final group commit so a clean shutdown leaves nothing torn.
+		if err := wlog.Close(); err != nil {
+			log.Printf("swserve: wal close: %v", err)
+		}
+	}
+}
+
+// walObs adapts a possibly-nil metrics registry to a WAL option.
+func walObs(reg *obs.Registry) wal.Option {
+	if reg == nil {
+		return func(*wal.Log) {}
+	}
+	return wal.WithObs(reg)
+}
+
+// walTrace adapts a possibly-nil tracer to a WAL option.
+func walTrace(tr *trace.Tracer) wal.Option {
+	if tr == nil {
+		return func(*wal.Log) {}
+	}
+	return wal.WithTrace(tr)
 }

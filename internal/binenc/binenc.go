@@ -29,6 +29,13 @@ func (w *Writer) U64(v uint64) {
 	w.buf = append(w.buf, b[:]...)
 }
 
+// U32 appends an unsigned 32-bit integer (frame magics, checksums).
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
 // Int appends an int (as u64; negative values are rejected by reads).
 func (w *Writer) Int(v int) { w.U64(uint64(v)) }
 
@@ -75,10 +82,28 @@ func (r *Reader) Err() error { return r.err }
 // Rest reports the number of unread bytes.
 func (r *Reader) Rest() int { return len(r.buf) - r.off }
 
+// Off reports the current read offset, so framed formats (the WAL)
+// can checksum the exact byte span a record decoded from.
+func (r *Reader) Off() int { return r.off }
+
 func (r *Reader) fail(format string, args ...interface{}) {
 	if r.err == nil {
 		r.err = fmt.Errorf("binenc: "+format, args...)
 	}
+}
+
+// U32 reads an unsigned 32-bit integer.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail("truncated at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
 }
 
 // U64 reads an unsigned 64-bit integer.
@@ -126,13 +151,18 @@ func (r *Reader) Bool() bool {
 // F64 reads a float64.
 func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 
-// F64s reads a length-prefixed float64 slice.
+// F64s reads a length-prefixed float64 slice. The length is capped by
+// Rest before any allocation, so a hostile prefix (claiming billions
+// of elements in a short buffer) fails instead of allocating — the
+// same allocation-bomb hardening as the FD snapshot decoder. The
+// division form keeps the comparison overflow-proof for any length
+// the Int guard lets through.
 func (r *Reader) F64s() []float64 {
 	n := r.Int()
 	if r.err != nil {
 		return nil
 	}
-	if n*8 > r.Rest() {
+	if n > r.Rest()/8 {
 		r.fail("slice length %d exceeds remaining %d bytes", n, r.Rest())
 		return nil
 	}
@@ -143,7 +173,8 @@ func (r *Reader) F64s() []float64 {
 	return out
 }
 
-// Blob reads a length-prefixed byte slice (copied).
+// Blob reads a length-prefixed byte slice (copied). Like F64s, the
+// claimed length is validated against Rest before the allocation.
 func (r *Reader) Blob() []byte {
 	n := r.Int()
 	if r.err != nil {

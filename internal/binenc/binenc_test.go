@@ -77,6 +77,64 @@ func TestReaderRejectsImplausibleLengths(t *testing.T) {
 	}
 }
 
+func TestU32AndOff(t *testing.T) {
+	w := NewWriter()
+	w.U32(0xDEADBEEF)
+	w.U64(7)
+	r := NewReader(w.Bytes())
+	if r.Off() != 0 {
+		t.Fatalf("initial offset %d", r.Off())
+	}
+	if r.U32() != 0xDEADBEEF {
+		t.Fatal("u32 round trip failed")
+	}
+	if r.Off() != 4 {
+		t.Fatalf("offset after u32: %d", r.Off())
+	}
+	if r.U64() != 7 || r.Err() != nil {
+		t.Fatalf("u64 after u32: err=%v", r.Err())
+	}
+
+	short := NewReader([]byte{1, 2})
+	_ = short.U32()
+	if short.Err() == nil {
+		t.Fatal("expected truncation error on short u32")
+	}
+}
+
+// TestHostileLengthPrefixDoesNotAllocate pins the allocation-bomb
+// hardening: a length prefix far beyond the buffer must fail before
+// make() runs, keeping peak allocation proportional to the input, not
+// the claimed length.
+func TestHostileLengthPrefixDoesNotAllocate(t *testing.T) {
+	// Claims MaxInt32 floats but carries 16 bytes of payload.
+	w := NewWriter()
+	w.Int(math.MaxInt32)
+	w.F64(1)
+	w.F64(2)
+	data := w.Bytes()
+
+	allocs := testing.AllocsPerRun(10, func() {
+		r := NewReader(data)
+		if r.F64s() != nil || r.Err() == nil {
+			t.Fatal("hostile F64s prefix must fail")
+		}
+	})
+	if allocs > 8 { // error construction only; never the 16 GiB slice
+		t.Fatalf("hostile F64s allocated %v objects per run", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(10, func() {
+		r := NewReader(data)
+		if r.Blob() != nil || r.Err() == nil {
+			t.Fatal("hostile Blob prefix must fail")
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("hostile Blob allocated %v objects per run", allocs)
+	}
+}
+
 func TestBadBool(t *testing.T) {
 	r := NewReader([]byte{7})
 	_ = r.Bool()

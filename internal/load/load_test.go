@@ -1,0 +1,87 @@
+package load
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/serve"
+	"swsketch/internal/window"
+)
+
+// testTarget stands up an in-process server for the driver to hit.
+func testTarget(t *testing.T) string {
+	t.Helper()
+	sk := core.NewLMFD(window.Seq(256), 4, 8, 4)
+	ts := httptest.NewServer(serve.NewServer(sk, 4).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func runMode(t *testing.T, url, mode string, zipf float64) Result {
+	t.Helper()
+	res, err := Run(Config{
+		BaseURL: url, Mode: mode,
+		Tenants: 8, D: 4, Rows: 512, Batch: 32, Workers: 4,
+		ZipfS: zipf, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", mode, err)
+	}
+	return res
+}
+
+// TestRunAllModes drives every wire mode against a live server and
+// checks all rows arrive without errors.
+func TestRunAllModes(t *testing.T) {
+	url := testTarget(t)
+	for _, mode := range []string{ModeV1, ModeNDJSON, ModeFrames} {
+		res := runMode(t, url, mode, 0)
+		if res.Errors != 0 {
+			t.Fatalf("%s: %d errors", mode, res.Errors)
+		}
+		if res.Rows != 512 {
+			t.Fatalf("%s: sent %d rows, want 512", mode, res.Rows)
+		}
+		if res.Blocks != 512/32 {
+			t.Fatalf("%s: %d blocks", mode, res.Blocks)
+		}
+		if res.RowsPerSec <= 0 || res.P50Ms <= 0 || res.P99Ms < res.P50Ms {
+			t.Fatalf("%s: implausible measurement %+v", mode, res)
+		}
+	}
+}
+
+// TestZipfSkew just exercises the skewed picker end to end.
+func TestZipfSkew(t *testing.T) {
+	url := testTarget(t)
+	res := runMode(t, url, ModeFrames, 1.3)
+	if res.Errors != 0 || res.Rows != 512 {
+		t.Fatalf("zipf run %+v", res)
+	}
+}
+
+// TestPercentiles pins the estimator.
+func TestPercentiles(t *testing.T) {
+	lat := make([]float64, 100)
+	for i := range lat {
+		lat[i] = float64(i + 1)
+	}
+	p50, p99 := percentiles(lat)
+	if p50 != 51 || p99 != 99 {
+		t.Fatalf("p50=%v p99=%v", p50, p99)
+	}
+	if a, b := percentiles(nil); a != 0 || b != 0 {
+		t.Fatal("empty sample")
+	}
+}
+
+// TestBadConfig rejects nonsense.
+func TestBadConfig(t *testing.T) {
+	if _, err := Run(Config{Mode: "carrier-pigeon", Tenants: 1, Rows: 1, D: 1}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := Run(Config{Mode: ModeV1}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -132,6 +132,23 @@ func WithClock(now func() time.Time) Option {
 	return func(r *Registry) { r.now = now }
 }
 
+// WithEvictHook registers fn to run whenever a tenant's in-memory
+// state leaves the registry: after a successful spill (spilled=true)
+// and after a drop or explicit Delete (spilled=false). The serve
+// layer uses it to release the tenant's WAL records for truncation —
+// a spilled or deleted tenant no longer needs them for recovery. fn
+// may run with registry locks held and must not call back into the
+// registry.
+func WithEvictHook(fn func(id string, spilled bool)) Option {
+	return func(r *Registry) { r.evictHook = fn }
+}
+
+// SetEvictHook installs the WithEvictHook callback after construction
+// — the serve layer wires its WAL into a caller-built registry this
+// way. Call it before the registry takes traffic; it is not
+// synchronised against concurrent evictions.
+func (r *Registry) SetEvictHook(fn func(id string, spilled bool)) { r.evictHook = fn }
+
 // shard is one lock stripe: a map of tenants under its own RWMutex.
 type shard struct {
 	mu      sync.RWMutex
@@ -152,6 +169,8 @@ type Registry struct {
 	obs         *obs.Registry
 	tr          *trace.Tracer
 	now         func() time.Time
+
+	evictHook func(id string, spilled bool)
 
 	created, restored, deleted *obs.Counter
 	evictSpilled, evictDropped *obs.Counter
@@ -364,6 +383,9 @@ func (r *Registry) Delete(id string) bool {
 	if r.deleted != nil {
 		r.deleted.Inc()
 	}
+	if r.evictHook != nil {
+		r.evictHook(id, false)
+	}
 	if r.tr.Enabled() {
 		r.tr.EmitNote("registry", trace.KindTenantDelete, 0, 0, 0, id)
 	}
@@ -532,6 +554,9 @@ func (r *Registry) drop(sh *shard, t *Tenant) {
 	t.sk, t.serving = nil, nil
 	if r.evictDropped != nil {
 		r.evictDropped.Inc()
+	}
+	if r.evictHook != nil {
+		r.evictHook(t.id, false)
 	}
 	if r.tr.Enabled() {
 		r.tr.EmitNote("registry", trace.KindTenantEvict, 0, float64(rows), 0, t.id)

@@ -127,6 +127,9 @@ func (r *Registry) spill(t *Tenant) bool {
 	if r.evictSpilled != nil {
 		r.evictSpilled.Inc()
 	}
+	if r.evictHook != nil {
+		r.evictHook(t.id, true)
+	}
 	if r.tr.Enabled() {
 		r.tr.EmitNote("registry", trace.KindTenantEvict, t.lastT, float64(rows), 1, t.id)
 	}

@@ -39,6 +39,7 @@ type Tenant struct {
 	updates   atomic.Uint64
 	lastRows  atomic.Int64 // RowsStored at the last Release (lock-free reads)
 	lastTouch atomic.Int64 // unix nanos of the last Release/Get
+	pending   atomic.Int64 // stream blocks admitted but not yet committed
 }
 
 // ID returns the tenant's registry key.
@@ -133,6 +134,37 @@ func (t *Tenant) Clock() (lastT float64, seen bool) { return t.lastT, t.seen }
 func (t *Tenant) Commit(n int, lastT float64) {
 	t.updates.Add(uint64(n))
 	t.lastT, t.seen = lastT, true
+}
+
+// TryEnqueue admits one in-flight stream block if the tenant's
+// pending count is below limit, reporting whether it was admitted.
+// The streaming ingest path uses this as its backpressure gate: a
+// false return means the caller should shed load (429) rather than
+// queue unboundedly. Lock-free; pair every true with Dequeue.
+func (t *Tenant) TryEnqueue(limit int) bool {
+	for {
+		n := t.pending.Load()
+		if n >= int64(limit) {
+			return false
+		}
+		if t.pending.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Dequeue retires one in-flight stream block admitted by TryEnqueue.
+func (t *Tenant) Dequeue() { t.pending.Add(-1) }
+
+// Pending returns, lock-free, the tenant's in-flight stream blocks.
+func (t *Tenant) Pending() int { return int(t.pending.Load()) }
+
+// SetClock force-sets the ingest clock — WAL replay uses it to
+// reinstate the clock a logged snapshot restore recorded. Callers
+// must hold the tenant via Acquire.
+func (t *Tenant) SetClock(updates uint64, lastT float64, seen bool) {
+	t.updates.Store(updates)
+	t.lastT, t.seen = lastT, seen
 }
 
 // ResetClock zeroes the ingest clock (after a snapshot restore, whose

@@ -139,6 +139,9 @@ func (s *Server) ingestLocked(t *registry.Tenant, updates []ingestUpdate) (inges
 			times = append(times, u.T)
 			prev, seen = u.T, true
 		}
+		if apiErr := s.walAppendRows(t, rows, times); apiErr != nil {
+			return ingestResponse{}, apiErr
+		}
 		if err := applyBatch(sk, rows, times); err != nil {
 			return ingestResponse{}, errf(http.StatusConflict, CodeConflict,
 				"ingest rejected by sketch: %v", err)
@@ -150,28 +153,35 @@ func (s *Server) ingestLocked(t *registry.Tenant, updates []ingestUpdate) (inges
 		return ingestResponse{Accepted: len(updates), LastT: prev}, nil
 	}
 	rows := make([]func(), 0, len(updates))
-	var auditRows [][]float64
-	var auditTimes []float64
-	if auditing {
-		auditRows = make([][]float64, 0, len(updates))
-		auditTimes = make([]float64, 0, len(updates))
+	// The WAL logs dense row blocks (replay has no sparse path), so a
+	// sparse batch densifies when either the auditor or the WAL needs
+	// the dense form.
+	wantDense := auditing || s.wal != nil
+	var denseRows [][]float64
+	var denseTimes []float64
+	if wantDense {
+		denseRows = make([][]float64, 0, len(updates))
+		denseTimes = make([]float64, 0, len(updates))
 	}
 	for i, u := range updates {
 		if seen && u.T < prev {
 			return ingestResponse{}, errf(http.StatusBadRequest, CodeInvalidArgument,
 				"update %d: timestamp %v precedes %v", i, u.T, prev)
 		}
-		apply, dense, err := prepareUpdate(t, u, auditing)
+		apply, dense, err := prepareUpdate(t, u, wantDense)
 		if err != nil {
 			return ingestResponse{}, errf(http.StatusBadRequest, CodeInvalidArgument,
 				"update %d: %v", i, err)
 		}
 		rows = append(rows, apply)
-		if auditing {
-			auditRows = append(auditRows, dense)
-			auditTimes = append(auditTimes, u.T)
+		if wantDense {
+			denseRows = append(denseRows, dense)
+			denseTimes = append(denseTimes, u.T)
 		}
 		prev, seen = u.T, true
+	}
+	if apiErr := s.walAppendRows(t, denseRows, denseTimes); apiErr != nil {
+		return ingestResponse{}, apiErr
 	}
 	// The sketch enforces invariants the server cannot fully check —
 	// e.g. after a snapshot restore the sketch's internal clock may be
@@ -183,7 +193,7 @@ func (s *Server) ingestLocked(t *registry.Tenant, updates []ingestUpdate) (inges
 	}
 	t.Commit(len(updates), prev)
 	if auditing {
-		s.observeAudit(auditRows, auditTimes)
+		s.observeAudit(denseRows, denseTimes)
 	}
 	return ingestResponse{Accepted: len(updates), LastT: prev}, nil
 }

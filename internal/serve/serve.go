@@ -81,6 +81,7 @@ import (
 	"swsketch/internal/obs/audit"
 	"swsketch/internal/registry"
 	"swsketch/internal/trace"
+	"swsketch/internal/wal"
 )
 
 // Error codes of the uniform error envelope; see the package comment.
@@ -116,6 +117,13 @@ type Server struct {
 	tr    *trace.Tracer
 	audit *audit.Auditor
 	log   *slog.Logger
+
+	wal         *wal.Log
+	walDamaged  atomic.Bool
+	streamQueue int
+
+	streamRows, streamBlocks, streamShed *obs.Counter
+	streamOpen                           *obs.Gauge
 
 	reqSeq    atomic.Uint64
 	reqPrefix string
@@ -198,7 +206,7 @@ func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 	if d < 1 {
 		panic(fmt.Sprintf("serve: dimension %d", d))
 	}
-	s := &Server{d: d}
+	s := &Server{d: d, streamQueue: DefaultStreamQueue}
 	for _, o := range opts {
 		o(s)
 	}
@@ -251,6 +259,19 @@ func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 		s.def.Release()
 		obs.RegisterRuntimeMetrics(s.reg)
 		obs.RegisterTracer(s.reg, s.tr)
+		s.streamRows = s.reg.Counter("swsketch_stream_rows_total",
+			"Rows accepted over streaming ingest connections.", nil)
+		s.streamBlocks = s.reg.Counter("swsketch_stream_blocks_total",
+			"Blocks acknowledged over streaming ingest connections.", nil)
+		s.streamShed = s.reg.Counter("swsketch_stream_overloaded_total",
+			"Stream opens and blocks shed by the per-tenant backpressure gate.", nil)
+		s.streamOpen = s.reg.Gauge("swsketch_stream_open",
+			"Streaming ingest connections currently open.", nil)
+	}
+	if s.wal != nil {
+		// Spilled or deleted tenants no longer need their WAL records for
+		// recovery; release them so closed segments can truncate.
+		s.treg.SetEvictHook(func(id string, _ bool) { s.wal.Released(id) })
 	}
 	return s
 }
@@ -271,25 +292,32 @@ func (s *Server) Handler() http.Handler {
 			mux.HandleFunc(strings.TrimSpace(pattern[strings.Index(pattern, " "):]), methodNotAllowed(allow...))
 		}
 	}
-	handle("POST /v1/ingest", s.handleIngest, "POST")
-	handle("POST /v1/ingest/bulk", s.handleBulkIngest, "POST")
-	handle("GET /v1/approximation", s.handleApproximation, "GET")
-	handle("GET /v1/pca", s.handlePCA, "GET")
-	handle("GET /v1/stats", s.handleStats, "GET")
-	handle("GET /v1/health", s.handleHealth, "GET")
-	handle("GET /v1/snapshot", s.handleSnapshotGet) // fallback shared below
-	handle("POST /v1/snapshot", s.handleSnapshotPost, "GET", "POST")
-	handle("GET /v1/tenants", s.handleTenantList, "GET")
-	handle("PUT /v1/tenants/{id}", s.handleTenantPut)  // fallback shared below
-	handle("GET /v1/tenants/{id}", s.handleTenantInfo) // fallback shared below
-	handle("DELETE /v1/tenants/{id}", s.handleTenantDelete, "GET", "PUT", "DELETE")
-	handle("POST /v1/tenants/{id}/ingest", s.handleTenantIngest, "POST")
-	handle("GET /v1/tenants/{id}/approximation", s.handleTenantApproximation, "GET")
-	handle("GET /v1/tenants/{id}/pca", s.handleTenantPCA, "GET")
-	handle("GET /v1/tenants/{id}/stats", s.handleTenantStats, "GET")
-	handle("GET /v1/tenants/{id}/health", s.handleTenantHealth, "GET")
-	handle("GET /v1/tenants/{id}/snapshot", s.handleTenantSnapshotGet) // fallback shared below
-	handle("POST /v1/tenants/{id}/snapshot", s.handleTenantSnapshotPost, "GET", "POST")
+	// /v1 routes stay byte-compatible but every response carries
+	// Deprecation and successor-version Link headers pointing at the
+	// /v2 grammar (see registerV2).
+	v1 := func(pattern, successor string, h http.HandlerFunc, allow ...string) {
+		handle(pattern, s.deprecated(successor, h), allow...)
+	}
+	v1("POST /v1/ingest", "/v2/tenants/default/rows", s.handleIngest, "POST")
+	v1("POST /v1/ingest/bulk", "/v2/rows", s.handleBulkIngest, "POST")
+	v1("GET /v1/approximation", "/v2/tenants/default/approximation", s.handleApproximation, "GET")
+	v1("GET /v1/pca", "/v2/tenants/default/pca", s.handlePCA, "GET")
+	v1("GET /v1/stats", "/v2/tenants/default/stats", s.handleStats, "GET")
+	v1("GET /v1/health", "/v2/health", s.handleHealth, "GET")
+	v1("GET /v1/snapshot", "/v2/tenants/default/snapshot", s.handleSnapshotGet) // fallback shared below
+	v1("POST /v1/snapshot", "/v2/tenants/default/snapshot", s.handleSnapshotPost, "GET", "POST")
+	v1("GET /v1/tenants", "/v2/tenants", s.handleTenantList, "GET")
+	v1("PUT /v1/tenants/{id}", "/v2/tenants/{id}", s.handleTenantPut)  // fallback shared below
+	v1("GET /v1/tenants/{id}", "/v2/tenants/{id}", s.handleTenantInfo) // fallback shared below
+	v1("DELETE /v1/tenants/{id}", "/v2/tenants/{id}", s.handleTenantDelete, "GET", "PUT", "DELETE")
+	v1("POST /v1/tenants/{id}/ingest", "/v2/tenants/{id}/rows", s.handleTenantIngest, "POST")
+	v1("GET /v1/tenants/{id}/approximation", "/v2/tenants/{id}/approximation", s.handleTenantApproximation, "GET")
+	v1("GET /v1/tenants/{id}/pca", "/v2/tenants/{id}/pca", s.handleTenantPCA, "GET")
+	v1("GET /v1/tenants/{id}/stats", "/v2/tenants/{id}/stats", s.handleTenantStats, "GET")
+	v1("GET /v1/tenants/{id}/health", "/v2/tenants/{id}/health", s.handleTenantHealth, "GET")
+	v1("GET /v1/tenants/{id}/snapshot", "/v2/tenants/{id}/snapshot", s.handleTenantSnapshotGet) // fallback shared below
+	v1("POST /v1/tenants/{id}/snapshot", "/v2/tenants/{id}/snapshot", s.handleTenantSnapshotPost, "GET", "POST")
+	s.registerV2(handle)
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -374,6 +402,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController
+// (the stream handler's flusher) can reach it through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // methodNotAllowed answers with the 405 envelope and an Allow header.
 func methodNotAllowed(allow ...string) http.HandlerFunc {
@@ -545,6 +577,15 @@ func (s *Server) snapshotPost(w http.ResponseWriter, r *http.Request, t *registr
 		return
 	}
 	t.ResetClock()
+	if s.wal != nil {
+		// The logged snapshot supersedes the tenant's earlier records —
+		// replay restores the blob instead of re-running them — and its
+		// append lets the WAL truncate behind it.
+		if _, err := s.wal.AppendSnapshot(t.ID(), 0, 0, false, data); err != nil {
+			httpError(w, http.StatusInternalServerError, CodeInternal, "wal append: %v", err)
+			return
+		}
+	}
 	if t == s.def {
 		// The restored window's contents are unknowable to the shadow
 		// oracle; re-arm it in the warming state.
@@ -581,6 +622,19 @@ type healthResponse struct {
 	Status string        `json:"status"`
 	Audit  bool          `json:"audit"`
 	Detail *audit.Status `json:"detail,omitempty"`
+	// WAL reports the write-ahead log's replay outcome; present only
+	// when a WAL is attached (v1 responses without one are unchanged).
+	WAL *walHealth `json:"wal,omitempty"`
+}
+
+// walHealth is the health endpoints' view of the write-ahead log.
+type walHealth struct {
+	// Replayed is false until RecoverWAL has run.
+	Replayed bool `json:"replayed"`
+	// Damaged reports corruption found during replay (a CRC mismatch or
+	// a mid-segment tear): recovery stopped early on that shard and the
+	// server is serving a possibly incomplete restore.
+	Damaged bool `json:"damaged,omitempty"`
 }
 
 // handleHealth reports the default tenant's accuracy health. Without
@@ -589,21 +643,28 @@ type healthResponse struct {
 // forces an evaluation first so the verdict reflects the current
 // window rather than the last stride boundary.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.audit == nil {
-		writeJSON(w, healthResponse{Status: "ok"})
-		return
+	resp := healthResponse{Status: "ok"}
+	if s.wal != nil {
+		resp.WAL = &walHealth{Replayed: s.wal.Replayed(), Damaged: s.walDamaged.Load()}
 	}
-	if r.URL.Query().Get("fresh") != "" {
-		if !s.acquire(w, s.def) {
-			return
+	if s.audit != nil {
+		if r.URL.Query().Get("fresh") != "" {
+			if !s.acquire(w, s.def) {
+				return
+			}
+			s.audit.Evaluate(func(t float64) *mat.Dense { return s.def.Raw().Query(t) })
+			s.def.Release()
 		}
-		s.audit.Evaluate(func(t float64) *mat.Dense { return s.def.Raw().Query(t) })
-		s.def.Release()
+		st := s.audit.Status()
+		resp.Audit, resp.Detail = true, &st
+		if st.Degraded {
+			resp.Status = "degraded"
+		}
 	}
-	st := s.audit.Status()
-	resp := healthResponse{Status: "ok", Audit: true, Detail: &st}
-	if st.Degraded {
+	if resp.WAL != nil && resp.WAL.Damaged {
 		resp.Status = "degraded"
+	}
+	if resp.Status == "degraded" {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(resp)

@@ -1,0 +1,371 @@
+package serve
+
+// Tests for the /v2 route group: deprecation headers on /v1, the
+// unified bulk envelope, and cross-endpoint error-schema conformance.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"swsketch/internal/binenc"
+	"swsketch/internal/core"
+	"swsketch/internal/window"
+)
+
+func newSketch(d int) core.WindowSketch {
+	return core.NewLMFD(window.Seq(100), d, 8, 4)
+}
+
+// TestV1DeprecationHeaders: every /v1 response must carry the RFC-style
+// deprecation headers naming its /v2 successor, with the body untouched.
+func TestV1DeprecationHeaders(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	cases := []struct {
+		method, path, body, successor string
+	}{
+		{"POST", "/v1/ingest", `{"updates":[{"row":[1,0,0],"t":1}]}`, "/v2/tenants/default/rows"},
+		{"GET", "/v1/approximation", "", "/v2/tenants/default/approximation"},
+		{"GET", "/v1/stats", "", "/v2/tenants/default/stats"},
+		{"GET", "/v1/health", "", "/v2/health"},
+		{"GET", "/v1/tenants", "", "/v2/tenants"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("Deprecation"); got != "true" {
+			t.Fatalf("%s %s: Deprecation header %q", c.method, c.path, got)
+		}
+		want := fmt.Sprintf("<%s>; rel=\"successor-version\"", c.successor)
+		if got := resp.Header.Get("Link"); got != want {
+			t.Fatalf("%s %s: Link header %q, want %q", c.method, c.path, got, want)
+		}
+	}
+}
+
+// TestV2RoutesMirrorV1 drives the core lifecycle entirely through /v2
+// and checks /v2 responses do NOT carry deprecation headers.
+func TestV2RoutesMirrorV1(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+
+	resp := postJSON(t, ts.URL+"/v2/tenants/default/rows",
+		`{"updates":[{"row":[1,0,0],"t":1},{"row":[0,1,0],"t":2}]}`)
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("/v2 response carries a Deprecation header")
+	}
+	var ir ingestResponse
+	decode(t, resp, &ir)
+	if ir.Accepted != 2 || ir.LastT != 2 {
+		t.Fatalf("v2 ingest %+v", ir)
+	}
+
+	for _, path := range []string{
+		"/v2/tenants/default/approximation",
+		"/v2/tenants/default/pca",
+		"/v2/tenants/default/stats",
+		"/v2/tenants/default/health",
+		"/v2/tenants/default/snapshot",
+		"/v2/health",
+		"/v2/tenants",
+	} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, r.StatusCode)
+		}
+	}
+
+	// Tenant lifecycle under /v2.
+	req, _ := http.NewRequest("PUT", ts.URL+"/v2/tenants/alpha",
+		strings.NewReader(`{"framework":"lm-fd","window":"sequence","size":64,"d":2,"ell":6,"b":3}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 && resp.StatusCode != 201 {
+		t.Fatalf("v2 tenant create status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v2/tenants/alpha/rows", `{"updates":[{"row":[1,2],"t":1}]}`)
+	decode(t, resp, &ir)
+	if ir.Accepted != 1 {
+		t.Fatalf("v2 tenant ingest %+v", ir)
+	}
+	req, _ = http.NewRequest("DELETE", ts.URL+"/v2/tenants/alpha", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("v2 tenant delete status %d", resp.StatusCode)
+	}
+}
+
+// TestV2BulkEnvelope: POST /v2/rows returns the unified itemResult
+// envelope, with per-item errors using the top-level error body shape.
+func TestV2BulkEnvelope(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	resp := postJSON(t, ts.URL+"/v2/rows", `{"tenants":[
+		{"id":"default","updates":[{"row":[1,0,0],"t":1}]},
+		{"id":"ghost","updates":[{"row":[1],"t":1}]},
+		{"id":"default","updates":[{"row":[1,0],"t":2}]}
+	]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("v2 bulk status %d", resp.StatusCode)
+	}
+	var br v2BulkResponse
+	decode(t, resp, &br)
+	if len(br.Results) != 3 {
+		t.Fatalf("v2 bulk results %+v", br)
+	}
+	if r := br.Results[0]; r.Index != 0 || r.ID != "default" || r.Accepted != 1 || r.Error != nil {
+		t.Fatalf("result 0: %+v", r)
+	}
+	if r := br.Results[1]; r.Index != 1 || r.Error == nil || r.Error.Code != CodeNotFound {
+		t.Fatalf("result 1: %+v", r)
+	}
+	if r := br.Results[2]; r.Index != 2 || r.Error == nil || r.Error.Code != CodeInvalidArgument {
+		t.Fatalf("result 2: %+v", r)
+	}
+}
+
+// streamPost opens a stream request with a fixed body and returns the
+// decoded ack lines.
+func streamPost(t *testing.T, url, contentType string, body []byte) (*http.Response, []itemResult) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var acks []itemResult
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var res itemResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad ack line %q: %v", sc.Text(), err)
+		}
+		acks = append(acks, res)
+	}
+	return resp, acks
+}
+
+// TestStreamNDJSON: updates stream in as NDJSON lines; blank lines
+// flush blocks; each block is acked with an itemResult line.
+func TestStreamNDJSON(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	var b strings.Builder
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&b, `{"row":[%d,1,0],"t":%d}`+"\n", i, i)
+	}
+	b.WriteString("\n") // flush block 0
+	for i := 5; i < 8; i++ {
+		fmt.Fprintf(&b, `{"row":[%d,1,0],"t":%d}`+"\n", i, i)
+	}
+	resp, acks := streamPost(t, ts.URL+"/v2/tenants/default/stream",
+		ContentTypeNDJSON, []byte(b.String()))
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if len(acks) != 2 {
+		t.Fatalf("acks %+v", acks)
+	}
+	if acks[0].Index != 0 || acks[0].Accepted != 5 || acks[0].LastT != 4 || acks[0].Error != nil {
+		t.Fatalf("ack 0: %+v", acks[0])
+	}
+	if acks[1].Index != 1 || acks[1].Accepted != 3 || acks[1].LastT != 7 {
+		t.Fatalf("ack 1: %+v", acks[1])
+	}
+	// The stream landed in the same sketch state batch ingest would
+	// produce: stats shows all 8 updates.
+	r, err := http.Get(ts.URL + "/v2/tenants/default/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	decode(t, r, &st)
+	if st.Updates != 8 || st.LastT != 7 {
+		t.Fatalf("post-stream stats %+v", st)
+	}
+}
+
+// encodeFrame builds one binary stream frame (length prefix included).
+func encodeFrame(rows [][]float64, times []float64) []byte {
+	w := binenc.NewWriter()
+	w.Int(len(rows))
+	w.Int(len(rows[0]))
+	for _, tv := range times {
+		w.F64(tv)
+	}
+	for _, row := range rows {
+		for _, v := range row {
+			w.F64(v)
+		}
+	}
+	payload := w.Bytes()
+	out := make([]byte, 4, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	return append(out, payload...)
+}
+
+// TestStreamBinaryFrames: the binenc framing applies blocks and acks
+// with the same envelope as NDJSON mode.
+func TestStreamBinaryFrames(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	body := encodeFrame([][]float64{{1, 0, 0}, {0, 1, 0}}, []float64{1, 2})
+	body = append(body, encodeFrame([][]float64{{0, 0, 1}}, []float64{3})...)
+	resp, acks := streamPost(t, ts.URL+"/v2/tenants/default/stream",
+		ContentTypeFrames, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if len(acks) != 2 || acks[0].Accepted != 2 || acks[1].Accepted != 1 || acks[1].Index != 1 {
+		t.Fatalf("acks %+v", acks)
+	}
+	r, err := http.Get(ts.URL + "/v2/tenants/default/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	decode(t, r, &st)
+	if st.Updates != 3 || st.LastT != 3 {
+		t.Fatalf("post-stream stats %+v", st)
+	}
+}
+
+// TestStreamBadFrame: a frame whose length prefix exceeds the payload
+// fails with an error ack and closes the stream without touching state.
+func TestStreamBadFrame(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	// Claims a million-row block backed by a few bytes.
+	w := binenc.NewWriter()
+	w.Int(1 << 20)
+	w.Int(3)
+	w.F64(1)
+	payload := w.Bytes()
+	body := make([]byte, 4, 4+len(payload))
+	binary.LittleEndian.PutUint32(body, uint32(len(payload)))
+	body = append(body, payload...)
+	_, acks := streamPost(t, ts.URL+"/v2/tenants/default/stream", ContentTypeFrames, body)
+	if len(acks) != 1 || acks[0].Error == nil || acks[0].Error.Code != CodeInvalidArgument {
+		t.Fatalf("acks %+v", acks)
+	}
+}
+
+// TestStreamErrorAckMatchesBulkEnvelope is the cross-endpoint
+// conformance check: the same bad update produces structurally
+// identical per-item errors from /v2/rows and the stream ack.
+func TestStreamErrorAckMatchesBulkEnvelope(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+
+	// Wrong row dimension via bulk.
+	resp := postJSON(t, ts.URL+"/v2/rows",
+		`{"tenants":[{"id":"default","updates":[{"row":[1],"t":1}]}]}`)
+	var br v2BulkResponse
+	decode(t, resp, &br)
+
+	// The same bad update via the stream.
+	_, acks := streamPost(t, ts.URL+"/v2/tenants/default/stream",
+		ContentTypeNDJSON, []byte(`{"row":[1],"t":1}`+"\n"))
+
+	if len(br.Results) != 1 || len(acks) != 1 {
+		t.Fatalf("bulk %+v stream %+v", br.Results, acks)
+	}
+	be, se := br.Results[0].Error, acks[0].Error
+	if be == nil || se == nil {
+		t.Fatalf("missing errors: bulk %+v stream %+v", br.Results[0], acks[0])
+	}
+	if be.Code != se.Code {
+		t.Fatalf("code mismatch: bulk %q stream %q", be.Code, se.Code)
+	}
+	if be.Message != se.Message {
+		t.Fatalf("message mismatch: bulk %q stream %q", be.Message, se.Message)
+	}
+	// Both marshal to the identical JSON shape.
+	bj, _ := json.Marshal(be)
+	sj, _ := json.Marshal(se)
+	if !bytes.Equal(bj, sj) {
+		t.Fatalf("envelope mismatch: %s vs %s", bj, sj)
+	}
+}
+
+// TestStreamBackpressure: a tenant with an exhausted in-flight budget
+// refuses a stream open with 429 + Retry-After.
+func TestStreamBackpressure(t *testing.T) {
+	sk := newSketch(3)
+	s := NewServer(sk, 3, WithStreamQueue(2))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Exhaust the default tenant's budget out-of-band.
+	def, _ := s.Registry().Get(DefaultTenant)
+	if !def.TryEnqueue(2) || !def.TryEnqueue(2) {
+		t.Fatal("could not saturate the gate")
+	}
+	defer func() { def.Dequeue(); def.Dequeue() }()
+
+	resp, err := http.Post(ts.URL+"/v2/tenants/default/stream", ContentTypeNDJSON,
+		strings.NewReader(`{"row":[1,0,0],"t":1}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated stream open status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After header on shed stream")
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != CodeOverloaded {
+		t.Fatalf("shed code %q", er.Error.Code)
+	}
+}
+
+// TestStreamUnsupportedContentType rejects unknown stream encodings up
+// front.
+func TestStreamUnsupportedContentType(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	resp, err := http.Post(ts.URL+"/v2/tenants/default/stream", "text/csv",
+		strings.NewReader("1,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("csv stream status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+// End-to-end WAL recovery over HTTP: traffic in, crash (drop the
+// server without any graceful snapshotting), reopen against the same
+// log directory, and the recovered tenants must marshal to the same
+// bytes the live ones did.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swsketch/internal/wal"
+)
+
+// walServer builds a server journaling into dir and recovers the log.
+func walServer(t *testing.T, dir string) (*Server, *httptest.Server, wal.Stats) {
+	t.Helper()
+	l, err := wal.Open(dir, wal.WithShards(2), wal.WithSyncInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(newSketch(3), 3, WithWAL(l))
+	st, err := s.RecoverWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); l.Close() })
+	return s, ts, st
+}
+
+func getBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestWALRecoveryBitExact drives mixed traffic — batch ingest, a
+// created tenant, streaming blocks — then recovers a cold server from
+// the log alone and compares binary snapshots byte for byte.
+func TestWALRecoveryBitExact(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := walServer(t, dir)
+
+	// Batch rows into the default tenant via v1 and v2.
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[1,0,0],"t":1},{"row":[0,2,0],"t":2}]}`).Body.Close()
+	postJSON(t, ts.URL+"/v2/tenants/default/rows", `{"updates":[{"row":[0,0,3],"t":3}]}`).Body.Close()
+	// A sparse update (the WAL densifies it).
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"idx":[1],"val":[5],"t":4}]}`).Body.Close()
+
+	// A second tenant created and fed over the API.
+	req, _ := http.NewRequest("PUT", ts.URL+"/v2/tenants/alpha", strings.NewReader(lmTenantCfg))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	postJSON(t, ts.URL+"/v2/tenants/alpha/rows", `{"updates":[{"row":[7,0,0],"t":1},{"row":[0,7,0],"t":2}]}`).Body.Close()
+
+	// Streamed blocks into the default tenant.
+	var b strings.Builder
+	for i := 5; i < 25; i++ {
+		fmt.Fprintf(&b, `{"row":[%d,1,0],"t":%d}`+"\n", i%3, i)
+	}
+	resp, err = http.Post(ts.URL+"/v2/tenants/default/stream", ContentTypeNDJSON,
+		strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	wantDefault := getBytes(t, ts.URL+"/v2/tenants/default/snapshot")
+	wantAlpha := getBytes(t, ts.URL+"/v2/tenants/alpha/snapshot")
+
+	// "Crash": no graceful close of the registry, just a cold start on
+	// the same directory (the log was opened with per-append sync).
+	_, ts2, st := walServer(t, dir)
+	if st.Damaged || st.Torn {
+		t.Fatalf("recovery stats %+v", st)
+	}
+	if got := getBytes(t, ts2.URL+"/v2/tenants/default/snapshot"); !bytes.Equal(got, wantDefault) {
+		t.Fatalf("default tenant diverged after recovery: %d vs %d bytes", len(got), len(wantDefault))
+	}
+	if got := getBytes(t, ts2.URL+"/v2/tenants/alpha/snapshot"); !bytes.Equal(got, wantAlpha) {
+		t.Fatalf("alpha tenant diverged after recovery: %d vs %d bytes", len(got), len(wantAlpha))
+	}
+
+	// The recovered node keeps serving: more rows and a third recovery
+	// still agree.
+	postJSON(t, ts2.URL+"/v2/tenants/default/rows", `{"updates":[{"row":[1,1,1],"t":30}]}`).Body.Close()
+	want3 := getBytes(t, ts2.URL+"/v2/tenants/default/snapshot")
+	_, ts3, _ := walServer(t, dir)
+	if got := getBytes(t, ts3.URL+"/v2/tenants/default/snapshot"); !bytes.Equal(got, want3) {
+		t.Fatalf("second recovery diverged")
+	}
+}
+
+// TestWALRecoveryAfterRestoreAndDelete: a logged snapshot restore
+// supersedes earlier rows, and a logged delete stays deleted.
+func TestWALRecoveryAfterRestoreAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := walServer(t, dir)
+
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[1,0,0],"t":1},{"row":[0,1,0],"t":2}]}`).Body.Close()
+	snap := getBytes(t, ts.URL+"/v1/snapshot")
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[9,9,9],"t":3}]}`).Body.Close()
+	// Restore the earlier snapshot: the 9,9,9 row must not survive
+	// recovery either.
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[4,0,0],"t":10}]}`).Body.Close()
+	want := getBytes(t, ts.URL+"/v1/snapshot")
+
+	// A tenant created then deleted must stay gone.
+	req, _ := http.NewRequest("PUT", ts.URL+"/v2/tenants/doomed", strings.NewReader(lmTenantCfg))
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	req, _ = http.NewRequest("DELETE", ts.URL+"/v2/tenants/doomed", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+
+	_, ts2, st := walServer(t, dir)
+	if st.Damaged {
+		t.Fatalf("recovery stats %+v", st)
+	}
+	if got := getBytes(t, ts2.URL+"/v1/snapshot"); !bytes.Equal(got, want) {
+		t.Fatal("restore-then-ingest state diverged after recovery")
+	}
+	r, err := http.Get(ts2.URL + "/v2/tenants/doomed/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted tenant resurrected: status %d", r.StatusCode)
+	}
+}
+
+// TestWALDamagedHealthDegraded: corruption found during replay turns
+// /v2/health degraded (503) with the wal.damaged flag set.
+func TestWALDamagedHealthDegraded(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := walServer(t, dir)
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[1,0,0],"t":1}]}`).Body.Close()
+	postJSON(t, ts.URL+"/v1/ingest", `{"updates":[{"row":[0,1,0],"t":2}]}`).Body.Close()
+
+	// Flip a byte early in the shard's segment so replay hits a CRC
+	// mismatch before the tail (mid-segment damage, not a torn tail).
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	corrupted := false
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 40 {
+			data[30] ^= 0xFF
+			if err := os.WriteFile(seg, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatal("no segment large enough to corrupt")
+	}
+
+	_, ts2, st := walServer(t, dir)
+	if !st.Damaged {
+		t.Fatalf("recovery stats %+v, want damaged", st)
+	}
+	resp, err := http.Get(ts2.URL + "/v2/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("damaged health status %d", resp.StatusCode)
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "degraded" || hr.WAL == nil || !hr.WAL.Damaged || !hr.WAL.Replayed {
+		t.Fatalf("damaged health %+v wal %+v", hr, hr.WAL)
+	}
+}
+
+// TestWALHealthFieldAbsentWithoutWAL pins v1 byte-compatibility: no
+// WAL attached, no "wal" key in the health payload.
+func TestWALHealthFieldAbsentWithoutWAL(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	data := getBytes(t, ts.URL+"/v1/health")
+	if bytes.Contains(data, []byte(`"wal"`)) {
+		t.Fatalf("health without a WAL leaks the wal field: %s", data)
+	}
+}

@@ -119,6 +119,21 @@ func (s *Server) handleTenantPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 		return
 	}
+	if s.wal != nil {
+		// Log the normalized config (t.Config), not the request body, so
+		// replay rebuilds exactly what was built. An append failure rolls
+		// the creation back: an unlogged tenant would silently vanish on
+		// restart.
+		cfgJSON, merr := json.Marshal(t.Config())
+		if merr == nil {
+			_, merr = s.wal.AppendCreate(id, cfgJSON)
+		}
+		if merr != nil {
+			s.treg.Delete(id)
+			httpError(w, http.StatusInternalServerError, CodeInternal, "wal append: %v", merr)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	_ = json.NewEncoder(w).Encode(tenantInfo(t))
@@ -144,6 +159,12 @@ func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.treg.Delete(id) {
 		httpError(w, http.StatusNotFound, CodeNotFound, "no tenant %q", id)
 		return
+	}
+	if s.wal != nil {
+		// Best effort: the registry delete already released the tenant's
+		// WAL records via the evict hook; the delete record only stops a
+		// replay from resurrecting a tenant logged earlier.
+		_, _ = s.wal.AppendDelete(id)
 	}
 	writeJSON(w, tenantDeleteResponse{Deleted: id})
 }
@@ -193,13 +214,9 @@ type bulkIngestResponse struct {
 	Results []bulkResult `json:"results"`
 }
 
-// handleBulkIngest applies per-tenant update batches in one request.
-// Each tenant's batch is all-or-nothing, but tenants are independent:
-// one tenant's failure (reported in its result's error field, with the
-// same codes as single-tenant ingest) does not abort the others, and
-// the response is always 200 with one result per requested tenant, in
-// request order.
-func (s *Server) handleBulkIngest(w http.ResponseWriter, r *http.Request) {
+// decodeBulk parses a bulk-ingest body, shared by /v1/ingest/bulk and
+// /v2/rows.
+func (s *Server) decodeBulk(w http.ResponseWriter, r *http.Request) (bulkIngestRequest, *apiError) {
 	body := r.Body
 	if s.maxBody > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -210,15 +227,27 @@ func (s *Server) handleBulkIngest(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			return req, errf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				"body exceeds %d bytes", tooLarge.Limit)
-			return
 		}
-		httpError(w, http.StatusBadRequest, CodeInvalidJSON, "bad JSON: %v", err)
-		return
+		return req, errf(http.StatusBadRequest, CodeInvalidJSON, "bad JSON: %v", err)
 	}
 	if len(req.Tenants) == 0 {
-		httpError(w, http.StatusBadRequest, CodeInvalidArgument, "no tenants")
+		return req, errf(http.StatusBadRequest, CodeInvalidArgument, "no tenants")
+	}
+	return req, nil
+}
+
+// handleBulkIngest applies per-tenant update batches in one request.
+// Each tenant's batch is all-or-nothing, but tenants are independent:
+// one tenant's failure (reported in its result's error field, with the
+// same codes as single-tenant ingest) does not abort the others, and
+// the response is always 200 with one result per requested tenant, in
+// request order.
+func (s *Server) handleBulkIngest(w http.ResponseWriter, r *http.Request) {
+	req, apiErr := s.decodeBulk(w, r)
+	if apiErr != nil {
+		apiErr.write(w)
 		return
 	}
 	results := make([]bulkResult, 0, len(req.Tenants))

@@ -91,6 +91,20 @@ const (
 	// KindTenantDelete: a tenant was removed explicitly. Note = the
 	// tenant ID.
 	KindTenantDelete = "tenant_delete"
+	// KindWALAppend: one record appended to a write-ahead-log shard.
+	// V1 = rows in the record (0 for create/delete records), V2 =
+	// encoded bytes; Note = tenant ID. Hot — sample it.
+	KindWALAppend = "wal_append"
+	// KindWALReplay: one WAL segment replayed at startup. V1 = records
+	// applied, V2 = records skipped (idempotent duplicates or blocks
+	// already covered by a spill snapshot); Note = segment filename.
+	KindWALReplay = "wal_replay"
+	// KindStreamOpen: a streaming ingest connection opened. V1 = the
+	// tenant's queued block count at open; Note = tenant ID.
+	KindStreamOpen = "stream_open"
+	// KindStreamClose: a streaming ingest connection closed. V1 = rows
+	// accepted over the connection, V2 = blocks; Note = tenant ID.
+	KindStreamClose = "stream_close"
 )
 
 // Event is one traced occurrence. Events are fixed-size values (two

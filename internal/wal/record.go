@@ -1,0 +1,194 @@
+package wal
+
+// Record codec. Every record is a self-delimiting binenc frame:
+//
+//	U32  magic   "SWAL" (little-endian 0x4C415753)
+//	U64  seq     per-shard, strictly increasing
+//	U32  kind    rows | create | snapshot | delete
+//	Blob tenant  the tenant ID
+//	     payload kind-specific (see below)
+//	U32  crc     IEEE CRC-32 of every preceding byte of the record
+//
+// Payloads:
+//
+//	rows      U64 start (tenant updates before the block), Int n,
+//	          Int d, n timestamps, n·d row values (row-major)
+//	create    Blob of the tenant's declarative config as JSON
+//	snapshot  U64 updates, F64 lastT, Bool seen, Blob sketch snapshot
+//	delete    empty
+//
+// Decoding distinguishes two failure classes: ErrTorn (the buffer ends
+// mid-record — the normal shape of a crash during an append) and
+// ErrCorrupt (bad magic, implausible lengths, or a CRC mismatch —
+// bytes that were durably written and then damaged). Replay treats a
+// torn final record as a clean stop and anything else as damage.
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"swsketch/internal/binenc"
+)
+
+// Record kinds. Exported for replay-stats consumers; the byte layout
+// is internal.
+const (
+	// KindRows is a block of ingested rows for one tenant.
+	KindRows = uint32(1)
+	// KindCreate records a tenant creation with its config JSON.
+	KindCreate = uint32(2)
+	// KindDelete records an explicit tenant deletion.
+	KindDelete = uint32(3)
+	// KindSnapshot records a snapshot restore: the uploaded sketch
+	// state replaces the tenant's, making earlier records obsolete.
+	KindSnapshot = uint32(4)
+)
+
+const recMagic = uint32(0x4C415753) // "SWAL" little-endian
+
+// Decode-time sanity caps; real blocks are orders of magnitude
+// smaller, and anything beyond these is corruption, not data.
+const (
+	maxBlockRows = 1 << 24
+	maxBlockDim  = 1 << 24
+)
+
+// ErrTorn reports a record cut short by the end of its segment — the
+// expected tail state after a crash mid-append.
+var ErrTorn = errors.New("wal: torn record")
+
+// ErrCorrupt reports a structurally damaged record: wrong magic, an
+// implausible length, or a CRC mismatch.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// record is one decoded WAL entry.
+type record struct {
+	seq    uint64
+	kind   uint32
+	tenant string
+
+	// rows payload
+	start uint64
+	times []float64
+	rows  [][]float64
+
+	// create payload
+	cfg []byte
+
+	// snapshot payload
+	updates uint64
+	lastT   float64
+	seen    bool
+	blob    []byte
+}
+
+// encodedBytes returns the record's frame, CRC included.
+func (rec *record) encodedBytes() []byte {
+	w := binenc.NewWriter()
+	w.U32(recMagic)
+	w.U64(rec.seq)
+	w.U32(rec.kind)
+	w.Blob([]byte(rec.tenant))
+	switch rec.kind {
+	case KindRows:
+		w.U64(rec.start)
+		w.Int(len(rec.rows))
+		d := 0
+		if len(rec.rows) > 0 {
+			d = len(rec.rows[0])
+		}
+		w.Int(d)
+		for _, t := range rec.times {
+			w.F64(t)
+		}
+		for _, row := range rec.rows {
+			for _, v := range row {
+				w.F64(v)
+			}
+		}
+	case KindCreate:
+		w.Blob(rec.cfg)
+	case KindSnapshot:
+		w.U64(rec.updates)
+		w.F64(rec.lastT)
+		w.Bool(rec.seen)
+		w.Blob(rec.blob)
+	case KindDelete:
+	default:
+		panic(fmt.Sprintf("wal: encode unknown record kind %d", rec.kind))
+	}
+	body := w.Bytes()
+	w.U32(crc32.ChecksumIEEE(body))
+	return w.Bytes()
+}
+
+// decodeRecord parses one record starting at data[off], returning the
+// record and the offset one past it. Errors wrap ErrTorn or
+// ErrCorrupt; see the package comment for how replay maps them to
+// clean-stop vs damaged.
+func decodeRecord(data []byte, off int) (record, int, error) {
+	var rec record
+	r := binenc.NewReader(data[off:])
+	if magic := r.U32(); r.Err() != nil {
+		return rec, off, fmt.Errorf("%w: segment ends inside a record header", ErrTorn)
+	} else if magic != recMagic {
+		return rec, off, fmt.Errorf("%w: bad magic %#x at offset %d", ErrCorrupt, magic, off)
+	}
+	rec.seq = r.U64()
+	rec.kind = r.U32()
+	rec.tenant = string(r.Blob())
+	switch rec.kind {
+	case KindRows:
+		rec.start = r.U64()
+		n := r.Int()
+		d := r.Int()
+		if r.Err() == nil {
+			if n < 0 || n > maxBlockRows || d < 0 || d > maxBlockDim {
+				return rec, off, fmt.Errorf("%w: implausible block %dx%d", ErrCorrupt, n, d)
+			}
+			if need := n * (d + 1); need > r.Rest()/8 {
+				// The lengths decoded but the payload is cut short.
+				return rec, off, fmt.Errorf("%w: block %dx%d exceeds remaining bytes", ErrTorn, n, d)
+			}
+			rec.times = make([]float64, n)
+			for i := range rec.times {
+				rec.times[i] = r.F64()
+			}
+			flat := make([]float64, n*d)
+			for i := range flat {
+				flat[i] = r.F64()
+			}
+			rec.rows = make([][]float64, n)
+			for i := range rec.rows {
+				rec.rows[i] = flat[i*d : (i+1)*d : (i+1)*d]
+			}
+		}
+	case KindCreate:
+		rec.cfg = r.Blob()
+	case KindSnapshot:
+		rec.updates = r.U64()
+		rec.lastT = r.F64()
+		rec.seen = r.Bool()
+		rec.blob = r.Blob()
+	case KindDelete:
+	default:
+		if r.Err() == nil {
+			return rec, off, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, rec.kind)
+		}
+	}
+	crcOff := r.Off()
+	sum := r.U32()
+	if err := r.Err(); err != nil {
+		// Any read failure here means the frame could not be parsed to
+		// completion with the bytes available — indistinguishable from
+		// a crash mid-append, so it reads as a torn tail. Replay only
+		// forgives a torn record at the very end of the last segment;
+		// anywhere else it counts as damage.
+		return rec, off, fmt.Errorf("%w: %v", ErrTorn, err)
+	}
+	if want := crc32.ChecksumIEEE(data[off : off+crcOff]); sum != want {
+		return rec, off, fmt.Errorf("%w: crc %#x, want %#x (seq %d)", ErrCorrupt, sum, want, rec.seq)
+	}
+	return rec, off + crcOff + 4, nil
+}
