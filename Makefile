@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fd bench-load fuzz verify results examples clean check doclint linkcheck docs
+.PHONY: all build test race cover bench bench-fd bench-dsfd bench-load conformance fuzz verify results examples clean check doclint linkcheck docs
 
 all: build test
 
@@ -36,17 +36,29 @@ bench:
 bench-fd:
 	$(GO) run ./cmd/swbench -fd-baseline BENCH_fd.json -fd-out BENCH_fd.json fd
 
+# DS-FD head-to-head artifact: DS-FD vs LM-FD vs DI-FD at matched ε on
+# the fig6 skewed PAMAP workload; fails if DS-FD breaches its N·R/ℓ
+# guarantee or needs more space than LM-FD. Refreshes BENCH_dsfd.json.
+bench-dsfd:
+	$(GO) run ./cmd/swbench -dsfd-out BENCH_dsfd.json dsfd
+
 # Ingest-plane load artifact: the three wire generations against a
 # Zipf-skewed tenant fleet, soft-gated against the committed baseline,
 # refreshing BENCH_load.json in place.
 bench-load:
 	$(GO) run ./cmd/swbench -load-baseline BENCH_load.json -load-out BENCH_load.json load
 
+# Cross-framework conformance suite under the race detector: every
+# registered framework through the shared contract table.
+conformance:
+	$(GO) test -race -run 'TestContract|TestRegistryCoverage' ./internal/core ./internal/conformance
+
 # Short fuzzing pass over the stateful structures.
 fuzz:
 	$(GO) test -fuzz FuzzEstimate -fuzztime 30s ./internal/eh
 	$(GO) test -fuzz FuzzLMFD -fuzztime 30s ./internal/core
 	$(GO) test -fuzz FuzzSWOR -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzDSFDUnmarshal -fuzztime 30s ./internal/core
 
 # CI gate: re-runs the paper's qualitative shape checks; non-zero exit
 # on any DIFF.

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/window"
+)
+
+// dsfdResult is one row of the BENCH_dsfd.json artifact: one sketch at
+// one target ε on the Figure 6 workload (the skewed PAMAP sequence
+// window), with its measured error, its worst absolute error relative
+// to the DS-FD threshold θ = N·R/ℓ, and its space.
+type dsfdResult struct {
+	Algo string  `json:"algo"`
+	Eps  float64 `json:"eps"`
+	Ell  int     `json:"ell"`
+	// AvgErr / MaxErr are relative covariance errors across the
+	// evaluated windows.
+	AvgErr float64 `json:"avg_err"`
+	MaxErr float64 `json:"max_err"`
+	// WorstVsTheta is max over queries of |AᵀA−BᵀB|₂ / (N·R/ℓ) with R
+	// the stream's max squared row norm — the DS-FD guarantee says ≤ 1.
+	WorstVsTheta float64 `json:"worst_vs_theta"`
+	WithinTheta  bool    `json:"within_theta"`
+	// PeakRows is the largest RowsStored() observed at a query, and
+	// PeakBytes its float64 footprint (rows × d × 8).
+	PeakRows  int `json:"peak_rows"`
+	PeakBytes int `json:"peak_bytes"`
+	// SnapshotBytes is the binary snapshot size after the full stream
+	// (0 when the sketch does not marshal).
+	SnapshotBytes int `json:"snapshot_bytes"`
+	// NsPerUpdate is the amortized per-row ingest cost.
+	NsPerUpdate float64 `json:"ns_per_update"`
+}
+
+// dsfdArtifact is the BENCH_dsfd.json document.
+type dsfdArtifact struct {
+	Dataset string       `json:"dataset"`
+	N       int          `json:"n"`
+	Window  int          `json:"window"`
+	D       int          `json:"d"`
+	Results []dsfdResult `json:"results"`
+}
+
+// dsfdEpsGrid is the matched-ε grid for the head-to-head: each sketch
+// is auto-sized for the same target and judged on what it delivers.
+var dsfdEpsGrid = []float64{0.05, 0.1, 0.2}
+
+// runDSFD benchmarks DS-FD head-to-head against LM-FD and DI-FD on the
+// Figure 6 workload at matched target ε, and writes the artifact. The
+// run fails if DS-FD breaches its N·R/ℓ guarantee at any grid point,
+// or needs more space than LM-FD at the same ε — the acceptance bar
+// for shipping the framework.
+func runDSFD(out io.Writer, sc scaleCfg, path string) error {
+	ds := sc.seqDataset("PAMAP")
+	d := ds.D()
+	win := sc.win
+
+	// The DI framework needs the norm profile declared up front; DS-FD
+	// discovers it adaptively. Scan once for the head-to-head.
+	maxSq, minSq := 0.0, 0.0
+	for _, row := range ds.Rows {
+		sq := 0.0
+		for _, v := range row {
+			sq += v * v
+		}
+		if sq > maxSq {
+			maxSq = sq
+		}
+		if sq > 0 && (minSq == 0 || sq < minSq) {
+			minSq = sq
+		}
+	}
+	ratio := 1.0
+	if minSq > 0 {
+		ratio = maxSq / minSq
+	}
+
+	var results []dsfdResult
+	for _, eps := range dsfdEpsGrid {
+		// All three sketches at one grid point are judged against the
+		// same yardstick: DS-FD's threshold θ = N·R/ℓ at the ℓ its
+		// auto-sizing picks for this ε.
+		dsEll := sketchEll(core.AutoDSFD(win, d, eps))
+		theta := float64(win) * maxSq / float64(dsEll)
+		sketches := []struct {
+			algo string
+			mk   func() core.WindowSketch
+		}{
+			{"DS-FD", func() core.WindowSketch { return core.AutoDSFD(win, d, eps) }},
+			{"LM-FD", func() core.WindowSketch { return core.AutoLMFD(window.Seq(win), d, eps) }},
+			{"DI-FD", func() core.WindowSketch { return core.AutoDIFD(win, d, eps, maxSq, ratio) }},
+		}
+		for _, s := range sketches {
+			r := benchDSFDPoint(ds, win, sc.stride, sc.maxQ, theta, s.algo, s.mk)
+			r.Eps = eps
+			results = append(results, r)
+			fmt.Fprintf(out, "dsfd eps=%-5v %-6s ell=%-4d err avg %.5f max %.5f  vs-theta %.3f  peak %5d rows (%7d B)  %6.0f ns/update\n",
+				eps, r.Algo, r.Ell, r.AvgErr, r.MaxErr, r.WorstVsTheta, r.PeakRows, r.PeakBytes, r.NsPerUpdate)
+		}
+	}
+
+	art := dsfdArtifact{Dataset: ds.Name, N: ds.N(), Window: win, D: d, Results: results}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d results)\n", path, len(results))
+
+	return checkDSFDAcceptance(results)
+}
+
+// benchDSFDPoint streams the dataset through one sketch, evaluating
+// the covariance error at the query stride and tracking peak space.
+func benchDSFDPoint(ds *data.Dataset, win, stride, maxQ int, theta float64, algo string, mk func() core.WindowSketch) dsfdResult {
+	sk := mk()
+	spec := window.Seq(win)
+	oracle := window.NewExact(spec, ds.D())
+
+	var errSum, errMax, worstTheta float64
+	queries, peakRows := 0, 0
+	var ingestNs int64
+	for i, row := range ds.Rows {
+		t0 := time.Now()
+		sk.Update(row, ds.Times[i])
+		ingestNs += time.Since(t0).Nanoseconds()
+		oracle.Update(row, ds.Times[i])
+		if i >= win && (i-win)%stride == 0 && queries < maxQ {
+			e := oracle.CovaErr(sk.Query(ds.Times[i]))
+			errSum += e
+			if e > errMax {
+				errMax = e
+			}
+			// Judge the absolute error against the DS-FD threshold
+			// θ = N·R/ℓ — the guarantee DS-FD claims and the common
+			// yardstick for the head-to-head.
+			if vs := e * oracle.FroSq() / theta; vs > worstTheta {
+				worstTheta = vs
+			}
+			if rows := sk.RowsStored(); rows > peakRows {
+				peakRows = rows
+			}
+			queries++
+		}
+	}
+
+	res := dsfdResult{
+		Algo:         algo,
+		Ell:          sketchEll(sk),
+		MaxErr:       errMax,
+		WorstVsTheta: worstTheta,
+		WithinTheta:  worstTheta <= 1,
+		PeakRows:     peakRows,
+		PeakBytes:    peakRows * ds.D() * 8,
+		NsPerUpdate:  float64(ingestNs) / float64(ds.N()),
+	}
+	if queries > 0 {
+		res.AvgErr = errSum / float64(queries)
+	}
+	if m, ok := sk.(encoding.BinaryMarshaler); ok {
+		if blob, err := m.MarshalBinary(); err == nil {
+			res.SnapshotBytes = len(blob)
+		}
+	}
+	return res
+}
+
+// sketchEll pulls the answer-size parameter out of a sketch's Stats
+// ("ell" for DS-FD and DI, the per-block size for LM).
+func sketchEll(sk core.WindowSketch) int {
+	in, ok := sk.(core.Introspector)
+	if !ok {
+		return 0
+	}
+	st := in.Stats()
+	if v, ok := st["ell"]; ok && v > 0 {
+		return int(v)
+	}
+	return 0
+}
+
+// checkDSFDAcceptance enforces the shipping bar: DS-FD within its
+// θ guarantee at every grid point, and no more space than LM-FD at
+// the same ε.
+func checkDSFDAcceptance(results []dsfdResult) error {
+	byAlgo := func(eps float64, algo string) *dsfdResult {
+		for i := range results {
+			if results[i].Eps == eps && results[i].Algo == algo {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	for _, eps := range dsfdEpsGrid {
+		dsfd := byAlgo(eps, "DS-FD")
+		lm := byAlgo(eps, "LM-FD")
+		if dsfd == nil || lm == nil {
+			return fmt.Errorf("dsfd: grid point eps=%v missing a result", eps)
+		}
+		if !dsfd.WithinTheta {
+			return fmt.Errorf("dsfd: eps=%v DS-FD absolute error %.3f× past the N·R/ℓ threshold", eps, dsfd.WorstVsTheta)
+		}
+		if dsfd.PeakBytes > lm.PeakBytes {
+			return fmt.Errorf("dsfd: eps=%v DS-FD peak %d bytes exceeds LM-FD's %d", eps, dsfd.PeakBytes, lm.PeakBytes)
+		}
+	}
+	return nil
+}

@@ -30,6 +30,10 @@
 //	         (buffer, alpha) grid at ℓ∈{64,256}, d=256; writes
 //	         BENCH_fd.json (see -fd-out) and optionally gates the
 //	         default config against a baseline artifact (-fd-baseline)
+//	dsfd     DS-FD head-to-head vs LM-FD and DI-FD on the fig6 skewed
+//	         PAMAP workload at matched ε; writes BENCH_dsfd.json
+//	         (see -dsfd-out) and fails if DS-FD breaches its N·R/ℓ
+//	         guarantee or uses more space than LM-FD
 //	obs      overhead of the observability stack (metrics decorator
 //	         and disabled tracer), bare vs wrapped, per-row and
 //	         batched ingest; writes BENCH_obs.json (see -obs-out)
@@ -68,6 +72,7 @@ func main() {
 		kOut   = flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernels experiment")
 		fdOut  = flag.String("fd-out", "BENCH_fd.json", "output path for the fd experiment")
 		fdBase = flag.String("fd-baseline", "", "baseline BENCH_fd.json for the fd regression gate (empty disables)")
+		dsOut  = flag.String("dsfd-out", "BENCH_dsfd.json", "output path for the dsfd experiment")
 		oOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
 		tOut   = flag.String("tenants-out", "BENCH_tenants.json", "output path for the tenants experiment")
 		lOut   = flag.String("load-out", "BENCH_load.json", "output path for the load experiment")
@@ -75,7 +80,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|obs|tenants|load|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|dsfd|obs|tenants|load|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -150,6 +155,11 @@ func main() {
 	case "fd":
 		if err := runFD(out, *fdOut, *fdBase); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: fd: %v\n", err)
+			os.Exit(1)
+		}
+	case "dsfd":
+		if err := runDSFD(out, sc, *dsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: dsfd: %v\n", err)
 			os.Exit(1)
 		}
 	case "verify":

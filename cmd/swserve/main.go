@@ -61,14 +61,14 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd")
+		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | ds-fd")
 		d       = flag.Int("d", 0, "row dimension (required)")
 		winSize = flag.Float64("window", 10000, "window size (rows, or span with -time)")
 		useTime = flag.Bool("time", false, "time-based window")
 		ell     = flag.Int("ell", 32, "sketch size parameter ℓ")
 		b       = flag.Int("b", 8, "LM blocks per level")
 		levels  = flag.Int("L", 6, "DI levels (di-fd)")
-		rBound  = flag.Float64("R", 0, "DI max squared row norm (required for di-fd)")
+		rBound  = flag.Float64("R", 0, "max squared row norm bound (required for di-fd; optional for ds-fd, 0 = adaptive)")
 		fdBuf   = flag.Int("fd-buffer", 0, "FastFD working-buffer factor b for the FD frameworks (0/1 = classic, 2 = recommended)")
 		fdAlpha = flag.Float64("fd-alpha", 0, "FastFD shrink aggressiveness α in (0,1] for the FD frameworks (0 = classic 1)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -109,7 +109,7 @@ func main() {
 		os.Exit(2)
 	}
 	switch strings.ToLower(*algo) {
-	case "lm-fd", "di-fd":
+	case "lm-fd", "di-fd", "ds-fd":
 	default:
 		if *fdBuf != 0 || *fdAlpha != 0 {
 			fmt.Fprintf(os.Stderr, "swserve: -fd-buffer/-fd-alpha apply to the FD frameworks only, not %q\n", *algo)
@@ -141,6 +141,14 @@ func main() {
 		sk = core.NewDIFDOpts(core.DIConfig{
 			N: int(*winSize), R: *rBound, L: *levels, Ell: *ell, RSlack: 1.01,
 		}, *d, fdo)
+	case "ds-fd":
+		if *useTime {
+			fmt.Fprintln(os.Stderr, "swserve: ds-fd supports sequence windows only")
+			os.Exit(2)
+		}
+		sk = core.NewDSFD(core.DSFDConfig{
+			N: int(*winSize), Ell: *ell, R: *rBound, RSlack: 1.01, FD: fdo,
+		}, *d)
 	default:
 		fmt.Fprintf(os.Stderr, "swserve: unknown algorithm %q\n", *algo)
 		os.Exit(2)

@@ -51,7 +51,7 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | best")
+		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | ds-fd | best")
 		winSize = flag.Float64("window", 1000, "window size (rows, or time span with -time)")
 		useTime = flag.Bool("time", false, "time-based window (use CSV timestamps)")
 		every   = flag.Int("every", 500, "print a summary every k rows")
@@ -59,7 +59,7 @@ func main() {
 		ell     = flag.Int("ell", 24, "sketch size parameter ℓ")
 		b       = flag.Int("b", 8, "LM blocks per level")
 		levels  = flag.Int("L", 6, "DI levels")
-		rBound  = flag.Float64("R", 0, "DI norm bound R (required for di-fd)")
+		rBound  = flag.Float64("R", 0, "max squared row norm bound R (required for di-fd; optional for ds-fd, 0 = adaptive)")
 		fdBuf   = flag.Int("fd-buffer", 0, "FastFD working-buffer factor b for the FD frameworks (0/1 = classic, 2 = recommended)")
 		fdAlpha = flag.Float64("fd-alpha", 0, "FastFD shrink aggressiveness α in (0,1] for the FD frameworks (0 = classic 1)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -340,7 +340,7 @@ func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error
 	}
 	isFD := false
 	switch strings.ToLower(opt.algo) {
-	case "lm-fd", "di-fd":
+	case "lm-fd", "di-fd", "ds-fd":
 		isFD = true
 	}
 	if !isFD && (opt.fdBuffer != 0 || opt.fdAlpha != 0) {
@@ -368,6 +368,13 @@ func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error
 		return core.NewDIFDOpts(core.DIConfig{
 			N: int(opt.winSize), R: r, L: opt.levels, Ell: opt.ell, RSlack: 1.01,
 		}, d, fdo), nil
+	case "ds-fd":
+		if opt.useTime {
+			return nil, fmt.Errorf("ds-fd supports sequence windows only")
+		}
+		return core.NewDSFD(core.DSFDConfig{
+			N: int(opt.winSize), Ell: opt.ell, R: opt.rBound, RSlack: 1.01, FD: fdo,
+		}, d), nil
 	case "best":
 		return core.NewBest(spec, opt.ell, d), nil
 	default:

@@ -1,0 +1,93 @@
+// Package adversary provides deterministic adversarial stream
+// generators shared by the property-test suites. Each generator
+// returns an n×d matrix chosen to stress a different part of a
+// sketch's shrink/expiry discipline: spectral mass concentrated in a
+// few directions, mass decaying so early rows dominate, and
+// near-rank-one repetition. Both the FastFD (b, α) grid tests and the
+// windowed DS-FD error-budget tests drive their sketches with these
+// streams, so a regression in either layer shows up against the same
+// inputs.
+package adversary
+
+import (
+	"math/rand"
+
+	"swsketch/internal/mat"
+)
+
+// Generator produces an n×d adversarial stream from a seeded rng.
+type Generator func(rng *rand.Rand, n, d int) *mat.Dense
+
+// Named pairs a generator with a stable name for subtest labels.
+type Named struct {
+	Name string
+	Gen  Generator
+}
+
+// Streams lists every shipped generator; property tests range over it
+// so a new adversary is picked up by all suites at once.
+func Streams() []Named {
+	return []Named{
+		{"spiked", Spiked},
+		{"decaying", Decaying},
+		{"duplicate-row", DuplicateRow},
+	}
+}
+
+// Spiked hides a handful of heavy directions in low-amplitude noise:
+// every 7th row is a large spike along one of three axes, so a few
+// singular values carry almost all the energy and a sketch that
+// over-shrinks loses exactly the mass that matters.
+func Spiked(rng *rand.Rand, n, d int) *mat.Dense {
+	a := mat.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		for j := range row {
+			row[j] = 0.05 * rng.NormFloat64()
+		}
+		if i%7 == 0 {
+			row[i%3] += 40
+		}
+	}
+	return a
+}
+
+// Decaying shrinks the row scale geometrically so early rows dominate
+// ‖A‖²_F — the worst case for windowed sketches, whose heavy prefix
+// expires while the error budget was spent on it.
+func Decaying(rng *rand.Rand, n, d int) *mat.Dense {
+	a := mat.NewDense(n, d)
+	scale := 1.0
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		for j := range row {
+			row[j] = scale * rng.NormFloat64()
+		}
+		scale *= 0.99
+	}
+	return a
+}
+
+// DuplicateRow repeats one base row with occasional fresh directions:
+// a near-rank-one bulk that starves shrink steps of removable mass.
+func DuplicateRow(rng *rand.Rand, n, d int) *mat.Dense {
+	a := mat.NewDense(n, d)
+	base := gaussRow(rng, d)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		if i%11 == 10 {
+			copy(row, gaussRow(rng, d))
+			continue
+		}
+		copy(row, base)
+	}
+	return a
+}
+
+func gaussRow(rng *rand.Rand, d int) []float64 {
+	row := make([]float64, d)
+	for j := range row {
+		row[j] = rng.NormFloat64()
+	}
+	return row
+}

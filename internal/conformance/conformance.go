@@ -1,0 +1,469 @@
+// Package conformance is the cross-framework contract suite: a single
+// table of every shipped WindowSketch implementation, and one Run
+// entry point that drives each through the same behavioural battery —
+// covariance-error bounds on sequence and time windows, window-expiry
+// exactness, empty/zero/single-row edge cases, batch-vs-row
+// bit-equality, snapshot round-trip bit-equality, and concurrent
+// access (put under `go test -race` by CI). A new framework gets the
+// whole battery by adding one Case; the registry-coverage test in
+// this package's tests keeps the table honest against the HTTP-facing
+// framework list.
+package conformance
+
+import (
+	"encoding"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/window"
+)
+
+// Case describes one sketch implementation to be run through the
+// suite. Capability flags widen or narrow individual checks; the
+// snapshot checks self-select on the encoding.BinaryMarshaler /
+// BinaryUnmarshaler interfaces.
+type Case struct {
+	// Name labels the subtests.
+	Name string
+	// Frameworks lists the registry framework names this case covers;
+	// empty for sketches not exposed through the tenant API. The
+	// coverage test asserts the union spans the registry's list.
+	Frameworks []string
+	// Make builds a sketch for the given window spec, dimension, and
+	// seed.
+	Make func(spec window.Spec, d int, seed int64) core.WindowSketch
+	// MaxErr is the acceptable average covariance error on the benign
+	// random stream (loose: the contract is behavioural, the tight
+	// error checks live in the per-algorithm tests).
+	MaxErr float64
+	// SeqOnly marks sequence-window-only sketches (the DI and DS
+	// families); they skip the time-window check.
+	SeqOnly bool
+	// LooseSingleRow marks randomised projections, which preserve a
+	// single row only in expectation.
+	LooseSingleRow bool
+	// BatchExact asserts UpdateBatch is bit-identical to row-at-a-time
+	// Update (deterministic sketches, and samplers that consume their
+	// rng in ingestion order).
+	BatchExact bool
+	// Deterministic asserts a restored snapshot continues bit-exactly
+	// under identical further updates (beyond the answer-at-snapshot
+	// equality every marshaler must satisfy).
+	Deterministic bool
+	// StrictQueryOrder marks sketches whose Query panics on a
+	// timestamp older than the last update (BEST's exact window); they
+	// skip the concurrent check, where a reader inevitably holds a
+	// stale timestamp.
+	StrictQueryOrder bool
+}
+
+// Cases returns the registration table for every shipped framework.
+// This is the suite's single source of truth: core's contract test
+// and the registry coverage test both consume it.
+func Cases() []Case {
+	return []Case{
+		{Name: "SWR", Frameworks: []string{"swr"}, MaxErr: 0.5, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewSWR(spec, 40, d, seed)
+			}},
+		{Name: "SWOR", Frameworks: []string{"swor"}, MaxErr: 0.5, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewSWOR(spec, 40, d, seed)
+			}},
+		{Name: "SWOR-ALL", Frameworks: []string{"swor-all"}, MaxErr: 0.5, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewSWORAll(spec, 40, d, seed)
+			}},
+		{Name: "LM-FD", Frameworks: []string{"lm-fd"}, MaxErr: 0.35, BatchExact: true, Deterministic: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewLMFD(spec, d, 24, 8)
+			}},
+		{Name: "LM-HASH", Frameworks: []string{"lm-hash"}, MaxErr: 0.8, LooseSingleRow: true, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewLMHash(spec, d, 256, 8, uint64(seed))
+			}},
+		{Name: "LM-RP", MaxErr: 0.8, LooseSingleRow: true, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewLMRP(spec, d, 128, 8, seed)
+			}},
+		{Name: "DI-FD", Frameworks: []string{"di-fd"}, MaxErr: 0.6, SeqOnly: true, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewDIFD(core.DIConfig{N: int(spec.Size), R: 4 * float64(d), L: 5, Ell: 48, RSlack: 2}, d)
+			}},
+		{Name: "DI-RP", MaxErr: 0.9, SeqOnly: true, LooseSingleRow: true, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewDIRP(core.DIConfig{N: int(spec.Size), R: 4 * float64(d), L: 4, Ell: 512, MinEll: 64, RSlack: 2}, d, seed)
+			}},
+		{Name: "DI-HASH", MaxErr: 0.9, SeqOnly: true, LooseSingleRow: true, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewDIHash(core.DIConfig{N: int(spec.Size), R: 4 * float64(d), L: 4, Ell: 512, MinEll: 64, RSlack: 2}, d, uint64(seed))
+			}},
+		{Name: "DS-FD", Frameworks: []string{"ds-fd"}, MaxErr: 0.35, SeqOnly: true, BatchExact: true, Deterministic: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				// Adaptive R (R=0): the error threshold θ = N·R/ℓ tracks
+				// the observed max squared row norm.
+				return core.NewDSFD(core.DSFDConfig{N: int(spec.Size), Ell: 24}, d)
+			}},
+		{Name: "BEST", MaxErr: 0.2, BatchExact: true, StrictQueryOrder: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewBest(spec, 12, d)
+			}},
+		{Name: "Concurrent(LM-FD)", MaxErr: 0.35, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				return core.NewConcurrent(core.NewLMFD(spec, d, 24, 8))
+			}},
+	}
+}
+
+func randRow(rng *rand.Rand, d int) []float64 {
+	r := make([]float64, d)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	return r
+}
+
+// Run drives every case through the full battery as nested subtests.
+func Run(t *testing.T, cases []Case) {
+	t.Run("SequenceWindow", func(t *testing.T) { sequenceWindow(t, cases) })
+	t.Run("TimeWindow", func(t *testing.T) { timeWindow(t, cases) })
+	t.Run("EmptyQuery", func(t *testing.T) { emptyQuery(t, cases) })
+	t.Run("FullExpiry", func(t *testing.T) { fullExpiry(t, cases) })
+	t.Run("SingleRow", func(t *testing.T) { singleRow(t, cases) })
+	t.Run("ZeroRow", func(t *testing.T) { zeroRow(t, cases) })
+	t.Run("BatchBitEqual", func(t *testing.T) { batchBitEqual(t, cases) })
+	t.Run("SnapshotRoundTrip", func(t *testing.T) { snapshotRoundTrip(t, cases) })
+	t.Run("Concurrent", func(t *testing.T) { concurrent(t, cases) })
+}
+
+// sequenceWindow checks answer shape, query idempotence, and a loose
+// average covariance-error bound on a benign random sequence stream.
+func sequenceWindow(t *testing.T, cases []Case) {
+	const d, win, n = 8, 300, 1800
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			spec := window.Seq(win)
+			sk := tc.Make(spec, d, 1)
+			if sk.Name() == "" {
+				t.Fatal("empty Name()")
+			}
+			oracle := window.NewExact(spec, d)
+			rng := rand.New(rand.NewSource(99))
+			var errSum float64
+			queries := 0
+			for i := 0; i < n; i++ {
+				row := randRow(rng, d)
+				tt := float64(i)
+				sk.Update(row, tt)
+				oracle.Update(row, tt)
+				if i > win && i%300 == 0 {
+					b := sk.Query(tt)
+					if b.Cols() != d && b.Rows() != 0 {
+						t.Fatalf("query cols = %d, want %d", b.Cols(), d)
+					}
+					// Idempotence: querying twice changes nothing.
+					b2 := sk.Query(tt)
+					if b.Rows() != b2.Rows() {
+						t.Fatalf("query not idempotent: %d then %d rows", b.Rows(), b2.Rows())
+					}
+					errSum += oracle.CovaErr(b)
+					queries++
+					if sk.RowsStored() < 0 {
+						t.Fatal("negative RowsStored")
+					}
+				}
+			}
+			if avg := errSum / float64(queries); avg > tc.MaxErr {
+				t.Fatalf("avg error %v exceeds contract bound %v", avg, tc.MaxErr)
+			}
+		})
+	}
+}
+
+// timeWindow repeats the error-bound check on a time-span window with
+// exponentially spaced timestamps; sequence-only sketches skip it.
+func timeWindow(t *testing.T, cases []Case) {
+	const d = 6
+	for _, tc := range cases {
+		if tc.SeqOnly {
+			continue
+		}
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			spec := window.TimeSpan(25)
+			sk := tc.Make(spec, d, 2)
+			oracle := window.NewExact(spec, d)
+			rng := rand.New(rand.NewSource(7))
+			tt := 0.0
+			var errSum float64
+			queries := 0
+			for i := 0; i < 1500; i++ {
+				tt += rng.ExpFloat64() * 0.1
+				row := randRow(rng, d)
+				sk.Update(row, tt)
+				oracle.Update(row, tt)
+				if i > 400 && i%250 == 0 {
+					errSum += oracle.CovaErr(sk.Query(tt))
+					queries++
+				}
+			}
+			if avg := errSum / float64(queries); avg > tc.MaxErr {
+				t.Fatalf("avg error %v exceeds contract bound %v", avg, tc.MaxErr)
+			}
+		})
+	}
+}
+
+// emptyQuery: querying before any update must not panic and must
+// return a zero-mass answer.
+func emptyQuery(t *testing.T, cases []Case) {
+	const d = 4
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			sk := tc.Make(window.Seq(50), d, 3)
+			b := sk.Query(0)
+			if b.FrobeniusSq() != 0 {
+				t.Fatalf("empty sketch returned mass %v", b.FrobeniusSq())
+			}
+		})
+	}
+}
+
+// fullExpiry: after the window slides entirely past the data, answers
+// must carry (near-)zero mass relative to what was ingested.
+func fullExpiry(t *testing.T, cases []Case) {
+	const d = 4
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			sk := tc.Make(window.Seq(20), d, 4)
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 100; i++ {
+				sk.Update(randRow(rng, d), float64(i))
+			}
+			b := sk.Query(1e9)
+			if b.FrobeniusSq() > 1e-9 {
+				t.Fatalf("fully expired window still has mass %v (%d rows)", b.FrobeniusSq(), b.Rows())
+			}
+		})
+	}
+}
+
+// singleRow: one row in, one window — the answer must reproduce that
+// row's Gram matrix near-exactly, except for randomised projections
+// which only preserve it in expectation.
+func singleRow(t *testing.T, cases []Case) {
+	const d = 3
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			spec := window.Seq(10)
+			sk := tc.Make(spec, d, 6)
+			oracle := window.NewExact(spec, d)
+			row := []float64{1, 2, 2}
+			sk.Update(row, 0)
+			oracle.Update(row, 0)
+			e := oracle.CovaErr(sk.Query(0))
+			if !tc.LooseSingleRow && e > 1e-6 {
+				t.Fatalf("single-row error = %v", e)
+			}
+			if tc.LooseSingleRow && math.IsNaN(e) {
+				t.Fatal("NaN error")
+			}
+		})
+	}
+}
+
+// zeroRow: all-zero rows carry no spectral mass; ingesting them mid-
+// stream must neither panic nor corrupt the answer.
+func zeroRow(t *testing.T, cases []Case) {
+	const d = 4
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			sk := tc.Make(window.Seq(50), d, 8)
+			rng := rand.New(rand.NewSource(6))
+			for i := 0; i < 30; i++ {
+				sk.Update(randRow(rng, d), float64(i))
+			}
+			sk.Update(make([]float64, d), 30)
+			for i := 31; i < 60; i++ {
+				sk.Update(randRow(rng, d), float64(i))
+			}
+			if v := sk.Query(59).FrobeniusSq(); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite mass %v after zero-row ingest", v)
+			}
+		})
+	}
+}
+
+// batchBitEqual: for BatchExact cases, UpdateBatch over arbitrary
+// chunk sizes must be bit-identical to row-at-a-time ingest
+// (deterministic sketches compute the same numbers; samplers consume
+// their rng in the same order on both paths).
+func batchBitEqual(t *testing.T, cases []Case) {
+	const d, win, n = 5, 100, 400
+	for _, tc := range cases {
+		if !tc.BatchExact {
+			continue
+		}
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			spec := window.Seq(win)
+			byRow := tc.Make(spec, d, 9)
+			byBatch := tc.Make(spec, d, 9)
+			rng := rand.New(rand.NewSource(13))
+			rows := make([][]float64, n)
+			times := make([]float64, n)
+			for i := range rows {
+				rows[i] = randRow(rng, d)
+				times[i] = float64(i)
+			}
+			for i := range rows {
+				byRow.Update(rows[i], times[i])
+			}
+			for i, size := 0, 1; i < n; i += size {
+				size = size%7 + 1 // cycle chunk sizes 1..7
+				j := i + size
+				if j > n {
+					j = n
+				}
+				byBatch.UpdateBatch(rows[i:j], times[i:j])
+			}
+			a, b := byRow.Query(times[n-1]), byBatch.Query(times[n-1])
+			if a.Rows() != b.Rows() || !a.Equal(b, 0) {
+				t.Fatalf("batch ingest diverges from row-at-a-time: %d vs %d rows", a.Rows(), b.Rows())
+			}
+		})
+	}
+}
+
+// snapshotRoundTrip: every sketch exposing the binary snapshot
+// interface must restore to bit-identical answers, re-marshal as a
+// byte-level fixed point (the registry spill layer relies on both),
+// and — for deterministic sketches — continue bit-exactly under
+// identical further updates. Sketches without the interface (or whose
+// variant refuses to marshal, like the hashed LM) are skipped.
+func snapshotRoundTrip(t *testing.T, cases []Case) {
+	const d, win, n = 6, 120, 700
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			spec := window.Seq(win)
+			sk := tc.Make(spec, d, 11)
+			m, ok := sk.(encoding.BinaryMarshaler)
+			if !ok {
+				t.Skipf("%s does not implement BinaryMarshaler", tc.Name)
+			}
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < n; i++ {
+				sk.Update(randRow(rng, d), float64(i))
+			}
+			blob, err := m.MarshalBinary()
+			if err != nil {
+				t.Skipf("%s refuses to marshal: %v", tc.Name, err)
+			}
+			fresh := tc.Make(spec, d, 11)
+			u, ok := fresh.(encoding.BinaryUnmarshaler)
+			if !ok {
+				t.Fatalf("%s marshals but cannot unmarshal", tc.Name)
+			}
+			if err := u.UnmarshalBinary(blob); err != nil {
+				t.Fatalf("restore failed: %v", err)
+			}
+			if !sk.Query(n-1).Equal(fresh.Query(n-1), 0) {
+				t.Fatal("restored sketch answers differently at the snapshot time")
+			}
+			if fresh.RowsStored() != sk.RowsStored() {
+				t.Fatalf("rows stored differ after restore: %d vs %d", fresh.RowsStored(), sk.RowsStored())
+			}
+			// Re-marshal of an untouched decode must be a byte-level
+			// fixed point.
+			again := tc.Make(spec, d, 11)
+			if err := again.(encoding.BinaryUnmarshaler).UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+			re, err := again.(encoding.BinaryMarshaler).MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(re) != string(blob) {
+				t.Fatal("snapshot is not re-marshal stable")
+			}
+			if !tc.Deterministic {
+				return
+			}
+			for i := n; i < n+400; i++ {
+				row := randRow(rng, d)
+				sk.Update(row, float64(i))
+				fresh.Update(row, float64(i))
+			}
+			if !sk.Query(n+399).Equal(fresh.Query(n+399), 0) {
+				t.Fatal("restored sketch diverged under continued ingest")
+			}
+		})
+	}
+}
+
+// concurrent wraps each case in core.NewConcurrent and hammers it with
+// one ingest goroutine and two query goroutines. It asserts nothing
+// beyond finite, well-shaped answers — its job is to put every
+// framework's lock discipline under `go test -race`.
+func concurrent(t *testing.T, cases []Case) {
+	const d, total = 4, 600
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			if tc.StrictQueryOrder {
+				t.Skipf("%s requires non-decreasing query timestamps", tc.Name)
+			}
+			ck := core.NewConcurrent(tc.Make(window.Seq(64), d, 21))
+			var latest atomic.Int64
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				rng := rand.New(rand.NewSource(1))
+				for i := 0; i < total; i++ {
+					if i%5 == 4 {
+						ck.UpdateBatch([][]float64{randRow(rng, d)}, []float64{float64(i)})
+					} else {
+						ck.Update(randRow(rng, d), float64(i))
+					}
+					latest.Store(int64(i))
+				}
+			}()
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						if ck.RowsStored() < 0 {
+							t.Error("negative rows stored")
+							return
+						}
+						b := ck.Query(float64(latest.Load()))
+						if b.Rows() > 0 && b.Cols() != d {
+							t.Errorf("query returned %d columns, want %d", b.Cols(), d)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"swsketch/internal/conformance"
+	"swsketch/internal/registry"
+)
+
+// TestRegistryCoverage keeps the conformance table honest against the
+// tenant API: every framework name the registry accepts must be
+// claimed by exactly one conformance case, so a framework added to
+// the HTTP surface without a contract entry fails here.
+func TestRegistryCoverage(t *testing.T) {
+	covered := map[string]string{}
+	for _, c := range conformance.Cases() {
+		for _, fw := range c.Frameworks {
+			if prev, dup := covered[fw]; dup {
+				t.Errorf("framework %q claimed by both %s and %s", fw, prev, c.Name)
+			}
+			covered[fw] = c.Name
+		}
+	}
+	for _, fw := range registry.Frameworks() {
+		if _, ok := covered[fw]; !ok {
+			t.Errorf("registry framework %q has no conformance case", fw)
+		}
+		delete(covered, fw)
+	}
+	for fw, name := range covered {
+		t.Errorf("conformance case %s claims unknown framework %q", name, fw)
+	}
+}

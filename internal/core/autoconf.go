@@ -55,6 +55,28 @@ func AutoDIFD(n int, d int, eps, maxSqNorm, ratio float64) *DI {
 	return NewDIFD(DIConfig{N: n, R: maxSqNorm, L: l, Ell: ell, RSlack: 1.01}, d)
 }
 
+// AutoDSFD returns a DS-FD sketch sized for target error eps over a
+// sequence window of n rows, with the norm bound R tracked adaptively.
+// Calibration: DS-FD's absolute error is within θ = N·R/ℓ, so on a
+// window whose rows sit near the norm bound the relative error is
+// ≈ 1/ℓ; skewed norm profiles lose up to the window's norm ratio, so
+// the practical sizing ℓ ≈ 2/ε leaves headroom without the DI
+// framework's explicit ratio parameter.
+func AutoDSFD(n, d int, eps float64) *DSFD {
+	return AutoDSFDOpts(n, d, eps, stream.FDOpts{})
+}
+
+// AutoDSFDOpts is AutoDSFD with FastFD ingest tuning applied to the
+// frame sketches; sizing is unchanged (the error threshold is
+// (b, α)-independent), so the zero FDOpts reproduces AutoDSFD exactly.
+func AutoDSFDOpts(n, d int, eps float64, o stream.FDOpts) *DSFD {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("core: AutoDSFD target eps %v outside (0,1)", eps))
+	}
+	ell := clampInt(int(math.Ceil(2/eps)), 8, 1024)
+	return NewDSFD(DSFDConfig{N: n, Ell: ell, FD: o}, d)
+}
+
 // AutoSWR returns an SWR sampler sized for target error eps.
 // Calibration: sampling error scales as c/√ℓ with c ≈ 0.4 on the
 // harness datasets, so ℓ ≈ (0.4/ε)² — well below the d/ε² theory.

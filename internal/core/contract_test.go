@@ -1,207 +1,17 @@
-package core
+package core_test
 
 import (
-	"math"
-	"math/rand"
 	"testing"
 
-	"swsketch/internal/window"
+	"swsketch/internal/conformance"
 )
 
-// The contract suite runs every WindowSketch implementation through
-// the same behavioural checks: shape and sanity of answers, expiry of
-// old data, query idempotence, tolerance of empty/edge states, and a
-// loose error bound on benign data. New implementations get the whole
-// battery by adding one constructor entry.
-
-type contractCase struct {
-	name string
-	// make builds a sketch for the given spec and dimension; nil means
-	// the combination is unsupported (e.g. DI on time windows).
-	make func(spec window.Spec, d int, seed int64) WindowSketch
-	// maxErr is the acceptable average covariance error on the benign
-	// random stream (loose: the contract is behavioural, the tight
-	// error checks live in the per-algorithm tests).
-	maxErr float64
-	// seqOnly marks sequence-window-only sketches.
-	seqOnly bool
-}
-
-func contractCases() []contractCase {
-	return []contractCase{
-		{name: "SWR", maxErr: 0.5, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewSWR(spec, 40, d, seed)
-		}},
-		{name: "SWOR", maxErr: 0.5, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewSWOR(spec, 40, d, seed)
-		}},
-		{name: "SWOR-ALL", maxErr: 0.5, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewSWORAll(spec, 40, d, seed)
-		}},
-		{name: "LM-FD", maxErr: 0.35, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewLMFD(spec, d, 24, 8)
-		}},
-		{name: "LM-HASH", maxErr: 0.8, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewLMHash(spec, d, 256, 8, uint64(seed))
-		}},
-		{name: "LM-RP", maxErr: 0.8, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewLMRP(spec, d, 128, 8, seed)
-		}},
-		{name: "DI-FD", maxErr: 0.6, seqOnly: true, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewDIFD(DIConfig{N: int(spec.Size), R: 4 * float64(d), L: 5, Ell: 48, RSlack: 2}, d)
-		}},
-		{name: "DI-RP", maxErr: 0.9, seqOnly: true, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewDIRP(DIConfig{N: int(spec.Size), R: 4 * float64(d), L: 4, Ell: 512, MinEll: 64, RSlack: 2}, d, seed)
-		}},
-		{name: "DI-HASH", maxErr: 0.9, seqOnly: true, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewDIHash(DIConfig{N: int(spec.Size), R: 4 * float64(d), L: 4, Ell: 512, MinEll: 64, RSlack: 2}, d, uint64(seed))
-		}},
-		{name: "BEST", maxErr: 0.2, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewBest(spec, 12, d)
-		}},
-		{name: "Concurrent(LM-FD)", maxErr: 0.35, make: func(spec window.Spec, d int, seed int64) WindowSketch {
-			return NewConcurrent(NewLMFD(spec, d, 24, 8))
-		}},
-	}
-}
-
-func TestContractSequenceWindow(t *testing.T) {
-	const d, win, n = 8, 300, 1800
-	for _, tc := range contractCases() {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			spec := window.Seq(win)
-			sk := tc.make(spec, d, 1)
-			if sk.Name() == "" {
-				t.Fatal("empty Name()")
-			}
-			oracle := window.NewExact(spec, d)
-			rng := rand.New(rand.NewSource(99))
-			var errSum float64
-			queries := 0
-			for i := 0; i < n; i++ {
-				row := randRow(rng, d)
-				tt := float64(i)
-				sk.Update(row, tt)
-				oracle.Update(row, tt)
-				if i > win && i%300 == 0 {
-					b := sk.Query(tt)
-					if b.Cols() != d && b.Rows() != 0 {
-						t.Fatalf("query cols = %d, want %d", b.Cols(), d)
-					}
-					// Idempotence: querying twice changes nothing.
-					b2 := sk.Query(tt)
-					if b.Rows() != b2.Rows() {
-						t.Fatalf("query not idempotent: %d then %d rows", b.Rows(), b2.Rows())
-					}
-					errSum += oracle.CovaErr(b)
-					queries++
-					if sk.RowsStored() < 0 {
-						t.Fatal("negative RowsStored")
-					}
-				}
-			}
-			if avg := errSum / float64(queries); avg > tc.maxErr {
-				t.Fatalf("avg error %v exceeds contract bound %v", avg, tc.maxErr)
-			}
-		})
-	}
-}
-
-func TestContractTimeWindow(t *testing.T) {
-	const d = 6
-	for _, tc := range contractCases() {
-		if tc.seqOnly {
-			continue
-		}
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			spec := window.TimeSpan(25)
-			sk := tc.make(spec, d, 2)
-			oracle := window.NewExact(spec, d)
-			rng := rand.New(rand.NewSource(7))
-			tt := 0.0
-			var errSum float64
-			queries := 0
-			for i := 0; i < 1500; i++ {
-				tt += rng.ExpFloat64() * 0.1
-				row := randRow(rng, d)
-				sk.Update(row, tt)
-				oracle.Update(row, tt)
-				if i > 400 && i%250 == 0 {
-					errSum += oracle.CovaErr(sk.Query(tt))
-					queries++
-				}
-			}
-			if avg := errSum / float64(queries); avg > tc.maxErr {
-				t.Fatalf("avg error %v exceeds contract bound %v", avg, tc.maxErr)
-			}
-		})
-	}
-}
-
-func TestContractEmptyQuery(t *testing.T) {
-	// Querying before any update must not panic and must return an
-	// empty or zero-mass answer.
-	const d = 4
-	for _, tc := range contractCases() {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			sk := tc.make(window.Seq(50), d, 3)
-			b := sk.Query(0)
-			if b.FrobeniusSq() != 0 {
-				t.Fatalf("empty sketch returned mass %v", b.FrobeniusSq())
-			}
-		})
-	}
-}
-
-func TestContractFullExpiry(t *testing.T) {
-	// After the window slides entirely past the data, answers must
-	// carry (near-)zero mass relative to what was ingested.
-	const d = 4
-	for _, tc := range contractCases() {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			sk := tc.make(window.Seq(20), d, 4)
-			rng := rand.New(rand.NewSource(5))
-			for i := 0; i < 100; i++ {
-				sk.Update(randRow(rng, d), float64(i))
-			}
-			// Jump far into the future with zero-mass updates is not
-			// part of the interface; instead query at a time where the
-			// whole stream is expired.
-			b := sk.Query(1e9)
-			if b.FrobeniusSq() > 1e-9 {
-				t.Fatalf("fully expired window still has mass %v (%d rows)", b.FrobeniusSq(), b.Rows())
-			}
-		})
-	}
-}
-
-func TestContractSingleRow(t *testing.T) {
-	// One row in, one window: the answer must reproduce that row's
-	// Gram matrix well (most sketches: exactly).
-	const d = 3
-	for _, tc := range contractCases() {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			spec := window.Seq(10)
-			sk := tc.make(spec, d, 6)
-			oracle := window.NewExact(spec, d)
-			row := []float64{1, 2, 2}
-			sk.Update(row, 0)
-			oracle.Update(row, 0)
-			e := oracle.CovaErr(sk.Query(0))
-			// Randomised projections (HASH/RP) only preserve a single
-			// row in expectation; everything else must be near-exact.
-			loose := tc.name == "LM-HASH" || tc.name == "LM-RP" || tc.name == "DI-RP" || tc.name == "DI-HASH"
-			if !loose && e > 1e-6 {
-				t.Fatalf("single-row error = %v", e)
-			}
-			if loose && math.IsNaN(e) {
-				t.Fatal("NaN error")
-			}
-		})
-	}
+// TestContract runs every registered WindowSketch implementation —
+// samplers, LM, DI, DS-FD, and the concurrent wrapper — through the
+// shared conformance battery. The case table and the checks live in
+// internal/conformance; adding a framework there gives it the whole
+// suite (and the registry-coverage test enforces that HTTP-facing
+// frameworks are in the table).
+func TestContract(t *testing.T) {
+	conformance.Run(t, conformance.Cases())
 }

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/adversary"
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+	"swsketch/internal/window"
+)
+
+// gramErr returns ‖XᵀX − YᵀY‖₂ via the shared covariance-error
+// helper, unnormalised.
+func gramErr(x, y *mat.Dense) float64 {
+	return mat.CovarianceError(x.Gram(), 1, y)
+}
+
+func TestDSFDSubtractSketch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const d = 6
+	f := mat.NewDense(14, d)
+	for i := 0; i < f.Rows(); i++ {
+		copy(f.Row(i), randRow(rng, d))
+	}
+	// B = the first 5 rows of F, so FᵀF − BᵀB is exactly the Gram of
+	// the remaining rows.
+	b := mat.NewDense(5, d)
+	copy(b.Data(), f.Data()[:5*d])
+	rest := mat.NewDense(f.Rows()-5, d)
+	copy(rest.Data(), f.Data()[5*d:])
+
+	y := subtractSketch(f, b)
+	if got := gramErr(rest, y); got > 1e-9*f.FrobeniusSq() {
+		t.Fatalf("subtractSketch residual %v", got)
+	}
+}
+
+func TestDSFDSubtractSketchEmptyDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const d = 4
+	f := mat.NewDense(3, d)
+	for i := 0; i < f.Rows(); i++ {
+		copy(f.Row(i), randRow(rng, d))
+	}
+	y := subtractSketch(f, f)
+	if y.Rows() > 0 && y.FrobeniusSq() > 1e-9*f.FrobeniusSq() {
+		t.Fatalf("subtracting a sketch from itself left mass %v in %d rows", y.FrobeniusSq(), y.Rows())
+	}
+}
+
+func TestDSFDTruncateTop(t *testing.T) {
+	// Two orthogonal directions with squared singular values 9 and 1:
+	// tau between them keeps exactly the large one.
+	m := mat.FromRows([][]float64{{3, 0, 0}, {0, 1, 0}})
+	out := truncateTop(m, 4)
+	if out == nil || out.Rows() != 1 {
+		t.Fatalf("kept %v rows, want 1", out)
+	}
+	if got := math.Abs(out.FrobeniusSq() - 9); got > 1e-9 {
+		t.Fatalf("kept direction has mass %v, want 9", out.FrobeniusSq())
+	}
+	if truncateTop(m, 10) != nil {
+		t.Fatal("tau above the whole spectrum must keep nothing")
+	}
+	if out := truncateTop(m, 0.5); out.Rows() != 2 {
+		t.Fatalf("tau below the spectrum kept %d rows, want 2", out.Rows())
+	}
+}
+
+func TestDSFDAccuracyAndSpace(t *testing.T) {
+	// ℓ < d so the frame sketches actually compress (λ > 0) and the
+	// dump machinery engages; with ℓ ≥ rank the FD is lossless and a
+	// single frame correctly lives forever.
+	const d, win, n = 16, 300, 2400
+	spec := window.Seq(win)
+	sk := NewDSFD(DSFDConfig{N: win, Ell: 8}, d)
+	oracle := window.NewExact(spec, d)
+	rng := rand.New(rand.NewSource(99))
+	var errSum float64
+	queries := 0
+	for i := 0; i < n; i++ {
+		row := randRow(rng, d)
+		tt := float64(i)
+		sk.Update(row, tt)
+		oracle.Update(row, tt)
+		if i > win && i%150 == 0 {
+			errSum += oracle.CovaErr(sk.Query(tt))
+			queries++
+			// O(1) frames is the framework's space claim.
+			if fr := sk.Frames(); fr > 8 {
+				t.Fatalf("at row %d: %d live frames, want O(1)", i, fr)
+			}
+			if rows := sk.RowsStored(); rows > 200 {
+				t.Fatalf("at row %d: %d rows stored", i, rows)
+			}
+		}
+	}
+	if avg := errSum / float64(queries); avg > 0.5 {
+		t.Fatalf("avg covariance error %v", avg)
+	}
+	st := sk.Stats()
+	if st["dumps"] == 0 {
+		t.Fatal("no dumps over 8 windows of compressive data")
+	}
+	if st["theta"] <= 0 {
+		t.Fatalf("theta = %v", st["theta"])
+	}
+}
+
+func TestDSFDErrorWithinTheta(t *testing.T) {
+	// The framework's contract: absolute covariance error within
+	// θ = N·R/ℓ at every query.
+	const d, win, n = 8, 300, 2400
+	spec := window.Seq(win)
+	sk := NewDSFD(DSFDConfig{N: win, Ell: 24}, d)
+	oracle := window.NewExact(spec, d)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		row := randRow(rng, d)
+		tt := float64(i)
+		sk.Update(row, tt)
+		oracle.Update(row, tt)
+		if i > win && i%100 == 0 {
+			theta := sk.Stats()["theta"]
+			abs := oracle.CovaErr(sk.Query(tt)) * oracle.FroSq()
+			if abs > theta {
+				t.Fatalf("row %d: absolute error %v exceeds theta %v", i, abs, theta)
+			}
+		}
+	}
+}
+
+func TestDSFDFullExpiry(t *testing.T) {
+	sk := NewDSFD(DSFDConfig{N: 20, Ell: 8}, 4)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		sk.Update(randRow(rng, 4), float64(i))
+	}
+	b := sk.Query(1e9)
+	if b.FrobeniusSq() != 0 {
+		t.Fatalf("expired window has mass %v", b.FrobeniusSq())
+	}
+	if sk.Frames() != 0 || sk.RowsStored() != 0 {
+		t.Fatalf("expired sketch holds %d frames, %d rows", sk.Frames(), sk.RowsStored())
+	}
+}
+
+func TestDSFDAdaptiveR(t *testing.T) {
+	sk := NewDSFD(DSFDConfig{N: 50, Ell: 8}, 3)
+	sk.Update([]float64{1, 0, 0}, 0)
+	if r := sk.Stats()["r_effective"]; r != 1 {
+		t.Fatalf("r_effective = %v, want 1", r)
+	}
+	sk.Update([]float64{0, 3, 0}, 1)
+	if r := sk.Stats()["r_effective"]; r != 9 {
+		t.Fatalf("r_effective = %v, want 9", r)
+	}
+	if sk.Stats()["r_adaptive"] != 1 {
+		t.Fatal("adaptive flag not set")
+	}
+}
+
+func TestDSFDDeclaredRViolationPanics(t *testing.T) {
+	sk := NewDSFD(DSFDConfig{N: 50, Ell: 8, R: 4}, 3)
+	sk.Update([]float64{2, 0, 0}, 0) // exactly R, fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row exceeding declared R did not panic")
+		}
+	}()
+	sk.Update([]float64{3, 0, 0}, 1)
+}
+
+func TestDSFDBatchMatchesRowIngest(t *testing.T) {
+	const d, win, n = 5, 120, 900
+	one := NewDSFD(DSFDConfig{N: win, Ell: 12, FD: stream.FDOpts{Buffer: 2}}, d)
+	two := NewDSFD(DSFDConfig{N: win, Ell: 12, FD: stream.FDOpts{Buffer: 2}}, d)
+	rng := rand.New(rand.NewSource(31))
+	rows := make([][]float64, n)
+	times := make([]float64, n)
+	for i := range rows {
+		rows[i] = randRow(rng, d)
+		times[i] = float64(i)
+	}
+	for i := range rows {
+		one.Update(rows[i], times[i])
+	}
+	two.UpdateBatch(rows, times)
+	qa, qb := one.Query(times[n-1]), two.Query(times[n-1])
+	if qa.Rows() != qb.Rows() || !qa.Equal(qb, 0) {
+		t.Fatalf("batch ingest diverged: %d vs %d rows", qa.Rows(), qb.Rows())
+	}
+}
+
+func TestDSFDSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const d, win, n = 12, 200, 1100
+	s := NewDSFD(DSFDConfig{N: win, Ell: 8, FD: stream.FDOpts{Buffer: 2, Alpha: 0.5}}, d)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = randRow(rng, d)
+		s.Update(rows[i], float64(i))
+	}
+	if s.Stats()["dumps"] == 0 || s.Stats()["snapshots_taken"] == 0 {
+		t.Fatal("round-trip stream too tame: no dumps or snapshots to persist")
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored DSFD
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Query(n-1).Equal(restored.Query(n-1), 0) {
+		t.Fatal("restored DSFD answers differently at the snapshot time")
+	}
+	if restored.RowsStored() != s.RowsStored() || restored.Frames() != s.Frames() {
+		t.Fatalf("structure differs after restore: rows %d vs %d, frames %d vs %d",
+			restored.RowsStored(), s.RowsStored(), restored.Frames(), s.Frames())
+	}
+	// Continuation must stay bit-exact: DS-FD is deterministic, so the
+	// original and the restored copy must agree forever.
+	for i := n; i < n+700; i++ {
+		row := randRow(rng, d)
+		s.Update(row, float64(i))
+		restored.Update(row, float64(i))
+	}
+	if !s.Query(n+699).Equal(restored.Query(n+699), 0) {
+		t.Fatal("restored DSFD diverged under continued ingest")
+	}
+	// Re-marshal of an untouched decode must be a byte-level fixed
+	// point (the spill/restore layers rely on it).
+	var again DSFD
+	if err := again.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	re, err := again.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(data) {
+		t.Fatal("DSFD snapshot is not re-marshal stable")
+	}
+}
+
+func TestDSFDSnapshotRejectsHostileShapes(t *testing.T) {
+	s := NewDSFD(DSFDConfig{N: 50, Ell: 8}, 4)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 120; i++ {
+		s.Update(randRow(rng, 4), float64(i))
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v DSFD
+	if err := v.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	for cut := 1; cut < len(data); cut += 13 {
+		if err := v.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("torn blob of %d/%d bytes accepted", cut, len(data))
+		}
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[0] ^= 0xFF
+	if err := v.UnmarshalBinary(corrupt); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+	if err := v.UnmarshalBinary(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestDSFDAdversarialWithinTheta drives DS-FD with the shared
+// adversarial generators — spiked, decaying, duplicate-row — and
+// asserts the windowed guarantee holds on each: at every query the
+// absolute covariance error stays within θ = N·R/ℓ, where R is the
+// observed max squared row norm. These are the streams built to break
+// the underlying FastFD cadence, so passing here means the dump /
+// snapshot / subtraction machinery doesn't amplify the per-frame
+// error.
+func TestDSFDAdversarialWithinTheta(t *testing.T) {
+	const d, win, n = 12, 200, 700
+	for _, adv := range adversary.Streams() {
+		t.Run(adv.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			a := adv.Gen(rng, n, d)
+			spec := window.Seq(win)
+			// ℓ < d so frames compress and the dump machinery engages.
+			sk := NewDSFD(DSFDConfig{N: win, Ell: 8}, d)
+			oracle := window.NewExact(spec, d)
+			for i := 0; i < n; i++ {
+				row := a.Row(i)
+				tt := float64(i)
+				sk.Update(row, tt)
+				oracle.Update(row, tt)
+				if i > win && i%50 == 0 {
+					theta := sk.Stats()["theta"]
+					abs := oracle.CovaErr(sk.Query(tt)) * oracle.FroSq()
+					if abs > theta {
+						t.Fatalf("row %d: absolute error %v exceeds theta %v", i, abs, theta)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDSFDStraddlingSubtraction(t *testing.T) {
+	// Force the straddling path: a window short enough that queries
+	// land mid-frame, with snapshots available as subtraction points.
+	const d, win, n = 6, 150, 1200
+	spec := window.Seq(win)
+	sk := NewDSFD(DSFDConfig{N: win, Ell: 16}, d)
+	oracle := window.NewExact(spec, d)
+	rng := rand.New(rand.NewSource(77))
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		row := randRow(rng, d)
+		tt := float64(i)
+		sk.Update(row, tt)
+		oracle.Update(row, tt)
+		if i > win && i%37 == 0 {
+			if e := oracle.CovaErr(sk.Query(tt)); e > worst {
+				worst = e
+			}
+		}
+	}
+	if sk.Stats()["snapshots_taken"] == 0 {
+		t.Fatal("no snapshots taken; straddling path untested")
+	}
+	if worst > 0.6 {
+		t.Fatalf("worst relative covariance error %v", worst)
+	}
+}

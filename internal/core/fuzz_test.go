@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
+	"math/rand"
 	"testing"
 
+	"swsketch/internal/stream"
 	"swsketch/internal/window"
 )
 
@@ -94,6 +98,85 @@ func FuzzUpdateBatch(f *testing.F) {
 				t.Fatalf("%s: batch ingest (chunk %d) diverges from row-at-a-time", byRow[k].Name(), size)
 			}
 		}
+	})
+}
+
+// dsfdHeader builds a DSFD snapshot prefix: the magic followed by
+// little-endian int64 fields, for hostile-shape seeds.
+func dsfdHeader(magic uint64, fields ...int) []byte {
+	var b bytes.Buffer
+	binary.Write(&b, binary.LittleEndian, magic)
+	for _, f := range fields {
+		binary.Write(&b, binary.LittleEndian, int64(f))
+	}
+	return b.Bytes()
+}
+
+// FuzzDSFDUnmarshal hardens the DS-FD snapshot decoder, mirroring
+// stream.FuzzFDUnmarshal: the seed corpus carries real snapshots
+// (empty, single-frame, and multi-frame states with live prefix
+// snapshots), torn and truncated mutants, and an allocation-bomb
+// header claiming astronomically large shapes. Decoding must never
+// panic, and any accepted blob must re-marshal as a byte-level fixed
+// point.
+func FuzzDSFDUnmarshal(f *testing.F) {
+	rng := rand.New(rand.NewSource(17))
+	snap := func(cfg DSFDConfig, d, rows int) []byte {
+		s := NewDSFD(cfg, d)
+		for i := 0; i < rows; i++ {
+			s.Update(randRow(rng, d), float64(i))
+		}
+		b, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	empty := snap(DSFDConfig{N: 20, Ell: 4}, 3, 0)
+	single := snap(DSFDConfig{N: 20, Ell: 4}, 3, 15)
+	// ℓ < d with several windows of data: frozen frames, prefix
+	// snapshots, and a tuned FastFD buffer all appear in the blob.
+	deep := snap(DSFDConfig{N: 60, Ell: 4, FD: stream.FDOpts{Buffer: 2, Alpha: 0.5}}, 8, 400)
+	for _, seed := range [][]byte{empty, single, deep} {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2]) // torn mid-payload
+		f.Add(seed[:9])           // truncated just past the magic
+	}
+	corrupt := append([]byte(nil), single...)
+	corrupt[0] ^= 0xFF // unrecognised magic
+	f.Add(corrupt)
+	f.Add([]byte{})
+	// Allocation bomb: a header claiming a ~8e8-dimensional sketch;
+	// the decoder must reject the shape before allocating for it (see
+	// also testdata/fuzz/FuzzDSFDUnmarshal).
+	f.Add(dsfdHeader(dsfdMagic, 808464432, 808464432, 808464432))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s DSFD
+		if err := s.UnmarshalBinary(data); err != nil {
+			return // rejected blobs only need to fail cleanly
+		}
+		re, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted blob failed: %v", err)
+		}
+		var s2 DSFD
+		if err := s2.UnmarshalBinary(re); err != nil {
+			t.Fatalf("decode of re-marshal failed: %v", err)
+		}
+		re2, err := s2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("marshal is not stable across a decode cycle")
+		}
+		// An accepted sketch must remain usable.
+		row := make([]float64, s2.d)
+		for i := range row {
+			row[i] = 1
+		}
+		s2.Update(row, s2.lastT+1)
 	})
 }
 

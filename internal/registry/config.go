@@ -28,7 +28,22 @@ const (
 	// FrameworkDIFD is the Dyadic Interval framework over
 	// FrequentDirections (sequence windows only).
 	FrameworkDIFD = "di-fd"
+	// FrameworkDSFD is the dump-snapshot FrequentDirections sketch
+	// (sequence windows only): deterministic, spill/restore bit-exact,
+	// with absolute covariance error within N·R/ℓ. R is optional — when
+	// omitted the norm bound is tracked adaptively.
+	FrameworkDSFD = "ds-fd"
 )
+
+// Frameworks returns every framework name the registry accepts, in
+// documentation order. The conformance suite's coverage test asserts
+// each is exercised by the shared contract battery.
+func Frameworks() []string {
+	return []string{
+		FrameworkSWR, FrameworkSWOR, FrameworkSWORAll,
+		FrameworkLMFD, FrameworkLMHash, FrameworkDIFD, FrameworkDSFD,
+	}
+}
 
 // Window kind names accepted by Config.Window.
 const (
@@ -50,7 +65,7 @@ const (
 type Config struct {
 	// Framework selects the sketch family; one of the Framework
 	// constants ("swr", "swor", "swor-all", "lm-fd", "lm-hash",
-	// "di-fd").
+	// "di-fd", "ds-fd").
 	Framework string `json:"framework"`
 	// Window is "sequence" (Size = N rows) or "time" (Size = span Δ).
 	Window string `json:"window"`
@@ -74,7 +89,8 @@ type Config struct {
 	Seed int64 `json:"seed,omitempty"`
 	// L is the DI level count; required for di-fd.
 	L int `json:"levels,omitempty"`
-	// R is the DI maximum squared row norm bound; required for di-fd.
+	// R is the maximum squared row norm bound; required for di-fd,
+	// optional for ds-fd (zero lets ds-fd track the bound adaptively).
 	R float64 `json:"r,omitempty"`
 	// FDBuffer is the FastFD working-buffer factor b applied to every
 	// FrequentDirections block sketch (lm-fd and di-fd only): the
@@ -108,7 +124,7 @@ func (c Config) normalize() Config {
 func (c Config) Validate() error {
 	c = c.normalize()
 	switch c.Framework {
-	case FrameworkSWR, FrameworkSWOR, FrameworkSWORAll, FrameworkLMFD, FrameworkLMHash, FrameworkDIFD:
+	case FrameworkSWR, FrameworkSWOR, FrameworkSWORAll, FrameworkLMFD, FrameworkLMHash, FrameworkDIFD, FrameworkDSFD:
 	case "":
 		return fmt.Errorf("framework is required")
 	default:
@@ -133,7 +149,7 @@ func (c Config) Validate() error {
 	}
 	if c.Ell == 0 {
 		switch c.Framework {
-		case FrameworkSWR, FrameworkLMFD:
+		case FrameworkSWR, FrameworkLMFD, FrameworkDSFD:
 			if c.Eps <= 0 || c.Eps >= 1 {
 				return fmt.Errorf("ell is zero, so eps must be in (0,1) to auto-size, got %v", c.Eps)
 			}
@@ -155,6 +171,17 @@ func (c Config) Validate() error {
 			return fmt.Errorf("di-fd requires a positive max squared row norm r, got %v", c.R)
 		}
 	}
+	if c.Framework == FrameworkDSFD {
+		if c.Window != WindowSequence {
+			return fmt.Errorf("ds-fd supports sequence windows only")
+		}
+		if c.Ell != 0 && c.Ell < 2 {
+			return fmt.Errorf("ds-fd requires ell ≥ 2, got %d", c.Ell)
+		}
+		if c.R < 0 {
+			return fmt.Errorf("ds-fd norm bound r must be ≥ 0 (0 = adaptive), got %v", c.R)
+		}
+	}
 	if c.FDBuffer < 0 {
 		return fmt.Errorf("fd_buffer must be ≥ 0, got %d", c.FDBuffer)
 	}
@@ -163,7 +190,7 @@ func (c Config) Validate() error {
 	}
 	if c.FDBuffer != 0 || c.FDAlpha != 0 {
 		switch c.Framework {
-		case FrameworkLMFD, FrameworkDIFD:
+		case FrameworkLMFD, FrameworkDIFD, FrameworkDSFD:
 		default:
 			return fmt.Errorf("fd_buffer/fd_alpha apply to the FD frameworks only, not %q", c.Framework)
 		}
@@ -193,6 +220,8 @@ func (c Config) algoName() string {
 		return "LM-HASH"
 	case FrameworkDIFD:
 		return "DI-FD"
+	case FrameworkDSFD:
+		return "DS-FD"
 	}
 	return c.Framework
 }
@@ -234,6 +263,13 @@ func (c Config) Build() (core.WindowSketch, error) {
 		return core.NewDIFDOpts(core.DIConfig{
 			N: int(c.Size), R: c.R, L: c.L, Ell: c.Ell, RSlack: 1.01,
 		}, c.D, c.fdOpts()), nil
+	case FrameworkDSFD:
+		if c.Ell == 0 {
+			return core.AutoDSFDOpts(int(c.Size), c.D, c.Eps, c.fdOpts()), nil
+		}
+		return core.NewDSFD(core.DSFDConfig{
+			N: int(c.Size), Ell: c.Ell, R: c.R, RSlack: 1.01, FD: c.fdOpts(),
+		}, c.D), nil
 	}
 	return nil, fmt.Errorf("unknown framework %q", c.Framework)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"swsketch/internal/core"
 	"swsketch/internal/mat"
 	"swsketch/internal/obs"
 	"swsketch/internal/trace"
@@ -126,11 +127,18 @@ func TestConfigValidate(t *testing.T) {
 		{"di time", Config{Framework: "di-fd", Window: "time", Size: 10, D: 4, Ell: 4, L: 2, R: 1}, "sequence windows only"},
 		{"di no levels", Config{Framework: "di-fd", Size: 10, D: 4, Ell: 4, R: 1}, "levels"},
 		{"di no r", Config{Framework: "di-fd", Size: 10, D: 4, Ell: 4, L: 2}, "squared row norm"},
+		{"ds ok", Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 8}, ""},
+		{"ds declared r", Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 8, R: 2.5}, ""},
+		{"auto ds-fd", Config{Framework: "ds-fd", Size: 100, D: 4, Eps: 0.25}, ""},
+		{"ds time", Config{Framework: "ds-fd", Window: "time", Size: 10, D: 4, Ell: 8}, "sequence windows only"},
+		{"ds tiny ell", Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 1}, "ell ≥ 2"},
+		{"ds negative r", Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 8, R: -1}, "norm bound"},
 		{"fastfd lm-fd", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDBuffer: 2, FDAlpha: 0.5}, ""},
 		{"fastfd di-fd", Config{Framework: "di-fd", Size: 64, D: 4, Ell: 8, L: 3, R: 1, FDBuffer: 2}, ""},
 		{"fastfd auto lm-fd", Config{Framework: "lm-fd", Size: 100, D: 4, Eps: 0.2, FDBuffer: 4}, ""},
 		{"bad fd buffer", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDBuffer: -1}, "fd_buffer"},
 		{"bad fd alpha", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDAlpha: 1.5}, "fd_alpha"},
+		{"fastfd ds-fd", Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 8, FDBuffer: 2, FDAlpha: 0.5}, ""},
 		{"fd knobs on swr", Config{Framework: "swr", Size: 10, D: 4, Ell: 4, FDBuffer: 2}, "FD frameworks only"},
 		{"fd alpha on hash", Config{Framework: "lm-hash", Size: 10, D: 4, Ell: 4, FDAlpha: 0.5}, "FD frameworks only"},
 	}
@@ -148,6 +156,28 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestConfigDSFDFDOptsPassThrough asserts the fd_buffer/fd_alpha knobs
+// reach the DS-FD frame sketches: the built sketch reports them via
+// its Stats, and the default config reports the classic cadence.
+func TestConfigDSFDFDOptsPassThrough(t *testing.T) {
+	tuned, err := Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 8, FDBuffer: 3, FDAlpha: 0.5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tuned.(core.Introspector).Stats()
+	if st["fd_buffer"] != 3 || st["fd_alpha"] != 0.5 {
+		t.Fatalf("FastFD knobs not passed through: buffer=%v alpha=%v", st["fd_buffer"], st["fd_alpha"])
+	}
+	classic, err := Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 8}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = classic.(core.Introspector).Stats()
+	if st["fd_buffer"] != 1 || st["fd_alpha"] != 1 {
+		t.Fatalf("default config is not the classic cadence: buffer=%v alpha=%v", st["fd_buffer"], st["fd_alpha"])
+	}
+}
+
 func TestConfigBuildNames(t *testing.T) {
 	cases := []struct {
 		cfg  Config
@@ -159,6 +189,7 @@ func TestConfigBuildNames(t *testing.T) {
 		{Config{Framework: "lm-fd", Size: 16, D: 3, Ell: 4}, "LM-FD"},
 		{Config{Framework: "lm-hash", Size: 16, D: 3, Ell: 4}, "LM-HASH"},
 		{Config{Framework: "di-fd", Size: 16, D: 3, Ell: 4, L: 2, R: 1}, "DI-FD"},
+		{Config{Framework: "ds-fd", Size: 16, D: 3, Ell: 4}, "DS-FD"},
 	}
 	for _, tc := range cases {
 		sk, err := tc.cfg.Build()

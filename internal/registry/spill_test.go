@@ -20,6 +20,8 @@ func TestSpillRestoreBitIdentical(t *testing.T) {
 		{Framework: "swor", Size: 48, D: 5, Ell: 6, Seed: 3},
 		{Framework: "swor-all", Size: 48, D: 5, Ell: 6, Seed: 3},
 		{Framework: "lm-fd", Window: "time", Size: 32.5, D: 5, Ell: 8, B: 4},
+		{Framework: "ds-fd", Size: 48, D: 5, Ell: 8},
+		{Framework: "ds-fd", Size: 48, D: 8, Ell: 4, FDBuffer: 2, FDAlpha: 0.5},
 	}
 	for _, cfg := range frameworks {
 		cfg := cfg

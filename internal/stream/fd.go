@@ -65,6 +65,12 @@ type FD struct {
 	// with the same survivor count. Exposed via Stats.
 	lastAmort float64
 
+	// delta accumulates the λ charged by every shrink so far: the
+	// sketch's covariance error is at most Σλ, the quantity the
+	// dump-snapshot framework budgets against. Not persisted — callers
+	// that need it across snapshots track their own watermark.
+	delta float64
+
 	// Fast-path scratch, allocated on the first non-classic shrink and
 	// reused for every one after: the partial eigensolver with its
 	// workspace, the Gram buffer, and (n-side only) the Uᵀ factor.
@@ -293,6 +299,7 @@ func (f *FD) shrinkClassic(sub *mat.Dense, n int) int {
 	vals, u := mat.EigenSym(sub.GramT()) // n×n, descending σ²
 
 	lambda := shrinkLambda(vals, f.shrinkIdx())
+	f.delta += lambda
 
 	// Count the surviving directions: the prefix of eigenvalues with
 	// σ²_k > λ (vals is descending).
@@ -349,6 +356,7 @@ func (f *FD) shrinkFast(sub *mat.Dense, n int) int {
 	vals := f.eig.Values(f.gram)
 
 	lambda := shrinkLambda(vals, f.shrinkIdx())
+	f.delta += lambda
 	kept := 0
 	for kept < len(vals) && vals[kept] > lambda && vals[kept] > 0 {
 		kept++
@@ -429,6 +437,13 @@ func (f *FD) Alpha() float64 { return f.alpha }
 // Shrinks reports the number of SVD-and-shrink steps performed.
 func (f *FD) Shrinks() uint64 { return f.shrinks }
 
+// Delta reports the cumulative shrink charge Σλ since the sketch was
+// created (or restored — the accumulator is not persisted). The FD
+// analysis bounds ‖AᵀA − BᵀB‖₂ by Σλ, so Delta is a certified,
+// cheaply-maintained covariance-error upper bound; the DS-FD framework
+// dumps a frame exactly when its Delta crosses the error budget.
+func (f *FD) Delta() float64 { return f.delta }
+
 // Amortization reports the last shrink's amortization factor: rows
 // absorbed per shrink relative to the classic (b=1) cadence with the
 // same survivor count. 0 before the first shrink; ≈ b at steady state.
@@ -450,6 +465,7 @@ func (f *FD) Stats() map[string]float64 {
 		"buffer_factor": float64(f.bfac),
 		"alpha":         f.alpha,
 		"amortization":  f.lastAmort,
+		"delta":         f.delta,
 	}
 }
 

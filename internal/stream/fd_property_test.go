@@ -6,76 +6,22 @@ import (
 	"math/rand"
 	"testing"
 
-	"swsketch/internal/mat"
+	"swsketch/internal/adversary"
 )
 
-// Adversarial stream generators for the FastFD property test. Each
-// returns an n×d matrix chosen to stress a different part of the
-// shrink discipline: spectral mass concentrated in a few directions,
-// mass decaying so early rows dominate, and near-rank-one repetition.
-func spikedStream(rng *rand.Rand, n, d int) *mat.Dense {
-	a := mat.NewDense(n, d)
-	for i := 0; i < n; i++ {
-		row := a.Row(i)
-		for j := range row {
-			row[j] = 0.05 * rng.NormFloat64()
-		}
-		// Every 7th row is a heavy spike along one of three directions,
-		// so a handful of singular values carry almost all the energy.
-		if i%7 == 0 {
-			row[i%3] += 40
-		}
-	}
-	return a
-}
-
-func decayingStream(rng *rand.Rand, n, d int) *mat.Dense {
-	a := mat.NewDense(n, d)
-	scale := 1.0
-	for i := 0; i < n; i++ {
-		row := a.Row(i)
-		for j := range row {
-			row[j] = scale * rng.NormFloat64()
-		}
-		scale *= 0.99 // early rows dominate ‖A‖²_F
-	}
-	return a
-}
-
-func duplicateRowStream(rng *rand.Rand, n, d int) *mat.Dense {
-	a := mat.NewDense(n, d)
-	base := randRow(rng, d)
-	for i := 0; i < n; i++ {
-		row := a.Row(i)
-		if i%11 == 10 {
-			copy(row, randRow(rng, d)) // occasional fresh direction
-			continue
-		}
-		copy(row, base) // near-rank-one bulk
-	}
-	return a
-}
-
 // TestFDAdversarialWithinBound is the (b, α) property test: on streams
-// built to break the amortized cadence — spiked, decaying, and
-// duplicate-row — every shipped configuration must stay within
+// built to break the amortized cadence — the shared adversary
+// generators (spiked, decaying, duplicate-row) — every shipped
+// configuration must stay within
 // Liberty's covariance bound ‖AᵀA − BᵀB‖₂ ≤ 2‖A‖²_F/ℓ, exactly like
 // the classic sketch. The bound is configuration-independent because
 // a buffered shrink removes at least as much spectral mass per
 // appended row as the per-ℓ cadence.
 func TestFDAdversarialWithinBound(t *testing.T) {
-	streams := []struct {
-		name string
-		gen  func(*rand.Rand, int, int) *mat.Dense
-	}{
-		{"spiked", spikedStream},
-		{"decaying", decayingStream},
-		{"duplicate-row", duplicateRowStream},
-	}
 	grid := append([]FDOpts{{}}, fastGrid...)
-	for _, s := range streams {
+	for _, s := range adversary.Streams() {
 		rng := rand.New(rand.NewSource(23))
-		a := s.gen(rng, 500, 12)
+		a := s.Gen(rng, 500, 12)
 		for _, o := range grid {
 			for _, ell := range []int{8, 16} {
 				f := NewFDOpts(ell, 12, o)
@@ -86,7 +32,7 @@ func TestFDAdversarialWithinBound(t *testing.T) {
 				bound := 2 * a.FrobeniusSq() / float64(ell)
 				if errAbs > bound {
 					t.Fatalf("%s b=%d α=%v ell=%d: error %v exceeds bound %v",
-						s.name, o.Buffer, o.Alpha, ell, errAbs, bound)
+						s.Name, o.Buffer, o.Alpha, ell, errAbs, bound)
 				}
 			}
 		}

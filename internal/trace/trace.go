@@ -57,6 +57,17 @@ const (
 	// KindDIRawOverflow: a DI open block outgrew the raw-row budget
 	// and fell back to the level-1 active sketch. V1 = rows dropped.
 	KindDIRawOverflow = "di_raw_overflow"
+	// KindDSFDDump: a DS-FD frame crossed its shrink-error budget and
+	// was frozen; a fresh frame opened. V1 = rows in the frozen frame's
+	// final state, V2 = the frame's accumulated shrink charge Σλ.
+	KindDSFDDump = "dsfd_dump"
+	// KindDSFDSnapshot: DS-FD captured a truncated prefix snapshot of
+	// the active frame. V1 = rows kept after truncation, V2 = squared
+	// Frobenius mass ingested since the previous snapshot.
+	KindDSFDSnapshot = "dsfd_snapshot"
+	// KindDSFDExpire: DS-FD expiry dropped state that slid out of the
+	// window. V1 = frames dropped, V2 = snapshots dropped.
+	KindDSFDExpire = "dsfd_expire"
 	// KindFDShrink: one FrequentDirections SVD-and-shrink step.
 	// V1 = occupied rows before, V2 = surviving rows; Dur is set. Note
 	// carries the buffer occupancy and amortization factor

@@ -18,6 +18,10 @@
 //     arbitrary streaming sketch into a sequence-window sketch via a
 //     dyadic block hierarchy; the most space-efficient option when the
 //     squared-norm ratio R of the window is small.
+//   - Dump-Snapshot FD (NewDSFD): a follow-up design maintaining one
+//     FrequentDirections sketch per frame with truncated prefix
+//     snapshots, answering sequence-window queries by subtraction with
+//     absolute covariance error within N·R/ℓ.
 //
 // All sketches implement WindowSketch: push timestamped rows with
 // Update (for sequence windows, use the stream index as timestamp) and
@@ -133,6 +137,23 @@ func NewDIRP(cfg DIConfig, d int, seed int64) *DI { return core.NewDIRP(cfg, d, 
 
 // NewDIHash returns DI over feature hashing (Appendix A).
 func NewDIHash(cfg DIConfig, d int, seed uint64) *DI { return core.NewDIHash(cfg, d, seed) }
+
+// DSFD is the dump-snapshot FrequentDirections sliding-window sketch
+// (after "DS-FD: Matrix Sketching over Sliding Windows with Dump
+// Snapshots"): one FrequentDirections sketch per frame, frozen when
+// its accumulated shrink mass reaches half the error threshold
+// θ = N·R/ℓ, with periodic truncated snapshots inside the active
+// frame so a window cutoff mid-frame can be answered by subtraction.
+// Sequence windows only; deterministic, so batch ingest and
+// spill/restore are bit-exact.
+type DSFD = core.DSFD
+
+// DSFDConfig parameterises DS-FD: window length N, sketch size Ell,
+// and an optional squared-row-norm bound R (zero = track adaptively).
+type DSFDConfig = core.DSFDConfig
+
+// NewDSFD returns a DS-FD sketch for rows of dimension d.
+func NewDSFD(cfg DSFDConfig, d int) *DSFD { return core.NewDSFD(cfg, d) }
 
 // Best is the offline best-rank-k baseline (stores the window; not a
 // sketch — provided as the error lower envelope).
@@ -476,6 +497,10 @@ func AutoDIFD(n, d int, eps, maxSqNorm, ratio float64) *DI {
 func AutoSWR(spec Spec, d int, eps float64, seed int64) *SWR {
 	return core.AutoSWR(spec, d, eps, seed)
 }
+
+// AutoDSFD sizes a DS-FD sketch for a target error over a sequence
+// window of n rows, tracking the norm bound adaptively.
+func AutoDSFD(n, d int, eps float64) *DSFD { return core.AutoDSFD(n, d, eps) }
 
 // TenantRegistry is a sharded, concurrency-safe collection of named
 // sliding-window sketches ("tenants"), each created from a declarative
