@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fd bench-dsfd bench-load conformance fuzz verify results examples clean check doclint linkcheck docs
+.PHONY: all build test race cover bench bench-fd bench-dsfd bench-load bench-hh conformance fuzz verify results examples clean check doclint linkcheck docs
 
 all: build test
 
@@ -48,6 +48,13 @@ bench-dsfd:
 bench-load:
 	$(GO) run ./cmd/swbench -load-baseline BENCH_load.json -load-out BENCH_load.json load
 
+# Hot-key observability artifact: the sliding count-min top-K sidecar
+# judged against exact per-tenant counts from a Zipf load run (recall
+# and ε·N bound are hard gates), plus its ingest-path cost.
+# Refreshes BENCH_hh.json.
+bench-hh:
+	$(GO) run ./cmd/swbench -hh-out BENCH_hh.json hh
+
 # Cross-framework conformance suite under the race detector: every
 # registered framework through the shared contract table.
 conformance:
@@ -59,6 +66,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLMFD -fuzztime 30s ./internal/core
 	$(GO) test -fuzz FuzzSWOR -fuzztime 30s ./internal/core
 	$(GO) test -fuzz FuzzDSFDUnmarshal -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/obs/hh
 
 # CI gate: re-runs the paper's qualitative shape checks; non-zero exit
 # on any DIFF.

@@ -36,7 +36,13 @@
 //	         guarantee or uses more space than LM-FD
 //	obs      overhead of the observability stack (metrics decorator
 //	         and disabled tracer), bare vs wrapped, per-row and
-//	         batched ingest; writes BENCH_obs.json (see -obs-out)
+//	         batched ingest, plus the /v2 binary-stream serving path;
+//	         writes BENCH_obs.json (see -obs-out)
+//	hh       hot-key observability accuracy: the sliding count-min
+//	         top-K sidecar vs exact per-tenant counts from a Zipf
+//	         load run, plus its ingest-path cost; writes
+//	         BENCH_hh.json (see -hh-out) and fails on a recall or
+//	         error-bound breach
 //	tenants  multi-tenant registry scaling: ingest throughput vs fleet
 //	         size (1..1024 tenants, parallel workers) plus spill/
 //	         restore cost; writes BENCH_tenants.json (see -tenants-out)
@@ -74,13 +80,14 @@ func main() {
 		fdBase = flag.String("fd-baseline", "", "baseline BENCH_fd.json for the fd regression gate (empty disables)")
 		dsOut  = flag.String("dsfd-out", "BENCH_dsfd.json", "output path for the dsfd experiment")
 		oOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
+		hOut   = flag.String("hh-out", "BENCH_hh.json", "output path for the hh experiment")
 		tOut   = flag.String("tenants-out", "BENCH_tenants.json", "output path for the tenants experiment")
 		lOut   = flag.String("load-out", "BENCH_load.json", "output path for the load experiment")
 		lBase  = flag.String("load-baseline", "", "baseline BENCH_load.json for the load regression gate (empty disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|dsfd|obs|tenants|load|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|dsfd|obs|hh|tenants|load|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -135,6 +142,11 @@ func main() {
 	case "obs":
 		if err := runObs(out, sc, *oOut); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: obs: %v\n", err)
+			os.Exit(1)
+		}
+	case "hh":
+		if err := runHH(out, sc, *hOut); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: hh: %v\n", err)
 			os.Exit(1)
 		}
 	case "tenants":

@@ -5,13 +5,18 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
 	"swsketch/internal/core"
+	"swsketch/internal/load"
 	"swsketch/internal/obs"
+	"swsketch/internal/obs/hh"
+	"swsketch/internal/serve"
 	"swsketch/internal/trace"
 	"swsketch/internal/window"
 )
@@ -22,7 +27,7 @@ import (
 // the observability stack — a disabled tracer must cost < 5%.
 type obsResult struct {
 	Algo                 string  `json:"algo"`
-	Path                 string  `json:"path"` // "row" or "batch"
+	Path                 string  `json:"path"` // "row", "batch", or "stream"
 	BareNsPerRow         float64 `json:"bare_ns_per_row"`
 	InstrumentedNsPerRow float64 `json:"instrumented_ns_per_row"`
 	InstrumentedPct      float64 `json:"instrumented_overhead_pct"`
@@ -34,7 +39,9 @@ type obsResult struct {
 // algorithm ingests the same synthetic stream bare, wrapped in the
 // obs.Instrumented decorator, and with a disabled tracer attached —
 // over both the per-row Update path (worst case — one timing pair per
-// row) and the UpdateBatch path (the serve and swstream default).
+// row) and the UpdateBatch path (the serve and swstream default) —
+// and then the /v2 binary stream end to end (where "instrumented"
+// is the full metrics + hot-key sidecar stack).
 // Reported overheads justify — or veto — leaving -metrics and -trace
 // on in production; the results also land in path as JSON.
 func runObs(out io.Writer, sc scaleCfg, path string) error {
@@ -124,6 +131,21 @@ func runObs(out io.Writer, sc scaleCfg, path string) error {
 		}
 	}
 
+	// The serving path end to end: the /v2 binary stream against a
+	// bare server, one carrying the full metrics + hot-key sidecar
+	// stack, and one with a disabled tracer attached. This is the
+	// number the row/batch microbenchmarks above approximate from
+	// below — it includes HTTP framing, the registry touch hook, and
+	// the ingest funnel's sidecar calls.
+	streamRow, err := obsStream(sc)
+	if err != nil {
+		return err
+	}
+	results = append(results, streamRow)
+	fmt.Fprintf(out, "%-8s %-6s %12.1f %12.1f %9.2f%% %12.1f %9.2f%%\n",
+		streamRow.Algo, streamRow.Path, streamRow.BareNsPerRow, streamRow.InstrumentedNsPerRow,
+		streamRow.InstrumentedPct, streamRow.TracedOffNsPerRow, streamRow.TracedOffPct)
+
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
@@ -134,6 +156,104 @@ func runObs(out io.Writer, sc scaleCfg, path string) error {
 	}
 	fmt.Fprintf(out, "wrote %s (%d results)\n", path, len(results))
 	return nil
+}
+
+// obsStream measures the /v2 binary-stream ingest path three ways:
+// bare, instrumented (WithMetrics + the hot-key sidecar — the full
+// production observability stack), and with a disabled tracer. Each
+// trial drives the same Zipf fleet through all three servers back to
+// back; the median paired ratio is reported, as in the
+// microbenchmarks above.
+func obsStream(sc scaleCfg) (obsResult, error) {
+	const d = 16
+	rows := sc.seqN
+	if rows < 20000 {
+		rows = 20000
+	}
+	if rows > 100000 {
+		rows = 100000
+	}
+
+	type target struct {
+		base string
+		srv  *http.Server
+	}
+	mk := func(opts ...serve.Option) (target, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return target{}, err
+		}
+		sk := core.NewLMFD(window.Seq(1024), d, 8, 4)
+		srv := &http.Server{Handler: serve.NewServer(sk, d, opts...).Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		return target{"http://" + ln.Addr().String(), srv}, nil
+	}
+	bare, err := mk()
+	if err != nil {
+		return obsResult{}, err
+	}
+	defer bare.srv.Close()
+	inst, err := mk(serve.WithMetrics(obs.NewRegistry()),
+		serve.WithHotKeys(hh.New(hh.Config{Window: 10 * time.Minute})))
+	if err != nil {
+		return obsResult{}, err
+	}
+	defer inst.srv.Close()
+	trSrv, err := mk(serve.WithTrace(trace.New(1024))) // attached, never enabled
+	if err != nil {
+		return obsResult{}, err
+	}
+	defer trSrv.srv.Close()
+
+	rate := func(t target) (float64, error) {
+		res, err := load.Run(load.Config{
+			BaseURL: t.base, Mode: load.ModeFrames, Tenants: 256, D: d,
+			Window: 1024, Rows: rows, Batch: 256, Workers: 2,
+			ZipfS: 1.2, Seed: sc.seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if res.Errors > 0 {
+			return 0, fmt.Errorf("stream path: %d failed blocks", res.Errors)
+		}
+		return 1e9 / res.RowsPerSec, nil // ns per row
+	}
+
+	bares := make([]float64, obsTrials)
+	instRatios := make([]float64, obsTrials)
+	trRatios := make([]float64, obsTrials)
+	for trial := range bares {
+		b, err := rate(bare)
+		if err != nil {
+			return obsResult{}, err
+		}
+		w, err := rate(inst)
+		if err != nil {
+			return obsResult{}, err
+		}
+		tr, err := rate(trSrv)
+		if err != nil {
+			return obsResult{}, err
+		}
+		bares[trial] = b
+		instRatios[trial] = w / b
+		trRatios[trial] = tr / b
+	}
+	sort.Float64s(bares)
+	sort.Float64s(instRatios)
+	sort.Float64s(trRatios)
+	b := bares[obsTrials/2]
+	iw := instRatios[obsTrials/2]
+	tw := trRatios[obsTrials/2]
+	return obsResult{
+		Algo: "LM-FD", Path: "stream",
+		BareNsPerRow:         b,
+		InstrumentedNsPerRow: b * iw,
+		InstrumentedPct:      100 * (iw - 1),
+		TracedOffNsPerRow:    b * tw,
+		TracedOffPct:         100 * (tw - 1),
+	}, nil
 }
 
 // obsTrials is the per-configuration repeat count; odd, so the median

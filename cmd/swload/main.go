@@ -24,13 +24,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"swsketch/internal/core"
 	"swsketch/internal/load"
+	"swsketch/internal/obs/hh"
 	"swsketch/internal/serve"
 	"swsketch/internal/window"
 )
@@ -48,6 +51,7 @@ func main() {
 		win     = flag.Int("window", 1024, "tenant window size (rows)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "BENCH_load.json", "JSON results path (empty disables)")
+		hotkeys = flag.Bool("hotkeys", false, "enable the hot-key sidecar (self-host only), track exact per-tenant rows, and compare /debug/hotkeys against them after the run")
 	)
 	flag.Parse()
 
@@ -58,11 +62,19 @@ func main() {
 			log.Fatalf("swload: listen: %v", err)
 		}
 		sk := core.NewLMFD(window.Seq(*win), *d, 16, 8)
-		srv := &http.Server{Handler: serve.NewServer(sk, *d).Handler()}
+		var sopts []serve.Option
+		if *hotkeys {
+			// A window far longer than any load run keeps the sidecar's
+			// counts effectively exact for the post-run comparison.
+			sopts = append(sopts, serve.WithHotKeys(hh.New(hh.Config{Window: 10 * time.Minute})))
+		}
+		srv := &http.Server{Handler: serve.NewServer(sk, *d, sopts...).Handler()}
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()
 		base = "http://" + ln.Addr().String()
 		fmt.Printf("swload: self-hosted server on %s\n", base)
+	} else if *hotkeys {
+		fmt.Println("swload: -hotkeys with -url: comparing against the remote /debug/hotkeys (it must run with -hotkeys)")
 	}
 
 	modes := []string{*mode}
@@ -72,6 +84,7 @@ func main() {
 	cfg := load.Config{
 		BaseURL: base, Tenants: *tenants, D: *d, Window: *win,
 		Rows: *rows, Batch: *batch, Workers: *workers, ZipfS: *zipf, Seed: *seed,
+		TrackTenants: *hotkeys,
 	}
 	fmt.Printf("swload: %d tenants, %d rows, batch %d, %d workers, zipf %.2f\n",
 		*tenants, *rows, *batch, *workers, *zipf)
@@ -79,6 +92,7 @@ func main() {
 
 	var results []load.Result
 	var v1Rate float64
+	exact := map[string]int{}
 	for _, m := range modes {
 		cfg.Mode = m
 		res, err := load.Run(cfg)
@@ -90,12 +104,22 @@ func main() {
 		} else if v1Rate > 0 {
 			res.SpeedupVsV1 = res.RowsPerSec / v1Rate
 		}
+		for id, n := range res.TenantRows {
+			exact[id] += n
+		}
+		res.TenantRows = nil // per-mode maps would bloat the JSON; keep the merged view
 		results = append(results, res)
 		fmt.Printf("%8s %12.0f %10.2f %10.2f %8d", res.Mode, res.RowsPerSec, res.P50Ms, res.P99Ms, res.Errors)
 		if res.SpeedupVsV1 > 0 {
 			fmt.Printf("  %.1fx vs v1", res.SpeedupVsV1)
 		}
 		fmt.Println()
+	}
+
+	if *hotkeys {
+		if err := compareHotkeys(base, exact); err != nil {
+			log.Fatalf("swload: hotkeys: %v", err)
+		}
 	}
 
 	if *out != "" {
@@ -109,4 +133,37 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d results)\n", *out, len(results))
 	}
+}
+
+// compareHotkeys fetches the server's /debug/hotkeys snapshot and
+// prints its top entries next to the driver's exact accepted-row
+// counts — the quick-look version of the swbench hh experiment.
+func compareHotkeys(base string, exact map[string]int) error {
+	resp, err := http.Get(base + "/debug/hotkeys")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/hotkeys: status %d (is the server running with -hotkeys?)", resp.StatusCode)
+	}
+	snap, err := hh.DecodeSnapshot(body)
+	if err != nil {
+		return fmt.Errorf("decode snapshot: %w", err)
+	}
+	fmt.Printf("hotkeys: top-%d of ~%.0f tenants, zipf s=%.2f, top-K share %.1f%%\n",
+		len(snap.TopK), snap.DistinctTenants, snap.ZipfS, 100*snap.TopKShare)
+	fmt.Printf("%12s %12s %12s %10s\n", "tenant", "estimated", "exact", "overcount")
+	for i, e := range snap.TopK {
+		if i >= 8 {
+			break
+		}
+		ex := exact[e.Tenant]
+		fmt.Printf("%12s %12d %12d %10d\n", e.Tenant, e.Rows, ex, int64(e.Rows)-int64(ex))
+	}
+	return nil
 }

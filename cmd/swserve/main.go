@@ -20,6 +20,7 @@
 //	GET  /healthz
 //	GET  /metrics           Prometheus exposition (with -metrics)
 //	GET  /debug/trace       structural event trace, JSONL (with -trace)
+//	GET  /debug/hotkeys     sliding top-K hot tenants (with -hotkeys)
 //	     /debug/pprof/...   runtime profiles (with -pprof)
 //
 // Multi-tenant operation is tuned by three flags: -tenants-max caps
@@ -51,6 +52,7 @@ import (
 	"swsketch/internal/core"
 	"swsketch/internal/obs"
 	"swsketch/internal/obs/audit"
+	"swsketch/internal/obs/hh"
 	"swsketch/internal/registry"
 	"swsketch/internal/serve"
 	"swsketch/internal/stream"
@@ -89,6 +91,11 @@ func main() {
 		spill   = flag.String("spill-dir", "", "spill evicted tenants to this directory and restore on touch")
 		walDir  = flag.String("wal-dir", "", "journal ingest into a per-shard write-ahead log under this directory and replay it on startup")
 		walSync = flag.Duration("wal-sync", 5*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
+		hotOn   = flag.Bool("hotkeys", false, "track hot tenants with a sliding count-min sidecar; serve /debug/hotkeys")
+		hotWin  = flag.Duration("hotkeys-window", time.Minute, "hot-key sliding window")
+		hotK    = flag.Int("hotkeys-k", 16, "hot-key top-K size")
+		hotW    = flag.Int("hotkeys-width", 1024, "hot-key count-min width (counters per row; rounded up to a power of two)")
+		hotD    = flag.Int("hotkeys-depth", 4, "hot-key count-min depth (hash rows)")
 	)
 	flag.Parse()
 	if *d < 1 {
@@ -181,6 +188,11 @@ func main() {
 	}
 	if *logReq {
 		opts = append(opts, serve.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
+	if *hotOn {
+		opts = append(opts, serve.WithHotKeys(hh.New(hh.Config{
+			Window: *hotWin, K: *hotK, Width: *hotW, Depth: *hotD,
+		})))
 	}
 
 	// Multi-tenant tuning: hand serve a registry only when a tenant
@@ -302,6 +314,9 @@ func main() {
 	}
 	if *walDir != "" {
 		extras += " wal-dir=" + *walDir
+	}
+	if *hotOn {
+		extras += fmt.Sprintf(" hotkeys(window=%v k=%d)", *hotWin, *hotK)
 	}
 	log.Printf("swserve: %s over %v window, d=%d, listening on %s%s", sk.Name(), spec, *d, *addr, extras)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

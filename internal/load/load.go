@@ -72,6 +72,10 @@ type Config struct {
 	// Client overrides the HTTP client (defaults to one with sane
 	// connection pooling for Workers connections).
 	Client *http.Client
+	// TrackTenants records exact accepted-row counts per tenant in
+	// Result.TenantRows — the ground truth the hot-key observability
+	// experiment compares the server's count-min estimates against.
+	TrackTenants bool
 }
 
 // Result is one load run's measurement, JSON-shaped for BENCH_load.json.
@@ -89,6 +93,9 @@ type Result struct {
 	P99Ms      float64 `json:"p99_ms"`
 	// SpeedupVsV1 is filled by callers comparing runs; zero otherwise.
 	SpeedupVsV1 float64 `json:"speedup_vs_v1,omitempty"`
+	// TenantRows is the exact accepted-row count per tenant ID, filled
+	// only when Config.TrackTenants is set.
+	TenantRows map[string]int `json:"tenant_rows,omitempty"`
 }
 
 // driver is the shared run state.
@@ -103,10 +110,11 @@ type driver struct {
 	clocks []int64 // next timestamp per tenant; guarded by locks
 	rows   [][]float64
 
-	mu   sync.Mutex
-	lat  []float64 // per-block latency, ms
-	errs int
-	sent int
+	mu         sync.Mutex
+	lat        []float64 // per-block latency, ms
+	errs       int
+	sent       int
+	tenantRows map[string]int // accepted rows per tenant; nil unless tracking
 }
 
 // Run provisions the fleet and drives one measured load run.
@@ -132,6 +140,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("load: unknown mode %q", cfg.Mode)
 	}
 	dr := &driver{cfg: cfg, client: cfg.Client}
+	if cfg.TrackTenants {
+		dr.tenantRows = make(map[string]int, cfg.Tenants)
+	}
 	if dr.client == nil {
 		dr.client = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        cfg.Workers * 2,
@@ -171,6 +182,7 @@ func Run(cfg Config) (Result, error) {
 		Seconds: elapsed, RowsPerSec: float64(dr.sent) / elapsed,
 	}
 	res.P50Ms, res.P99Ms = percentiles(dr.lat)
+	res.TenantRows = dr.tenantRows
 	return res, nil
 }
 
@@ -323,14 +335,17 @@ func (d *driver) batchFor(tn, blockIdx int) ([][]float64, []float64) {
 	return rows, times
 }
 
-// record books one block's outcome.
-func (d *driver) record(ms float64, rows int, failed bool) {
+// record books one block's outcome against tenant tn.
+func (d *driver) record(tn int, ms float64, rows int, failed bool) {
 	d.mu.Lock()
 	d.lat = append(d.lat, ms)
 	if failed {
 		d.errs++
 	} else {
 		d.sent += rows
+		if d.tenantRows != nil && rows > 0 {
+			d.tenantRows[d.ids[tn]] += rows
+		}
 	}
 	d.mu.Unlock()
 }
@@ -363,7 +378,7 @@ func (d *driver) v1Block(tn int) {
 		failed = resp.StatusCode != http.StatusOK
 	}
 	d.locks[tn].Unlock()
-	d.record(float64(time.Since(start).Microseconds())/1000, len(rows), failed)
+	d.record(tn, float64(time.Since(start).Microseconds())/1000, len(rows), failed)
 }
 
 // streamLease opens one stream to a tenant and pushes blocks through
@@ -407,7 +422,7 @@ func (d *driver) streamLease(tn int, blocks int) {
 			line, err := acks.ReadBytes('\n')
 			ms := float64(time.Since(start).Microseconds()) / 1000
 			if err != nil {
-				d.record(ms, 0, true)
+				d.record(tn, ms, 0, true)
 				continue
 			}
 			var ack struct {
@@ -415,10 +430,10 @@ func (d *driver) streamLease(tn int, blocks int) {
 				Error    *json.RawMessage `json:"error"`
 			}
 			if jerr := json.Unmarshal(line, &ack); jerr != nil || ack.Error != nil {
-				d.record(ms, 0, true)
+				d.record(tn, ms, 0, true)
 				continue
 			}
-			d.record(ms, ack.Accepted, false)
+			d.record(tn, ms, ack.Accepted, false)
 		}
 	}()
 	for i := 0; i < blocks; i++ {
@@ -431,7 +446,7 @@ func (d *driver) streamLease(tn int, blocks int) {
 		}
 		start := time.Now()
 		if _, err := pw.Write(payload); err != nil {
-			d.record(0, 0, true)
+			d.record(tn, 0, 0, true)
 			break
 		}
 		inflight <- start

@@ -1,0 +1,79 @@
+package hh
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzSnapshotDecode hammers the /debug/hotkeys document decoder:
+// arbitrary bytes must either be rejected or decode into a snapshot
+// whose re-encoding is a fixed point (encode∘decode is the identity
+// on accepted documents, so consumers can round-trip snapshots
+// losslessly). Seeds cover live documents, truncations, and hostile
+// shapes; the checked-in corpus under testdata/fuzz keeps past
+// findings as regressions.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Live documents at three fill levels.
+	clk := time.Unix(1_700_000_000, 0)
+	h := New(Config{Window: time.Minute, K: 8, Width: 256, Depth: 4, Shards: 2,
+		Now: func() time.Time { return clk }})
+	seed := func() {
+		data, err := h.Snapshot().Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seed() // empty
+	r := rand.New(rand.NewSource(11))
+	z := rand.NewZipf(r, 1.2, 1, 99)
+	for i := 0; i < 1000; i++ {
+		h.ObserveIngest(fmt.Sprintf("load-%04d", z.Uint64()), 1+r.Intn(8), 64)
+		h.ObserveEvent("load-0000")
+	}
+	seed() // populated
+	live, err := h.Snapshot().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(live[:len(live)/2]) // torn
+	f.Add(live[1:])           // decapitated
+
+	// Hostile shapes the decoder must reject.
+	f.Add([]byte(`{"window_seconds":60,"k":100000000,"width":256,"depth":4,"shards":1}`))
+	f.Add([]byte(`{"window_seconds":1e308,"k":8,"width":256,"depth":4,"shards":1}`))
+	f.Add([]byte(`{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,` +
+		`"topk":[{"tenant":"a","rows":1},{"tenant":"b","rows":2}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to encode: %v", err)
+		}
+		s2, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed value:\n was %+v\n now %+v", s, s2)
+		}
+		enc2, err := s2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not a fixed point:\n%s\n%s", enc, enc2)
+		}
+	})
+}

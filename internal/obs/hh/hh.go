@@ -1,0 +1,621 @@
+// Package hh is the hot-key observability sidecar: a sliding
+// count-min sketch fused with a per-shard top-K tracker, keyed by
+// tenant ID. It answers "which tenants are hot right now, and how
+// hot" in O(width·depth) space per shard — no per-tenant metric
+// labels, no unbounded maps — in the same sub-linear-space-over-
+// recent-data regime as the window sketches it observes.
+//
+// The counter design follows the sliding count-min discipline
+// (SNIPPETS.md snippet 2): every counter slot holds an active and a
+// backup field. A scan pointer sweeps all width×depth slots exactly
+// once per window; scanning a slot copies active→backup and zeroes
+// active. A point estimate is the count-min minimum of active+backup
+// over the depth rows, so at any instant an estimate covers at least
+// the last window and at most the last two windows of traffic.
+// Unlike the reference, the sweep here is clock-driven (slots owed =
+// elapsed/window × slots, settled lazily on the next touch) instead
+// of arrival-driven, so estimates decay even when a key goes quiet.
+//
+// Five planes share the same hash positions and scan pointer: rows,
+// bytes, shed/error events, WAL bytes, and registry touches. The
+// top-K tracker is space-saving-shaped but uses the count-min rows
+// estimate (already computed during the add) as its scores, so entry
+// and eviction cost no extra hashing; Snapshot refreshes every
+// tracked score so decayed keys drop out.
+//
+// Concurrency: tenants are striped over power-of-two shards (same
+// FNV-1a family as internal/registry); every observation takes one
+// short shard mutex. All methods are nil-receiver safe so call sites
+// need no guards.
+package hh
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swsketch/internal/obs"
+	"swsketch/internal/trace"
+)
+
+// Counter planes tracked per tenant. Every plane shares hash
+// positions, so an add touches depth slots regardless of plane.
+const (
+	planeRows = iota
+	planeBytes
+	planeEvents
+	planeWAL
+	planeTouches
+	numPlanes
+)
+
+// Limits clamped at construction time.
+const (
+	minWindow = 10 * time.Millisecond
+	maxWindow = 24 * time.Hour
+	maxK      = 512
+	maxWidth  = 1 << 20
+	maxDepth  = 16
+	maxShards = 1 << 10
+)
+
+// Config sizes a Sidecar. The zero value selects the documented
+// defaults; out-of-range fields are clamped.
+type Config struct {
+	// Window is the sliding decay window. Estimates cover between one
+	// and two windows of traffic. Default 60s, clamped to [10ms, 24h].
+	Window time.Duration
+	// K is the number of hot tenants tracked per shard and reported
+	// globally. Default 16, clamped to [1, 512].
+	K int
+	// Width is the number of counters per hash row in each shard,
+	// rounded up to a power of two. The count-min error bound is
+	// ε·N with ε = e/Width and N the shard's windowed weight.
+	// Default 1024, clamped to [16, 1<<20].
+	Width int
+	// Depth is the number of hash rows; estimates fail their ε·N
+	// bound with probability at most e^−Depth. Default 4, clamped to
+	// [1, 16].
+	Depth int
+	// Shards is the number of concurrency shards, rounded up to a
+	// power of two. Default min(GOMAXPROCS, 8).
+	Shards int
+	// Now overrides the clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// entry is one tracked hot key inside a shard.
+type entry struct {
+	key   string
+	score uint64 // count-min rows estimate at last refresh
+}
+
+// shard is one stripe of the sketch. All fields are guarded by mu.
+type shard struct {
+	mu sync.Mutex
+	// counters is, per plane, a flat [depth×width] table of {active,
+	// backup} pairs: slot s lives at counters[plane][2s] (active) and
+	// counters[plane][2s+1] (backup).
+	counters [numPlanes][]uint64
+	// totals holds, per plane, the summed weight currently in the
+	// active and backup fields across the whole table. Each add
+	// contributes depth× its delta, so the shard's windowed stream
+	// weight is (totals[0]+totals[1])/depth, maintained exactly.
+	totals [numPlanes][2]uint64
+	scan   int   // next slot the sweep will visit, in [0, width·depth)
+	scanT  int64 // unix nanos the sweep has been settled up to
+	top    []entry
+	idx    map[string]int // key → index into top
+}
+
+// Sidecar is the sliding count-min + top-K hot-key tracker. Create
+// one with New; the zero value is unusable. A nil *Sidecar is valid
+// at every method and does nothing.
+type Sidecar struct {
+	window int64 // nanos
+	k      int
+	width  int
+	depth  int
+	wmask  uint64
+	slots  int // width × depth
+	now    func() time.Time
+	start  int64 // unix nanos at construction (coverage floor)
+	tr     atomic.Pointer[trace.Tracer]
+
+	shards    []*shard
+	shardMask uint64
+}
+
+// New builds a sidecar from cfg (zero value = defaults).
+func New(cfg Config) *Sidecar {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+	cfg.Window = min(max(cfg.Window, minWindow), maxWindow)
+	if cfg.K == 0 {
+		cfg.K = 16
+	}
+	cfg.K = min(max(cfg.K, 1), maxK)
+	if cfg.Width == 0 {
+		cfg.Width = 1024
+	}
+	cfg.Width = ceilPow2(min(max(cfg.Width, 16), maxWidth))
+	if cfg.Depth == 0 {
+		cfg.Depth = 4
+	}
+	cfg.Depth = min(max(cfg.Depth, 1), maxDepth)
+	if cfg.Shards == 0 {
+		cfg.Shards = min(runtime.GOMAXPROCS(0), 8)
+	}
+	cfg.Shards = ceilPow2(min(max(cfg.Shards, 1), maxShards))
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+
+	h := &Sidecar{
+		window:    cfg.Window.Nanoseconds(),
+		k:         cfg.K,
+		width:     cfg.Width,
+		depth:     cfg.Depth,
+		wmask:     uint64(cfg.Width - 1),
+		slots:     cfg.Width * cfg.Depth,
+		now:       cfg.Now,
+		shardMask: uint64(cfg.Shards - 1),
+	}
+	h.start = h.now().UnixNano()
+	h.shards = make([]*shard, cfg.Shards)
+	for i := range h.shards {
+		sh := &shard{scanT: h.start, idx: make(map[string]int, cfg.K)}
+		for p := range sh.counters {
+			sh.counters[p] = make([]uint64, 2*h.slots)
+		}
+		h.shards[i] = sh
+	}
+	return h
+}
+
+// SetTracer attaches a tracer for topk_enter/topk_exit churn events.
+// Safe to call concurrently with observations.
+func (h *Sidecar) SetTracer(tr *trace.Tracer) {
+	if h == nil {
+		return
+	}
+	h.tr.Store(tr)
+}
+
+// Window returns the configured sliding window.
+func (h *Sidecar) Window() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.window)
+}
+
+// K returns the configured top-K size.
+func (h *Sidecar) K() int {
+	if h == nil {
+		return 0
+	}
+	return h.k
+}
+
+// ObserveIngest records rows committed (and their approximate payload
+// bytes) for a tenant, and refreshes the tenant's standing in the
+// top-K tracker.
+func (h *Sidecar) ObserveIngest(tenant string, rows, bytes int) {
+	if h == nil || tenant == "" || rows <= 0 {
+		return
+	}
+	hv := hash64(tenant)
+	sh := h.shardOf(hv)
+	now := h.now().UnixNano()
+	sh.mu.Lock()
+	h.advanceLocked(sh, now)
+	est := h.addLocked(sh, hv, planeRows, uint64(rows))
+	if bytes > 0 {
+		h.addLocked(sh, hv, planeBytes, uint64(bytes))
+	}
+	h.trackLocked(sh, tenant, est)
+	sh.mu.Unlock()
+}
+
+// ObserveEvent records one shed or error event attributed to a
+// tenant (stream 429s, rejected blocks, per-item ingest errors).
+func (h *Sidecar) ObserveEvent(tenant string) { h.observe(tenant, planeEvents, 1) }
+
+// ObserveWAL records bytes appended to the write-ahead log for a
+// tenant.
+func (h *Sidecar) ObserveWAL(tenant string, bytes int) {
+	if bytes > 0 {
+		h.observe(tenant, planeWAL, uint64(bytes))
+	}
+}
+
+// Touch records one tenant acquisition (request-level activity,
+// independent of row volume).
+func (h *Sidecar) Touch(tenant string) { h.observe(tenant, planeTouches, 1) }
+
+// observe adds delta to one plane without top-K tracking.
+func (h *Sidecar) observe(key string, plane int, delta uint64) {
+	if h == nil || key == "" || delta == 0 {
+		return
+	}
+	hv := hash64(key)
+	sh := h.shardOf(hv)
+	now := h.now().UnixNano()
+	sh.mu.Lock()
+	h.advanceLocked(sh, now)
+	h.addLocked(sh, hv, plane, delta)
+	sh.mu.Unlock()
+}
+
+// Forget drops a tenant from the top-K tracker (its count-min
+// contributions decay out on their own). Called on tenant delete and
+// non-spill eviction.
+func (h *Sidecar) Forget(tenant string) {
+	if h == nil || tenant == "" {
+		return
+	}
+	sh := h.shardOf(hash64(tenant))
+	sh.mu.Lock()
+	if i, ok := sh.idx[tenant]; ok {
+		score := sh.top[i].score
+		h.removeLocked(sh, i)
+		h.emitTopK(trace.KindTopKExit, tenant, score)
+	}
+	sh.mu.Unlock()
+}
+
+// EstimateRows returns the count-min estimate of rows the tenant
+// committed over the sliding window (covering between one and two
+// windows). The estimate never undercounts the last window; it
+// overcounts by at most ε·N with probability ≥ 1−e^−depth, where N
+// is the tenant's shard's windowed row weight.
+func (h *Sidecar) EstimateRows(tenant string) uint64 {
+	if h == nil || tenant == "" {
+		return 0
+	}
+	hv := hash64(tenant)
+	sh := h.shardOf(hv)
+	now := h.now().UnixNano()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h.advanceLocked(sh, now)
+	return h.estLocked(sh, hv, planeRows)
+}
+
+// shardOf picks the stripe for a key hash, remixing so the shard
+// bits stay independent of the in-shard counter positions.
+func (h *Sidecar) shardOf(hv uint64) *shard {
+	return h.shards[(hv*0x9e3779b97f4a7c15)>>33&h.shardMask]
+}
+
+// advanceLocked settles the clock-driven sweep: it owes
+// elapsed/window × slots scan steps since scanT. A gap of two or
+// more windows means every slot is owed two visits — everything is
+// stale — so it short-circuits to a full reset.
+func (h *Sidecar) advanceLocked(sh *shard, now int64) {
+	elapsed := now - sh.scanT
+	if elapsed <= 0 {
+		return
+	}
+	if elapsed >= 2*h.window {
+		for p := range sh.counters {
+			clear(sh.counters[p])
+			sh.totals[p] = [2]uint64{}
+		}
+		sh.scan = 0
+		sh.scanT = now
+		for len(sh.top) > 0 {
+			e := sh.top[len(sh.top)-1]
+			h.removeLocked(sh, len(sh.top)-1)
+			h.emitTopK(trace.KindTopKExit, e.key, e.score)
+		}
+		return
+	}
+	slots := int64(h.slots)
+	need := elapsed * slots / h.window
+	if need <= 0 {
+		return
+	}
+	// Credit only whole-slot quanta of time so the fractional
+	// remainder carries into the next settle instead of drifting.
+	sh.scanT += need * h.window / slots
+	for ; need > 0; need-- {
+		base := 2 * sh.scan
+		for p := 0; p < numPlanes; p++ {
+			c := sh.counters[p]
+			act, back := c[base], c[base+1]
+			sh.totals[p][1] += act - back // modular: new backup total
+			sh.totals[p][0] -= act
+			c[base+1] = act
+			c[base] = 0
+		}
+		sh.scan++
+		if sh.scan == h.slots {
+			sh.scan = 0
+		}
+	}
+}
+
+// rowPos derives the key's counter position in hash row i. Each row
+// gets an independently mixed hash (splitmix64 finalizer over the
+// FNV value plus a per-row odd constant) rather than Kirsch-
+// Mitzenmacher double hashing: with small widths, K-M lets key pairs
+// that collide in both base hashes mod width collide in *every* row,
+// defeating the min.
+func (h *Sidecar) rowPos(hv uint64, i int) int {
+	x := hv + uint64(i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x & h.wmask)
+}
+
+// addLocked adds delta to one plane at the key's depth positions and
+// returns the post-add count-min estimate for that plane.
+func (h *Sidecar) addLocked(sh *shard, hv uint64, plane int, delta uint64) uint64 {
+	c := sh.counters[plane]
+	est := ^uint64(0)
+	for i := 0; i < h.depth; i++ {
+		base := 2 * (i*h.width + h.rowPos(hv, i))
+		c[base] += delta
+		if v := c[base] + c[base+1]; v < est {
+			est = v
+		}
+	}
+	sh.totals[plane][0] += delta * uint64(h.depth)
+	return est
+}
+
+// estLocked returns the count-min estimate (min over depth rows of
+// active+backup) without mutating anything.
+func (h *Sidecar) estLocked(sh *shard, hv uint64, plane int) uint64 {
+	c := sh.counters[plane]
+	est := ^uint64(0)
+	for i := 0; i < h.depth; i++ {
+		base := 2 * (i*h.width + h.rowPos(hv, i))
+		if v := c[base] + c[base+1]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// trackLocked refreshes (or admits) a key in the shard's top-K using
+// its fresh rows estimate as the space-saving score. Tracked scores
+// go stale between touches; Snapshot re-scores them.
+func (h *Sidecar) trackLocked(sh *shard, key string, est uint64) {
+	if i, ok := sh.idx[key]; ok {
+		sh.top[i].score = est
+		return
+	}
+	if len(sh.top) < h.k {
+		sh.idx[key] = len(sh.top)
+		sh.top = append(sh.top, entry{key: key, score: est})
+		h.emitTopK(trace.KindTopKEnter, key, est)
+		return
+	}
+	mi := 0
+	for i := 1; i < len(sh.top); i++ {
+		if sh.top[i].score < sh.top[mi].score {
+			mi = i
+		}
+	}
+	if est <= sh.top[mi].score {
+		return
+	}
+	old := sh.top[mi]
+	delete(sh.idx, old.key)
+	sh.top[mi] = entry{key: key, score: est}
+	sh.idx[key] = mi
+	h.emitTopK(trace.KindTopKExit, old.key, old.score)
+	h.emitTopK(trace.KindTopKEnter, key, est)
+}
+
+// removeLocked deletes top[i], keeping idx consistent.
+func (h *Sidecar) removeLocked(sh *shard, i int) {
+	delete(sh.idx, sh.top[i].key)
+	last := len(sh.top) - 1
+	if i != last {
+		sh.top[i] = sh.top[last]
+		sh.idx[sh.top[i].key] = i
+	}
+	sh.top = sh.top[:last]
+}
+
+// emitTopK emits a top-K churn trace event.
+func (h *Sidecar) emitTopK(kind, tenant string, est uint64) {
+	h.tr.Load().EmitNote("hh", kind, 0, float64(est), 0, tenant)
+}
+
+// Snapshot settles every shard's sweep, re-scores the tracked keys
+// (dropping ones that decayed to zero), and returns the merged
+// global view. Cost is O(shards × (K·depth + width·depth)).
+func (h *Sidecar) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	now := h.now().UnixNano()
+	snap := Snapshot{
+		WindowSeconds: float64(h.window) / 1e9,
+		K:             h.k,
+		Width:         h.width,
+		Depth:         h.depth,
+		Shards:        len(h.shards),
+		Epsilon:       math.E / float64(h.width),
+	}
+	up := float64(now-h.start) / 1e9
+	snap.CoverageMinSeconds = math.Min(up, snap.WindowSeconds)
+	snap.CoverageMaxSeconds = math.Min(up, 2*snap.WindowSeconds)
+
+	var cands []Entry
+	var distinct float64
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		h.advanceLocked(sh, now)
+		shardN := h.windowWeightLocked(sh, planeRows)
+		bound := uint64(math.Ceil(snap.Epsilon * float64(shardN)))
+		for i := 0; i < len(sh.top); {
+			key := sh.top[i].key
+			hv := hash64(key)
+			rows := h.estLocked(sh, hv, planeRows)
+			if rows == 0 {
+				score := sh.top[i].score
+				h.removeLocked(sh, i)
+				h.emitTopK(trace.KindTopKExit, key, score)
+				continue
+			}
+			sh.top[i].score = rows
+			cands = append(cands, Entry{
+				Tenant:   key,
+				Rows:     rows,
+				Bound:    bound,
+				Bytes:    h.estLocked(sh, hv, planeBytes),
+				Events:   h.estLocked(sh, hv, planeEvents),
+				WALBytes: h.estLocked(sh, hv, planeWAL),
+				Touches:  h.estLocked(sh, hv, planeTouches),
+			})
+			i++
+		}
+		snap.WindowRows += shardN
+		snap.WindowBytes += h.windowWeightLocked(sh, planeBytes)
+		snap.WindowEvents += h.windowWeightLocked(sh, planeEvents)
+		snap.WindowWALBytes += h.windowWeightLocked(sh, planeWAL)
+		snap.WindowTouches += h.windowWeightLocked(sh, planeTouches)
+		distinct += h.linearCountLocked(sh)
+		sh.mu.Unlock()
+	}
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Rows != cands[j].Rows {
+			return cands[i].Rows > cands[j].Rows
+		}
+		return cands[i].Tenant < cands[j].Tenant
+	})
+	if len(cands) > h.k {
+		cands = cands[:h.k]
+	}
+	snap.TopK = cands
+	snap.DistinctTenants = distinct
+
+	if snap.WindowRows > 0 {
+		var topSum uint64
+		for _, e := range cands {
+			topSum += e.Rows
+		}
+		snap.TopKShare = math.Min(float64(topSum)/float64(snap.WindowRows), 1)
+	}
+	snap.ZipfS = zipfFit(cands)
+	return snap
+}
+
+// windowWeightLocked returns the shard's exact windowed stream
+// weight for one plane (totals are kept in slot units: depth× the
+// stream weight).
+func (h *Sidecar) windowWeightLocked(sh *shard, plane int) uint64 {
+	return (sh.totals[plane][0] + sh.totals[plane][1]) / uint64(h.depth)
+}
+
+// linearCountLocked estimates the shard's distinct active tenants by
+// linear counting on the rows plane: each depth row is an
+// independent width-bucket occupancy sketch of the same key set, so
+// the estimates are averaged. A fully occupied row saturates at
+// width·ln(width).
+func (h *Sidecar) linearCountLocked(sh *shard) float64 {
+	c := sh.counters[planeRows]
+	m := float64(h.width)
+	var sum float64
+	for i := 0; i < h.depth; i++ {
+		zero := 0
+		base := 2 * i * h.width
+		for j := 0; j < h.width; j++ {
+			if c[base+2*j]+c[base+2*j+1] == 0 {
+				zero++
+			}
+		}
+		if zero == 0 {
+			sum += m * math.Log(m)
+		} else {
+			sum += -m * math.Log(float64(zero)/m)
+		}
+	}
+	return sum / float64(h.depth)
+}
+
+// zipfFit estimates the skew exponent s of a Zipf law from the
+// ranked top-K counts via least-squares on (ln rank, ln count);
+// under Zipf, ln c_r ≈ ln c_1 − s·ln r. Returns 0 when fewer than
+// three ranks are available.
+func zipfFit(top []Entry) float64 {
+	n := len(top)
+	if n < 3 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i, e := range top {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(e.Rows))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den <= 0 {
+		return 0
+	}
+	slope := (fn*sxy - sx*sy) / den
+	return math.Max(-slope, 0)
+}
+
+// RegisterMetrics publishes the sidecar's aggregate skew statistics
+// as a dynamic gauge group on reg; each scrape takes one Snapshot.
+func (h *Sidecar) RegisterMetrics(reg *obs.Registry) {
+	if h == nil || reg == nil {
+		return
+	}
+	reg.GaugeSet("swsketch_hotkeys",
+		"Hot-key sidecar aggregate skew statistics over the sliding window.",
+		"stat", nil, func() map[string]float64 {
+			s := h.Snapshot()
+			return map[string]float64{
+				"topk_share":       s.TopKShare,
+				"zipf_s":           s.ZipfS,
+				"distinct_tenants": s.DistinctTenants,
+				"window_rows":      float64(s.WindowRows),
+				"window_events":    float64(s.WindowEvents),
+			}
+		})
+}
+
+// FNV-1a 64-bit, matching the registry's tenant striping family.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash64 is FNV-1a over the key bytes.
+func hash64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

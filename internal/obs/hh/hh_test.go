@@ -1,0 +1,409 @@
+package hh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"swsketch/internal/obs"
+	"swsketch/internal/trace"
+)
+
+// fakeClock is a mutex-guarded manual clock for deterministic decay
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// feed describes one adversarial key distribution for the bound test.
+type feed struct {
+	name string
+	keys int
+	next func(r *rand.Rand) int
+}
+
+// TestCountMinBoundAdversarial checks the ε·N overcount bound with a
+// frozen clock (no decay, so estimates are classic count-min and must
+// dominate the exact counts) across adversarial key distributions.
+// The run is fully deterministic (fixed seeds, FNV hashing), so the
+// probabilistic bound either holds for this instance forever or not
+// at all.
+func TestCountMinBoundAdversarial(t *testing.T) {
+	feeds := []feed{
+		{name: "uniform", keys: 256, next: func(r *rand.Rand) int { return r.Intn(256) }},
+	}
+	for _, s := range []float64{1.1, 1.5} {
+		r := rand.New(rand.NewSource(int64(s * 100)))
+		z := rand.NewZipf(r, s, 1, 999)
+		feeds = append(feeds, feed{
+			name: fmt.Sprintf("zipf-%.1f", s),
+			keys: 1000,
+			next: func(*rand.Rand) int { return int(z.Uint64()) },
+		})
+	}
+	feeds = append(feeds, feed{name: "flood", keys: 1, next: func(*rand.Rand) int { return 0 }})
+
+	for _, fd := range feeds {
+		t.Run(fd.name, func(t *testing.T) {
+			clk := newFakeClock()
+			h := New(Config{Window: time.Minute, K: 8, Width: 512, Depth: 4, Shards: 1, Now: clk.now})
+			r := rand.New(rand.NewSource(42))
+			exact := make(map[string]uint64, fd.keys)
+			const n = 50_000
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("tenant-%04d", fd.next(r))
+				h.ObserveIngest(key, 1, 8)
+				exact[key]++
+			}
+			bound := uint64(math.Ceil(math.E / 512 * n))
+			for key, want := range exact {
+				got := h.EstimateRows(key)
+				if got < want {
+					t.Fatalf("%s: estimate %d below exact %d (no decay occurred)", key, got, want)
+				}
+				if got-want > bound {
+					t.Errorf("%s: overcount %d exceeds ε·N bound %d", key, got-want, bound)
+				}
+			}
+			snap := h.Snapshot()
+			if snap.WindowRows != n {
+				t.Fatalf("window rows = %d, want exact %d", snap.WindowRows, n)
+			}
+			if len(snap.TopK) == 0 || snap.TopK[0].Bound != bound {
+				t.Fatalf("top entry bound = %v, want %d", snap.TopK, bound)
+			}
+		})
+	}
+}
+
+// TestSlidingDecay drives the clock manually and checks the coverage
+// contract: an estimate includes at least the last window and at most
+// the last two, and a gap of two windows clears everything.
+func TestSlidingDecay(t *testing.T) {
+	const win = time.Minute
+	clk := newFakeClock()
+	h := New(Config{Window: win, K: 8, Width: 256, Depth: 4, Shards: 1, Now: clk.now})
+
+	h.ObserveIngest("a", 1000, 0)
+	if got := h.EstimateRows("a"); got != 1000 {
+		t.Fatalf("fresh estimate = %d, want 1000", got)
+	}
+
+	// Half a window later the count is still fully covered.
+	clk.advance(win / 2)
+	h.ObserveIngest("b", 1, 0)
+	if got := h.EstimateRows("a"); got < 1000 {
+		t.Fatalf("estimate after w/2 = %d, want ≥ 1000 (within a window)", got)
+	}
+
+	// 1.9 windows after the burst it may or may not have been swept,
+	// but it can never exceed the exact total plus the bound.
+	clk.advance(win*7/5 - time.Millisecond)
+	if got := h.EstimateRows("a"); got > 1000 {
+		t.Fatalf("estimate at 1.9w = %d, exceeds lifetime exact 1000", got)
+	}
+
+	// A ≥2-window quiet gap clears the shard entirely.
+	clk.advance(2 * win)
+	if got := h.EstimateRows("a"); got != 0 {
+		t.Fatalf("estimate after 2w gap = %d, want 0", got)
+	}
+	if snap := h.Snapshot(); len(snap.TopK) != 0 || snap.WindowRows != 0 {
+		t.Fatalf("snapshot after gap = %+v, want empty", snap)
+	}
+
+	// Continuous traffic under a stepping clock: the windowed count
+	// never undercounts the last window and never exceeds the last
+	// two windows plus the bound.
+	exactAt := make([]uint64, 0, 400) // rows per step for key "c"
+	step := win / 100
+	for i := 0; i < 400; i++ {
+		h.ObserveIngest("c", 10, 0)
+		exactAt = append(exactAt, 10)
+		clk.advance(step)
+		// Strictly-inside-window items only (99 steps) for the lower
+		// bound; two windows plus one boundary step (201) for the
+		// upper, since sweep-credit rounding can lag by < 1 slot-time.
+		var lastWin, lastTwo uint64
+		for j := max(0, len(exactAt)-99); j < len(exactAt); j++ {
+			lastWin += exactAt[j]
+		}
+		for j := max(0, len(exactAt)-201); j < len(exactAt); j++ {
+			lastTwo += exactAt[j]
+		}
+		got := h.EstimateRows("c")
+		if got < lastWin {
+			t.Fatalf("step %d: estimate %d below last-window exact %d", i, got, lastWin)
+		}
+		if slack := uint64(math.Ceil(math.E / 256 * float64(lastTwo))); got > lastTwo+slack {
+			t.Fatalf("step %d: estimate %d above two-window exact %d + %d", i, got, lastTwo, slack)
+		}
+	}
+}
+
+// TestTopKTrackingAndChurn checks admission, displacement, Forget,
+// and the topk_enter/topk_exit trace events.
+func TestTopKTrackingAndChurn(t *testing.T) {
+	clk := newFakeClock()
+	h := New(Config{Window: time.Minute, K: 4, Width: 512, Depth: 4, Shards: 1, Now: clk.now})
+	tr := trace.New(256)
+	tr.Enable()
+	h.SetTracer(tr)
+
+	// Eight keys with strictly separated rates.
+	for i := 0; i < 8; i++ {
+		h.ObserveIngest(fmt.Sprintf("t%d", i), 100*(i+1), 0)
+	}
+	snap := h.Snapshot()
+	if len(snap.TopK) != 4 {
+		t.Fatalf("topk size = %d, want 4", len(snap.TopK))
+	}
+	want := []string{"t7", "t6", "t5", "t4"}
+	for i, e := range snap.TopK {
+		if e.Tenant != want[i] {
+			t.Fatalf("topk[%d] = %s (rows %d), want %s", i, e.Tenant, e.Rows, want[i])
+		}
+	}
+	if snap.TopKShare <= 0.7 || snap.TopKShare > 1 {
+		t.Fatalf("topk share = %v, want ≈ 2600/3600", snap.TopKShare)
+	}
+
+	counts := tr.Counts()
+	if counts[trace.KindTopKEnter].Count == 0 || counts[trace.KindTopKExit].Count == 0 {
+		t.Fatalf("expected topk churn events, got %+v", counts)
+	}
+
+	h.Forget("t7")
+	snap = h.Snapshot()
+	for _, e := range snap.TopK {
+		if e.Tenant == "t7" {
+			t.Fatal("t7 still tracked after Forget")
+		}
+	}
+}
+
+// TestSnapshotAggregates sanity-checks the fitted Zipf exponent and
+// the linear-counting distinct estimate on a synthetic power law.
+func TestSnapshotAggregates(t *testing.T) {
+	clk := newFakeClock()
+	h := New(Config{Window: time.Minute, K: 16, Width: 1024, Depth: 4, Shards: 1, Now: clk.now})
+	const keys = 300
+	for i := 1; i <= keys; i++ {
+		rows := int(20000 / math.Pow(float64(i), 1.2))
+		if rows == 0 {
+			rows = 1
+		}
+		h.ObserveIngest(fmt.Sprintf("key-%03d", i), rows, 16*rows)
+	}
+	snap := h.Snapshot()
+	if snap.ZipfS < 0.9 || snap.ZipfS > 1.5 {
+		t.Errorf("fitted zipf s = %v, want ≈ 1.2", snap.ZipfS)
+	}
+	if snap.DistinctTenants < keys*0.7 || snap.DistinctTenants > keys*1.3 {
+		t.Errorf("distinct estimate = %v, want ≈ %d", snap.DistinctTenants, keys)
+	}
+	if snap.WindowBytes != 16*snap.WindowRows {
+		t.Errorf("window bytes = %d, want 16×%d", snap.WindowBytes, snap.WindowRows)
+	}
+}
+
+// TestPlanesIndependent checks that events, WAL bytes, and touches
+// land on their own planes and surface in snapshot entries.
+func TestPlanesIndependent(t *testing.T) {
+	clk := newFakeClock()
+	h := New(Config{Window: time.Minute, Width: 256, Depth: 4, Shards: 1, Now: clk.now})
+	h.ObserveIngest("a", 50, 400)
+	for i := 0; i < 7; i++ {
+		h.ObserveEvent("a")
+	}
+	h.ObserveWAL("a", 1234)
+	h.Touch("a")
+	h.Touch("a")
+
+	snap := h.Snapshot()
+	if len(snap.TopK) != 1 {
+		t.Fatalf("topk = %+v, want one entry", snap.TopK)
+	}
+	e := snap.TopK[0]
+	if e.Rows != 50 || e.Bytes != 400 || e.Events != 7 || e.WALBytes != 1234 || e.Touches != 2 {
+		t.Fatalf("entry = %+v, want rows=50 bytes=400 events=7 wal=1234 touches=2", e)
+	}
+	if snap.WindowEvents != 7 || snap.WindowWALBytes != 1234 || snap.WindowTouches != 2 {
+		t.Fatalf("window totals = %+v", snap)
+	}
+}
+
+// TestNilSidecar checks every method is a no-op on a nil receiver.
+func TestNilSidecar(t *testing.T) {
+	var h *Sidecar
+	h.ObserveIngest("a", 1, 1)
+	h.ObserveEvent("a")
+	h.ObserveWAL("a", 1)
+	h.Touch("a")
+	h.Forget("a")
+	h.SetTracer(nil)
+	h.RegisterMetrics(nil)
+	if h.EstimateRows("a") != 0 || h.K() != 0 || h.Window() != 0 {
+		t.Fatal("nil sidecar returned non-zero")
+	}
+	if snap := h.Snapshot(); len(snap.TopK) != 0 {
+		t.Fatal("nil sidecar returned entries")
+	}
+}
+
+// TestSnapshotEncodeRoundTrip checks Encode → DecodeSnapshot is the
+// identity on a live snapshot.
+func TestSnapshotEncodeRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	h := New(Config{Window: time.Minute, K: 8, Width: 256, Depth: 4, Shards: 2, Now: clk.now})
+	r := rand.New(rand.NewSource(7))
+	z := rand.NewZipf(r, 1.2, 1, 99)
+	for i := 0; i < 20_000; i++ {
+		h.ObserveIngest(fmt.Sprintf("load-%04d", z.Uint64()), 1, 8)
+	}
+	snap := h.Snapshot()
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode own encoding: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(*got, snap) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, snap)
+	}
+}
+
+// TestDecodeSnapshotRejectsHostile table-tests the decoder's
+// hostile-shape rejections.
+func TestDecodeSnapshotRejectsHostile(t *testing.T) {
+	valid := `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,` +
+		`"epsilon":0.0106,"coverage_min_seconds":0,"coverage_max_seconds":0,` +
+		`"window_rows":10,"window_bytes":0,"window_events":0,"window_wal_bytes":0,` +
+		`"window_touches":0,"topk_share":1,"zipf_s":0,"distinct_tenants":1,` +
+		`"topk":[{"tenant":"a","rows":10,"bound":1,"bytes":0,"events":0,"wal_bytes":0,"touches":0}]}`
+	if _, err := DecodeSnapshot([]byte(valid)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	cases := map[string]string{
+		"trailing data":  valid + `{}`,
+		"unknown field":  `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,"bogus":1}`,
+		"huge k":         `{"window_seconds":60,"k":1000000,"width":256,"depth":4,"shards":1}`,
+		"zero width":     `{"window_seconds":60,"k":8,"width":0,"depth":4,"shards":1}`,
+		"huge depth":     `{"window_seconds":60,"k":8,"width":256,"depth":400,"shards":1}`,
+		"negative rows":  `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,"window_rows":-1}`,
+		"share above 1":  `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,"topk_share":1.5}`,
+		"empty tenant":   `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,"topk":[{"tenant":"","rows":1}]}`,
+		"zero-row entry": `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,"topk":[{"tenant":"a","rows":0}]}`,
+		"duplicate tenant": `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,` +
+			`"topk":[{"tenant":"a","rows":2},{"tenant":"a","rows":1}]}`,
+		"unsorted topk": `{"window_seconds":60,"k":8,"width":256,"depth":4,"shards":1,` +
+			`"topk":[{"tenant":"a","rows":1},{"tenant":"b","rows":2}]}`,
+		"overfull topk": `{"window_seconds":60,"k":1,"width":256,"depth":4,"shards":1,` +
+			`"topk":[{"tenant":"a","rows":2},{"tenant":"b","rows":1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeSnapshot([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestConcurrentStress hammers one sidecar from ingest, scrape,
+// estimate, and forget goroutines simultaneously; run with -race.
+func TestConcurrentStress(t *testing.T) {
+	h := New(Config{Window: 50 * time.Millisecond, K: 8, Width: 256, Depth: 4, Shards: 4})
+	tr := trace.New(128)
+	tr.Enable()
+	h.SetTracer(tr)
+	reg := obs.NewRegistry()
+	h.RegisterMetrics(reg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			z := rand.NewZipf(r, 1.3, 1, 63)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("load-%04d", z.Uint64())
+				h.ObserveIngest(id, 1+r.Intn(16), 128)
+				h.Touch(id)
+				if r.Intn(50) == 0 {
+					h.ObserveEvent(id)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := h.Snapshot()
+			data, err := snap.Encode()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := DecodeSnapshot(data); err != nil {
+				t.Errorf("live snapshot failed validation: %v\n%s", err, data)
+				return
+			}
+			_ = reg.Expose()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("load-%04d", r.Intn(64))
+			_ = h.EstimateRows(id)
+			if r.Intn(20) == 0 {
+				h.Forget(id)
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

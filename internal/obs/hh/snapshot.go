@@ -1,0 +1,181 @@
+package hh
+
+// This file is the snapshot wire format: the JSON document served on
+// GET /debug/hotkeys, plus the strict decoder the harness (swload,
+// swbench hh) uses to consume it. The decoder validates shape hard —
+// unknown fields, non-finite floats, out-of-range geometry, unsorted
+// or duplicated entries are all rejected — so a hostile or corrupted
+// body can neither allocate absurd amounts nor smuggle inconsistent
+// statistics into the accuracy gates.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"unicode/utf8"
+)
+
+// maxTenantLen bounds tenant IDs accepted by the decoder.
+const maxTenantLen = 256
+
+// Entry is one hot tenant in a Snapshot: count-min estimates for
+// every plane, plus the shard-local error bound its rows estimate is
+// subject to.
+type Entry struct {
+	// Tenant is the tenant ID.
+	Tenant string `json:"tenant"`
+	// Rows estimates rows committed over the window. The true count
+	// over the last window is ≤ Rows ≤ true count over the last two
+	// windows + Bound (w.p. ≥ 1−e^−depth).
+	Rows uint64 `json:"rows"`
+	// Bound is the count-min overcount bound ε·N for this tenant's
+	// shard: ε = e/width, N = the shard's windowed row weight.
+	Bound uint64 `json:"bound"`
+	// Bytes estimates ingested payload bytes over the window.
+	Bytes uint64 `json:"bytes"`
+	// Events estimates shed/error events over the window.
+	Events uint64 `json:"events"`
+	// WALBytes estimates write-ahead-log bytes over the window.
+	WALBytes uint64 `json:"wal_bytes"`
+	// Touches estimates tenant acquisitions over the window.
+	Touches uint64 `json:"touches"`
+}
+
+// Snapshot is the merged global view of the sidecar at one instant.
+type Snapshot struct {
+	// WindowSeconds is the configured sliding window.
+	WindowSeconds float64 `json:"window_seconds"`
+	// K is the configured top-K size.
+	K int `json:"k"`
+	// Width is counters per hash row per shard.
+	Width int `json:"width"`
+	// Depth is the number of hash rows.
+	Depth int `json:"depth"`
+	// Shards is the number of concurrency stripes.
+	Shards int `json:"shards"`
+	// Epsilon is the relative count-min error e/Width; an estimate
+	// overcounts its shard by at most Epsilon × that shard's windowed
+	// weight (per plane) with probability ≥ 1−e^−Depth.
+	Epsilon float64 `json:"epsilon"`
+	// CoverageMinSeconds and CoverageMaxSeconds bracket the span of
+	// traffic the counts cover: at least the last window and at most
+	// the last two, clipped to the sidecar's uptime.
+	CoverageMinSeconds float64 `json:"coverage_min_seconds"`
+	// CoverageMaxSeconds — see CoverageMinSeconds.
+	CoverageMaxSeconds float64 `json:"coverage_max_seconds"`
+	// WindowRows is the exact total row weight in the window across
+	// shards (totals, unlike per-key estimates, carry no hash error).
+	WindowRows uint64 `json:"window_rows"`
+	// WindowBytes is the exact total payload-byte weight in the window.
+	WindowBytes uint64 `json:"window_bytes"`
+	// WindowEvents is the exact total shed/error events in the window.
+	WindowEvents uint64 `json:"window_events"`
+	// WindowWALBytes is the exact total WAL bytes in the window.
+	WindowWALBytes uint64 `json:"window_wal_bytes"`
+	// WindowTouches is the exact total tenant acquisitions in the window.
+	WindowTouches uint64 `json:"window_touches"`
+	// TopKShare is the fraction of WindowRows attributed to the
+	// reported top-K (clamped to [0,1]).
+	TopKShare float64 `json:"topk_share"`
+	// ZipfS is the least-squares Zipf exponent fitted over the ranked
+	// top-K counts; 0 when fewer than three ranks are available.
+	ZipfS float64 `json:"zipf_s"`
+	// DistinctTenants is a linear-counting estimate of tenants active
+	// in the window.
+	DistinctTenants float64 `json:"distinct_tenants"`
+	// TopK lists the hot tenants, rows-descending (ties broken by
+	// tenant ID ascending).
+	TopK []Entry `json:"topk"`
+}
+
+// Encode renders the snapshot as canonical JSON (the /debug/hotkeys
+// body). Decode∘Encode is the identity, and Encode∘Decode is a fixed
+// point on any accepted document.
+func (s Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSnapshot parses and validates a snapshot document, rejecting
+// unknown fields, non-finite or out-of-range statistics, and
+// malformed top-K lists (empty, oversized, or over-long tenant IDs;
+// zero-row, duplicate, or mis-sorted entries).
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("hh: decode snapshot: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil {
+		return nil, errors.New("hh: decode snapshot: trailing data")
+	}
+	if err := s.validate(); err != nil {
+		return nil, fmt.Errorf("hh: invalid snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// validate enforces the invariants Encode guarantees.
+func (s *Snapshot) validate() error {
+	if !finiteIn(s.WindowSeconds, minWindow.Seconds(), maxWindow.Seconds()) {
+		return fmt.Errorf("window_seconds %v out of range", s.WindowSeconds)
+	}
+	if s.K < 1 || s.K > maxK {
+		return fmt.Errorf("k %d out of range", s.K)
+	}
+	if s.Width < 1 || s.Width > maxWidth {
+		return fmt.Errorf("width %d out of range", s.Width)
+	}
+	if s.Depth < 1 || s.Depth > maxDepth {
+		return fmt.Errorf("depth %d out of range", s.Depth)
+	}
+	if s.Shards < 1 || s.Shards > maxShards {
+		return fmt.Errorf("shards %d out of range", s.Shards)
+	}
+	if !finiteIn(s.Epsilon, 0, 1) {
+		return fmt.Errorf("epsilon %v out of range", s.Epsilon)
+	}
+	if !finiteIn(s.CoverageMinSeconds, 0, 2*maxWindow.Seconds()) ||
+		!finiteIn(s.CoverageMaxSeconds, 0, 2*maxWindow.Seconds()) ||
+		s.CoverageMinSeconds > s.CoverageMaxSeconds {
+		return fmt.Errorf("coverage [%v, %v] invalid", s.CoverageMinSeconds, s.CoverageMaxSeconds)
+	}
+	if !finiteIn(s.TopKShare, 0, 1) {
+		return fmt.Errorf("topk_share %v out of range", s.TopKShare)
+	}
+	if !finiteIn(s.ZipfS, 0, 100) {
+		return fmt.Errorf("zipf_s %v out of range", s.ZipfS)
+	}
+	if !finiteIn(s.DistinctTenants, 0, math.MaxUint32) {
+		return fmt.Errorf("distinct_tenants %v out of range", s.DistinctTenants)
+	}
+	if len(s.TopK) > s.K {
+		return fmt.Errorf("topk has %d entries for k=%d", len(s.TopK), s.K)
+	}
+	seen := make(map[string]bool, len(s.TopK))
+	for i, e := range s.TopK {
+		if e.Tenant == "" || len(e.Tenant) > maxTenantLen || !utf8.ValidString(e.Tenant) {
+			return fmt.Errorf("topk[%d]: bad tenant id", i)
+		}
+		if seen[e.Tenant] {
+			return fmt.Errorf("topk[%d]: duplicate tenant %q", i, e.Tenant)
+		}
+		seen[e.Tenant] = true
+		if e.Rows == 0 {
+			return fmt.Errorf("topk[%d]: zero rows", i)
+		}
+		if i > 0 {
+			prev := s.TopK[i-1]
+			if e.Rows > prev.Rows || (e.Rows == prev.Rows && e.Tenant <= prev.Tenant) {
+				return fmt.Errorf("topk[%d]: not sorted rows-descending", i)
+			}
+		}
+	}
+	return nil
+}
+
+// finiteIn reports whether v is finite and within [lo, hi].
+func finiteIn(v, lo, hi float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= lo && v <= hi
+}

@@ -149,6 +149,21 @@ func WithEvictHook(fn func(id string, spilled bool)) Option {
 // synchronised against concurrent evictions.
 func (r *Registry) SetEvictHook(fn func(id string, spilled bool)) { r.evictHook = fn }
 
+// WithTouchHook registers fn to run after every successful tenant
+// Acquire, identifying the tenant. The serve layer feeds it to the
+// hot-key sidecar as a per-request activity signal. fn runs with the
+// tenant's lock held on the acquiring goroutine's hot path, so it
+// must be cheap and must not call back into the registry.
+func WithTouchHook(fn func(id string)) Option {
+	return func(r *Registry) { r.touchHook = fn }
+}
+
+// SetTouchHook installs the WithTouchHook callback after construction
+// (the serve layer wires caller-built registries this way). Call it
+// before the registry takes traffic; it is not synchronised against
+// concurrent acquisitions.
+func (r *Registry) SetTouchHook(fn func(id string)) { r.touchHook = fn }
+
 // shard is one lock stripe: a map of tenants under its own RWMutex.
 type shard struct {
 	mu      sync.RWMutex
@@ -171,6 +186,7 @@ type Registry struct {
 	now         func() time.Time
 
 	evictHook func(id string, spilled bool)
+	touchHook func(id string)
 
 	created, restored, deleted *obs.Counter
 	evictSpilled, evictDropped *obs.Counter

@@ -87,6 +87,9 @@ func (t *Tenant) Acquire() error {
 			return err
 		}
 	}
+	if t.reg.touchHook != nil {
+		t.reg.touchHook(t.id)
+	}
 	return nil
 }
 

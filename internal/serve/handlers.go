@@ -98,10 +98,17 @@ func (s *Server) ingestTenant(t *registry.Tenant, updates []ingestUpdate) (inges
 		return ingestResponse{}, errf(http.StatusBadRequest, CodeInvalidArgument, "no updates")
 	}
 	if err := t.Acquire(); err != nil {
+		s.hot.ObserveEvent(t.ID())
 		return ingestResponse{}, acquireError(t, err)
 	}
 	defer t.Release()
-	return s.ingestLocked(t, updates)
+	resp, apiErr := s.ingestLocked(t, updates)
+	if apiErr != nil {
+		// Rejected batches (clock regressions, bad rows, sketch
+		// conflicts) land on the sidecar's events plane.
+		s.hot.ObserveEvent(t.ID())
+	}
+	return resp, apiErr
 }
 
 // ingestLocked is the ingest core; the caller holds the tenant.
@@ -147,6 +154,7 @@ func (s *Server) ingestLocked(t *registry.Tenant, updates []ingestUpdate) (inges
 				"ingest rejected by sketch: %v", err)
 		}
 		t.Commit(len(updates), prev)
+		s.hot.ObserveIngest(t.ID(), len(updates), 8*d*len(updates))
 		if auditing {
 			s.observeAudit(rows, times)
 		}
@@ -192,6 +200,9 @@ func (s *Server) ingestLocked(t *registry.Tenant, updates []ingestUpdate) (inges
 			"ingest rejected by sketch: %v", err)
 	}
 	t.Commit(len(updates), prev)
+	// Committed rows feed the sidecar's rows plane; the bytes plane
+	// gets the dense-equivalent payload size (8 bytes × d per row).
+	s.hot.ObserveIngest(t.ID(), len(updates), 8*d*len(updates))
 	if auditing {
 		s.observeAudit(denseRows, denseTimes)
 	}

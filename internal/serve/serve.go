@@ -35,6 +35,8 @@
 //	GET  /metrics           Prometheus text exposition (WithMetrics)
 //	GET  /debug/trace       event-trace JSONL dump (?format=summary for counts)
 //	                        (WithTrace)
+//	GET  /debug/hotkeys     hot-tenant top-K + traffic-skew telemetry
+//	                        (WithHotKeys)
 //	     /debug/pprof/...   runtime profiles (WithPprof)
 //
 // Every error response under /v1 uses the machine-readable envelope
@@ -79,6 +81,7 @@ import (
 	"swsketch/internal/mat"
 	"swsketch/internal/obs"
 	"swsketch/internal/obs/audit"
+	"swsketch/internal/obs/hh"
 	"swsketch/internal/registry"
 	"swsketch/internal/trace"
 	"swsketch/internal/wal"
@@ -121,6 +124,8 @@ type Server struct {
 	wal         *wal.Log
 	walDamaged  atomic.Bool
 	streamQueue int
+
+	hot *hh.Sidecar
 
 	streamRows, streamBlocks, streamShed *obs.Counter
 	streamOpen                           *obs.Gauge
@@ -268,10 +273,35 @@ func NewServer(sk core.WindowSketch, d int, opts ...Option) *Server {
 		s.streamOpen = s.reg.Gauge("swsketch_stream_open",
 			"Streaming ingest connections currently open.", nil)
 	}
-	if s.wal != nil {
-		// Spilled or deleted tenants no longer need their WAL records for
-		// recovery; release them so closed segments can truncate.
-		s.treg.SetEvictHook(func(id string, _ bool) { s.wal.Released(id) })
+	if s.hot != nil {
+		if s.tr != nil {
+			s.hot.SetTracer(s.tr)
+		}
+		if s.reg != nil {
+			s.hot.RegisterMetrics(s.reg)
+		}
+		// Every successful tenant acquisition feeds the sidecar's
+		// touches plane — request-level activity independent of rows.
+		s.treg.SetTouchHook(s.hot.Touch)
+		if s.wal != nil {
+			s.wal.SetAppendHook(func(tenant string, _, bytes int) {
+				s.hot.ObserveWAL(tenant, bytes)
+			})
+		}
+	}
+	if s.wal != nil || s.hot != nil {
+		s.treg.SetEvictHook(func(id string, spilled bool) {
+			if s.wal != nil {
+				// Spilled or deleted tenants no longer need their WAL records
+				// for recovery; release them so closed segments can truncate.
+				s.wal.Released(id)
+			}
+			if s.hot != nil && !spilled {
+				// A dropped or deleted tenant leaves the top-K tracker; its
+				// count-min contributions decay out on their own.
+				s.hot.Forget(id)
+			}
+		})
 	}
 	return s
 }
@@ -328,6 +358,9 @@ func (s *Server) Handler() http.Handler {
 	}
 	if s.tr != nil {
 		handle("GET /debug/trace", s.handleTrace, "GET")
+	}
+	if s.hot != nil {
+		handle("GET /debug/hotkeys", s.handleHotkeys, "GET")
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -625,6 +658,9 @@ type healthResponse struct {
 	// WAL reports the write-ahead log's replay outcome; present only
 	// when a WAL is attached (v1 responses without one are unchanged).
 	WAL *walHealth `json:"wal,omitempty"`
+	// HotKeys reports the hot-key sidecar's configuration; present
+	// only when one is attached (WithHotKeys).
+	HotKeys *hotkeysHealth `json:"hotkeys,omitempty"`
 }
 
 // walHealth is the health endpoints' view of the write-ahead log.
@@ -646,6 +682,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{Status: "ok"}
 	if s.wal != nil {
 		resp.WAL = &walHealth{Replayed: s.wal.Replayed(), Damaged: s.walDamaged.Load()}
+	}
+	if s.hot != nil {
+		resp.HotKeys = &hotkeysHealth{
+			Enabled:       true,
+			WindowSeconds: s.hot.Window().Seconds(),
+			TopK:          s.hot.K(),
+		}
 	}
 	if s.audit != nil {
 		if r.URL.Query().Get("fresh") != "" {

@@ -99,6 +99,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if s.streamShed != nil {
 			s.streamShed.Inc()
 		}
+		s.hot.ObserveEvent(t.ID())
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, CodeOverloaded,
 			"tenant %q has %d stream blocks in flight", t.ID(), t.Pending())
@@ -163,7 +164,7 @@ func (c *streamConn) runNDJSON(body io.Reader) {
 			// A malformed line poisons the pending batch (its boundary is
 			// now unknowable), so fail the batch as one block and stop.
 			batch = batch[:0]
-			c.ack(&apiError{code: CodeInvalidJSON, msg: fmt.Sprintf("bad line: %v", err)}, 0, 0)
+			c.fail(&apiError{code: CodeInvalidJSON, msg: fmt.Sprintf("bad line: %v", err)})
 			return
 		}
 		batch = append(batch, u)
@@ -185,28 +186,28 @@ func (c *streamConn) runFrames(body io.Reader) {
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				c.ack(&apiError{code: CodeInvalidArgument,
-					msg: fmt.Sprintf("read frame length: %v", err)}, 0, 0)
+				c.fail(&apiError{code: CodeInvalidArgument,
+					msg: fmt.Sprintf("read frame length: %v", err)})
 			}
 			return // clean EOF between frames ends the stream
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if n == 0 || n > streamMaxFrame {
-			c.ack(&apiError{code: CodeInvalidArgument,
-				msg: fmt.Sprintf("frame length %d out of range", n)}, 0, 0)
+			c.fail(&apiError{code: CodeInvalidArgument,
+				msg: fmt.Sprintf("frame length %d out of range", n)})
 			return
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			c.ack(&apiError{code: CodeInvalidArgument,
-				msg: fmt.Sprintf("torn frame: %v", err)}, 0, 0)
+			c.fail(&apiError{code: CodeInvalidArgument,
+				msg: fmt.Sprintf("torn frame: %v", err)})
 			return
 		}
 		updates, err := decodeFrame(payload, c.t.D())
 		if err != nil {
 			// A bad frame is unrecoverable: the next length prefix cannot
 			// be trusted, so ack the failure and close.
-			c.ack(&apiError{code: CodeInvalidArgument, msg: err.Error()}, 0, 0)
+			c.fail(&apiError{code: CodeInvalidArgument, msg: err.Error()})
 			return
 		}
 		if !c.block(updates) {
@@ -260,8 +261,8 @@ func (c *streamConn) block(updates []ingestUpdate) bool {
 		if c.s.streamShed != nil {
 			c.s.streamShed.Inc()
 		}
-		return c.ack(&apiError{code: CodeOverloaded,
-			msg: fmt.Sprintf("tenant %q has %d stream blocks in flight", c.t.ID(), c.t.Pending())}, 0, 0)
+		return c.fail(&apiError{code: CodeOverloaded,
+			msg: fmt.Sprintf("tenant %q has %d stream blocks in flight", c.t.ID(), c.t.Pending())})
 	}
 	resp, apiErr := c.s.ingestTenant(c.t, updates)
 	c.t.Dequeue()
@@ -274,6 +275,14 @@ func (c *streamConn) block(updates []ingestUpdate) bool {
 		c.s.streamBlocks.Inc()
 	}
 	return c.ack(nil, resp.Accepted, resp.LastT)
+}
+
+// fail records the error on the hot-key sidecar's events plane and
+// acks it. For block-level ingest failures ingestTenant already
+// counted the event, so those go straight to ack.
+func (c *streamConn) fail(apiErr *apiError) bool {
+	c.s.hot.ObserveEvent(c.t.ID())
+	return c.ack(apiErr, 0, 0)
 }
 
 // ack writes one itemResult line and flushes it to the client.

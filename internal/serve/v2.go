@@ -109,6 +109,9 @@ func (s *Server) handleV2Bulk(w http.ResponseWriter, r *http.Request) {
 		res := itemResult{Index: i, ID: item.ID}
 		t, ok := s.treg.Get(item.ID)
 		if !ok {
+			// Attribute the miss to the requested key: a bulk client
+			// hammering a deleted tenant shows up on the events plane.
+			s.hot.ObserveEvent(item.ID)
 			res.Error = &errorBody{Code: CodeNotFound, Message: fmt.Sprintf("no tenant %q", item.ID)}
 		} else if resp, apiErr := s.ingestTenant(t, item.Updates); apiErr != nil {
 			res.Error = &errorBody{Code: apiErr.code, Message: apiErr.msg}

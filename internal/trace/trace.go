@@ -116,6 +116,13 @@ const (
 	// KindStreamClose: a streaming ingest connection closed. V1 = rows
 	// accepted over the connection, V2 = blocks; Note = tenant ID.
 	KindStreamClose = "stream_close"
+	// KindTopKEnter: a tenant entered the hot-key top-K tracker.
+	// V1 = its estimated windowed row count at entry; Note = tenant ID.
+	KindTopKEnter = "topk_enter"
+	// KindTopKExit: a tenant left the hot-key top-K tracker (displaced
+	// by a hotter key, decayed to zero, or forgotten on delete).
+	// V1 = the displaced estimate; Note = tenant ID.
+	KindTopKExit = "topk_exit"
 )
 
 // Event is one traced occurrence. Events are fixed-size values (two

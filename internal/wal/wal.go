@@ -114,7 +114,17 @@ type Log struct {
 
 	appends, rows, bytes, fsyncs, truncated *obs.Counter
 	fsyncHist                               *obs.Histogram
+
+	appendHook func(tenant string, rows, bytes int)
 }
+
+// SetAppendHook registers fn to run after every successful record
+// append, carrying the tenant, the record's row count, and its
+// encoded size. The serve layer feeds it to the hot-key sidecar's
+// WAL plane. fn runs under the shard lock on the append hot path, so
+// it must be cheap and must not call back into the log. Call before
+// the log takes traffic; it is not synchronised against appends.
+func (l *Log) SetAppendHook(fn func(tenant string, rows, bytes int)) { l.appendHook = fn }
 
 // logShard is one stripe: its own segment files, sequence counter,
 // and lock.
@@ -393,6 +403,9 @@ func (l *Log) append(rec *record) (uint64, error) {
 	if l.tr.Enabled() {
 		l.tr.EmitNote("wal", trace.KindWALAppend, 0,
 			float64(len(rec.rows)), float64(len(data)), rec.tenant)
+	}
+	if l.appendHook != nil {
+		l.appendHook(rec.tenant, len(rec.rows), len(data))
 	}
 	return rec.seq, nil
 }
