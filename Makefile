@@ -99,7 +99,7 @@ doclint:
 	$(GO) run ./cmd/doclint ./...
 
 linkcheck:
-	$(GO) run ./cmd/linkcheck README.md DESIGN.md docs/API.md
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md ALGORITHMS.md EXPERIMENTS.md docs/API.md docs/QUERIES.md
 
 docs: doclint linkcheck
 

@@ -34,6 +34,11 @@
 //	         PAMAP workload at matched ε; writes BENCH_dsfd.json
 //	         (see -dsfd-out) and fails if DS-FD breaches its N·R/ℓ
 //	         guarantee or uses more space than LM-FD
+//	amm      windowed approximate matrix multiplication: LM-AMM and
+//	         DI-AMM on a correlated paired stream across the ℓ grid,
+//	         correlation error vs the exact-AᵀB oracle; writes
+//	         BENCH_amm.json (see -amm-out) and fails if any grid
+//	         point breaches its slacked 4/ℓ bound
 //	obs      overhead of the observability stack (metrics decorator
 //	         and disabled tracer), bare vs wrapped, per-row and
 //	         batched ingest, plus the /v2 binary-stream serving path;
@@ -79,6 +84,7 @@ func main() {
 		fdOut  = flag.String("fd-out", "BENCH_fd.json", "output path for the fd experiment")
 		fdBase = flag.String("fd-baseline", "", "baseline BENCH_fd.json for the fd regression gate (empty disables)")
 		dsOut  = flag.String("dsfd-out", "BENCH_dsfd.json", "output path for the dsfd experiment")
+		aOut   = flag.String("amm-out", "BENCH_amm.json", "output path for the amm experiment")
 		oOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
 		hOut   = flag.String("hh-out", "BENCH_hh.json", "output path for the hh experiment")
 		tOut   = flag.String("tenants-out", "BENCH_tenants.json", "output path for the tenants experiment")
@@ -87,7 +93,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|dsfd|obs|hh|tenants|load|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: swbench [flags] table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|drift|projerr|winsweep|kernels|fd|dsfd|amm|obs|hh|tenants|load|verify|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -172,6 +178,11 @@ func main() {
 	case "dsfd":
 		if err := runDSFD(out, sc, *dsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: dsfd: %v\n", err)
+			os.Exit(1)
+		}
+	case "amm":
+		if err := runAMM(out, sc, *aOut); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: amm: %v\n", err)
 			os.Exit(1)
 		}
 	case "verify":

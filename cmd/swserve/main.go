@@ -13,6 +13,8 @@
 //	POST /v1/ingest/bulk    multi-tenant ingest in one request
 //	GET  /v1/approximation  [?t=...]      window approximation B
 //	GET  /v1/pca            [?t=...&k=3]  top-k window PCA
+//	GET  /v1/tenants/{id}/amm             windowed AᵀB estimate (paired
+//	                                      frameworks lm-amm/di-amm only)
 //	GET  /v1/stats                        sketch metadata + internals
 //	GET  /v1/health         accuracy health: ok/degraded (with -audit)
 //	GET  /v1/snapshot       binary snapshot (POST restores one)
@@ -63,14 +65,15 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | ds-fd")
+		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | ds-fd | lm-amm | di-amm")
 		d       = flag.Int("d", 0, "row dimension (required)")
 		winSize = flag.Float64("window", 10000, "window size (rows, or span with -time)")
 		useTime = flag.Bool("time", false, "time-based window")
 		ell     = flag.Int("ell", 32, "sketch size parameter ℓ")
 		b       = flag.Int("b", 8, "LM blocks per level")
 		levels  = flag.Int("L", 6, "DI levels (di-fd)")
-		rBound  = flag.Float64("R", 0, "max squared row norm bound (required for di-fd; optional for ds-fd, 0 = adaptive)")
+		rBound  = flag.Float64("R", 0, "max squared row norm bound (required for di-fd/di-amm; optional for ds-fd, 0 = adaptive)")
+		dBSplit = flag.Int("d-b", 0, "B-side suffix width of each stacked row [a|b] (required for lm-amm/di-amm)")
 		fdBuf   = flag.Int("fd-buffer", 0, "FastFD working-buffer factor b for the FD frameworks (0/1 = classic, 2 = recommended)")
 		fdAlpha = flag.Float64("fd-alpha", 0, "FastFD shrink aggressiveness α in (0,1] for the FD frameworks (0 = classic 1)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -115,13 +118,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swserve: -fd-buffer must be ≥ 0 and -fd-alpha in (0,1] (0 for the default)")
 		os.Exit(2)
 	}
+	isAMM := false
 	switch strings.ToLower(*algo) {
 	case "lm-fd", "di-fd", "ds-fd":
+	case "lm-amm", "di-amm":
+		isAMM = true
 	default:
 		if *fdBuf != 0 || *fdAlpha != 0 {
-			fmt.Fprintf(os.Stderr, "swserve: -fd-buffer/-fd-alpha apply to the FD frameworks only, not %q\n", *algo)
+			fmt.Fprintf(os.Stderr, "swserve: -fd-buffer/-fd-alpha apply to the FD and AMM frameworks only, not %q\n", *algo)
 			os.Exit(2)
 		}
+	}
+	if isAMM && (*dBSplit < 1 || *dBSplit >= *d) {
+		fmt.Fprintf(os.Stderr, "swserve: %s requires -d-b in (0,d): the B-side suffix width of the stacked dimension d=%d\n", *algo, *d)
+		os.Exit(2)
+	}
+	if !isAMM && *dBSplit != 0 {
+		fmt.Fprintf(os.Stderr, "swserve: -d-b applies to the paired (amm) frameworks only, not %q\n", *algo)
+		os.Exit(2)
 	}
 
 	var sk core.WindowSketch
@@ -156,6 +170,20 @@ func main() {
 		sk = core.NewDSFD(core.DSFDConfig{
 			N: int(*winSize), Ell: *ell, R: *rBound, RSlack: 1.01, FD: fdo,
 		}, *d)
+	case "lm-amm":
+		sk = core.NewLMAMMOpts(spec, *d-*dBSplit, *dBSplit, *ell, *b, fdo)
+	case "di-amm":
+		if *useTime {
+			fmt.Fprintln(os.Stderr, "swserve: di-amm supports sequence windows only")
+			os.Exit(2)
+		}
+		if *rBound <= 0 {
+			fmt.Fprintln(os.Stderr, "swserve: di-amm requires -R (the max squared row norm)")
+			os.Exit(2)
+		}
+		sk = core.NewDIAMMOpts(core.DIConfig{
+			N: int(*winSize), R: *rBound, L: *levels, Ell: *ell, RSlack: 1.01,
+		}, *d-*dBSplit, *dBSplit, fdo)
 	default:
 		fmt.Fprintf(os.Stderr, "swserve: unknown algorithm %q\n", *algo)
 		os.Exit(2)

@@ -13,6 +13,12 @@
 //
 //	swstream -algo lm-fd -window 1000 [-time] [-every 500] [-ell 24] [-fd-buffer 2] [-fd-alpha 0.5] [-stats] [-trace] [-audit] < stream.csv
 //
+// The paired AMM frameworks (lm-amm, di-amm) read the same CSV but
+// treat each row as the stacked pair [a|b]: -d-b gives the width of
+// the b suffix, and the sketch maintains a windowed estimate of AᵀB
+// instead of AᵀA. The periodic summary then describes the stacked
+// co-sketch [X|Y].
+//
 // With -stats the run ends with an instrumentation summary: rows and
 // batches ingested, update/query latency totals, and the sketch's
 // internal statistics (core.Introspector).
@@ -51,7 +57,7 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | ds-fd | best")
+		algo    = flag.String("algo", "lm-fd", "sketch: swr | swor | swor-all | lm-fd | lm-hash | di-fd | ds-fd | lm-amm | di-amm | best")
 		winSize = flag.Float64("window", 1000, "window size (rows, or time span with -time)")
 		useTime = flag.Bool("time", false, "time-based window (use CSV timestamps)")
 		every   = flag.Int("every", 500, "print a summary every k rows")
@@ -59,7 +65,8 @@ func main() {
 		ell     = flag.Int("ell", 24, "sketch size parameter ℓ")
 		b       = flag.Int("b", 8, "LM blocks per level")
 		levels  = flag.Int("L", 6, "DI levels")
-		rBound  = flag.Float64("R", 0, "max squared row norm bound R (required for di-fd; optional for ds-fd, 0 = adaptive)")
+		rBound  = flag.Float64("R", 0, "max squared row norm bound R (required for di-fd/di-amm; optional for ds-fd, 0 = adaptive)")
+		dBSplit = flag.Int("d-b", 0, "B-side suffix width of each stacked row [a|b] (required for lm-amm/di-amm)")
 		fdBuf   = flag.Int("fd-buffer", 0, "FastFD working-buffer factor b for the FD frameworks (0/1 = classic, 2 = recommended)")
 		fdAlpha = flag.Float64("fd-alpha", 0, "FastFD shrink aggressiveness α in (0,1] for the FD frameworks (0 = classic 1)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -75,7 +82,7 @@ func main() {
 	if err := run(os.Stdin, os.Stdout, options{
 		algo: *algo, winSize: *winSize, useTime: *useTime, every: *every,
 		batch: *batch, ell: *ell, b: *b, levels: *levels, rBound: *rBound,
-		fdBuffer: *fdBuf, fdAlpha: *fdAlpha,
+		dB: *dBSplit, fdBuffer: *fdBuf, fdAlpha: *fdAlpha,
 		seed: *seed, topK: *topK, stats: *stats,
 		trace: *traceOn, traceOut: *trOut, audit: *auditOn, auditStride: *aStride,
 	}); err != nil {
@@ -92,6 +99,7 @@ type options struct {
 	batch          int
 	ell, b, levels int
 	rBound         float64
+	dB             int
 	fdBuffer       int
 	fdAlpha        float64
 	seed           int64
@@ -339,12 +347,21 @@ func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error
 		return nil, fmt.Errorf("-fd-alpha must be in (0,1] (0 for the default), got %v", opt.fdAlpha)
 	}
 	isFD := false
+	isAMM := false
 	switch strings.ToLower(opt.algo) {
 	case "lm-fd", "di-fd", "ds-fd":
 		isFD = true
+	case "lm-amm", "di-amm":
+		isFD, isAMM = true, true
 	}
 	if !isFD && (opt.fdBuffer != 0 || opt.fdAlpha != 0) {
-		return nil, fmt.Errorf("-fd-buffer/-fd-alpha apply to the FD frameworks only, not %q", opt.algo)
+		return nil, fmt.Errorf("-fd-buffer/-fd-alpha apply to the FD and AMM frameworks only, not %q", opt.algo)
+	}
+	if isAMM && (opt.dB < 1 || opt.dB >= d) {
+		return nil, fmt.Errorf("%s requires -d-b in (0,d): the B-side suffix width of the stacked dimension d=%d, got %d", opt.algo, d, opt.dB)
+	}
+	if !isAMM && opt.dB != 0 {
+		return nil, fmt.Errorf("-d-b applies to the paired (amm) frameworks only, not %q", opt.algo)
 	}
 	switch strings.ToLower(opt.algo) {
 	case "swr":
@@ -375,6 +392,18 @@ func buildSketch(opt options, spec window.Spec, d int) (core.WindowSketch, error
 		return core.NewDSFD(core.DSFDConfig{
 			N: int(opt.winSize), Ell: opt.ell, R: opt.rBound, RSlack: 1.01, FD: fdo,
 		}, d), nil
+	case "lm-amm":
+		return core.NewLMAMMOpts(spec, d-opt.dB, opt.dB, opt.ell, opt.b, fdo), nil
+	case "di-amm":
+		if opt.useTime {
+			return nil, fmt.Errorf("di-amm supports sequence windows only")
+		}
+		if opt.rBound == 0 {
+			return nil, fmt.Errorf("di-amm requires -R (the max squared row norm)")
+		}
+		return core.NewDIAMMOpts(core.DIConfig{
+			N: int(opt.winSize), R: opt.rBound, L: opt.levels, Ell: opt.ell, RSlack: 1.01,
+		}, d-opt.dB, opt.dB, fdo), nil
 	case "best":
 		return core.NewBest(spec, opt.ell, d), nil
 	default:

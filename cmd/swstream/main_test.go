@@ -164,3 +164,54 @@ func TestRunAudit(t *testing.T) {
 		t.Fatalf("missing audit report:\n%s", s)
 	}
 }
+
+// TestRunAMMAlgorithms streams stacked [a|b] rows through the paired
+// frameworks and checks the standard summary plane works unchanged.
+func TestRunAMMAlgorithms(t *testing.T) {
+	opt := baseOpts()
+	opt.algo = "lm-amm"
+	opt.dB = 1
+	var out bytes.Buffer
+	if err := run(strings.NewReader(variedCSV(40)), &out, opt); err != nil {
+		t.Fatalf("lm-amm: %v", err)
+	}
+	if !strings.Contains(out.String(), "algo=LM-AMM") {
+		t.Fatalf("missing LM-AMM header:\n%s", out.String())
+	}
+
+	opt = baseOpts()
+	opt.algo = "di-amm"
+	opt.dB = 1
+	opt.rBound = 70
+	opt.ell = 8
+	out.Reset()
+	if err := run(strings.NewReader(variedCSV(40)), &out, opt); err != nil {
+		t.Fatalf("di-amm: %v", err)
+	}
+	if !strings.Contains(out.String(), "algo=DI-AMM") {
+		t.Fatalf("missing DI-AMM header:\n%s", out.String())
+	}
+}
+
+func TestRunAMMFlagErrors(t *testing.T) {
+	cases := map[string]options{
+		"amm without d-b":  func() options { o := baseOpts(); o.algo = "lm-amm"; return o }(),
+		"amm d-b too wide": func() options { o := baseOpts(); o.algo = "lm-amm"; o.dB = 3; return o }(),
+		"d-b on lm-fd":     func() options { o := baseOpts(); o.dB = 1; return o }(),
+		"di-amm without R": func() options { o := baseOpts(); o.algo = "di-amm"; o.dB = 1; return o }(),
+		"di-amm time": func() options {
+			o := baseOpts()
+			o.algo = "di-amm"
+			o.dB = 1
+			o.rBound = 60
+			o.useTime = true
+			return o
+		}(),
+	}
+	for name, opt := range cases {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(csvStream(5)), &out, opt); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

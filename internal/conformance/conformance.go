@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"swsketch/internal/core"
+	"swsketch/internal/mat"
 	"swsketch/internal/window"
 )
 
@@ -59,6 +60,29 @@ type Case struct {
 	// skip the concurrent check, where a reader inevitably holds a
 	// stale timestamp.
 	StrictQueryOrder bool
+	// Paired marks paired-stream (AMM) sketches: each d-wide row is
+	// the stacked pair [a|b] split by pairedSplit, the guarantee is on
+	// the product AᵀB rather than the Gram matrix AᵀA, and the error
+	// checks measure the oracle's correlation error ‖AᵀB − XᵀY‖₂ /
+	// (‖A‖_F·‖B‖_F) against MaxErr instead of the covariance error.
+	Paired bool
+}
+
+// pairedSplit is the suite's stacked-row convention for Paired cases:
+// the A side takes the first ⌈d/2⌉ columns.
+func pairedSplit(d int) (dA, dB int) {
+	dA = (d + 1) / 2
+	return dA, d - dA
+}
+
+// caseErr measures a query answer with the case's metric: covariance
+// error, or the windowed-AMM correlation error for Paired cases.
+func caseErr(tc Case, oracle *window.Exact, d int, b *mat.Dense) float64 {
+	if !tc.Paired {
+		return oracle.CovaErr(b)
+	}
+	dA, dB := pairedSplit(d)
+	return oracle.AmmErr(dA, core.StackedProduct(b, dA, dB))
 }
 
 // Cases returns the registration table for every shipped framework.
@@ -107,6 +131,16 @@ func Cases() []Case {
 				// Adaptive R (R=0): the error threshold θ = N·R/ℓ tracks
 				// the observed max squared row norm.
 				return core.NewDSFD(core.DSFDConfig{N: int(spec.Size), Ell: 24}, d)
+			}},
+		{Name: "LM-AMM", Frameworks: []string{"lm-amm"}, MaxErr: 0.35, Paired: true, BatchExact: true, Deterministic: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				dA, dB := pairedSplit(d)
+				return core.NewLMAMM(spec, dA, dB, 24, 8)
+			}},
+		{Name: "DI-AMM", Frameworks: []string{"di-amm"}, MaxErr: 0.6, Paired: true, SeqOnly: true, BatchExact: true,
+			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
+				dA, dB := pairedSplit(d)
+				return core.NewDIAMM(core.DIConfig{N: int(spec.Size), R: 4 * float64(d), L: 5, Ell: 48, RSlack: 2}, dA, dB)
 			}},
 		{Name: "BEST", MaxErr: 0.2, BatchExact: true, StrictQueryOrder: true,
 			Make: func(spec window.Spec, d int, seed int64) core.WindowSketch {
@@ -171,7 +205,7 @@ func sequenceWindow(t *testing.T, cases []Case) {
 					if b.Rows() != b2.Rows() {
 						t.Fatalf("query not idempotent: %d then %d rows", b.Rows(), b2.Rows())
 					}
-					errSum += oracle.CovaErr(b)
+					errSum += caseErr(tc, oracle, d, b)
 					queries++
 					if sk.RowsStored() < 0 {
 						t.Fatal("negative RowsStored")
@@ -208,7 +242,7 @@ func timeWindow(t *testing.T, cases []Case) {
 				sk.Update(row, tt)
 				oracle.Update(row, tt)
 				if i > 400 && i%250 == 0 {
-					errSum += oracle.CovaErr(sk.Query(tt))
+					errSum += caseErr(tc, oracle, d, sk.Query(tt))
 					queries++
 				}
 			}
@@ -269,7 +303,7 @@ func singleRow(t *testing.T, cases []Case) {
 			row := []float64{1, 2, 2}
 			sk.Update(row, 0)
 			oracle.Update(row, 0)
-			e := oracle.CovaErr(sk.Query(0))
+			e := caseErr(tc, oracle, d, sk.Query(0))
 			if !tc.LooseSingleRow && e > 1e-6 {
 				t.Fatalf("single-row error = %v", e)
 			}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+
+	"swsketch/internal/binenc"
+	"swsketch/internal/mat"
+	"swsketch/internal/stream"
+	"swsketch/internal/trace"
+)
+
+// AMM snapshot format: one outer header (kind, side dimensions, COD
+// buffer tuning) followed by a kind-specific body that serialises the
+// inner framework's full deterministic state with COD blobs per block.
+// The LM body mirrors the LM-FD codec; the DI body is the first
+// persisted DI state — deliberately scoped to AMM (a MarshalBinary on
+// *DI itself would silently flip di-fd tenants from "snapshot
+// unsupported" to supported, changing the serving API's behaviour).
+const ammMagic = uint64(0x414D4D53_00000001) // "AMMS" v1
+
+// ammMaxCount bounds every count field the decoder allocates for; far
+// above sane configurations, low enough that short corrupt input
+// cannot demand a giant allocation before its payload is validated.
+const ammMaxCount = 1 << 24
+
+// MarshalBinary snapshots the co-sketch: outer geometry plus the full
+// inner-framework state. AMM is deterministic end to end (COD shrinks
+// are QR/SVD of fixed inputs), so a restored sketch continues
+// bit-exactly — the property the registry's spill/restore and the
+// conformance suite's continuation check rely on.
+func (a *AMM) MarshalBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	w.U64(ammMagic)
+	w.Int(a.kind)
+	w.Int(a.dA)
+	w.Int(a.dB)
+	w.Int(a.opts.Buffer)
+	w.F64(a.opts.Alpha)
+	switch a.kind {
+	case ammKindLM:
+		if err := a.marshalLM(w); err != nil {
+			return nil, err
+		}
+	case ammKindDI:
+		if err := a.marshalDI(w); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: AMM snapshot of unknown kind %d", a.kind)
+	}
+	out := w.Bytes()
+	a.tr.Emit(a.Name(), trace.KindSnapshot, 0, float64(len(out)), 0)
+	return out, nil
+}
+
+func (a *AMM) marshalLM(w *binenc.Writer) error {
+	l, ok := a.inner.(*LM)
+	if !ok {
+		return fmt.Errorf("core: AMM kind LM wraps %T", a.inner)
+	}
+	l.snapshots++
+	writeSpec(w, a.spec)
+	w.Int(a.ell)
+	w.Int(a.b)
+	w.F64(l.lastT)
+	w.Bool(l.seen)
+	w.Int(len(l.levels))
+	for _, lv := range l.levels {
+		w.Int(len(lv))
+		for i := range lv {
+			if err := writeAMMBlock(w, &lv[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return writeAMMBlock(w, &l.active)
+}
+
+func (a *AMM) marshalDI(w *binenc.Writer) error {
+	s, ok := a.inner.(*DI)
+	if !ok {
+		return fmt.Errorf("core: AMM kind DI wraps %T", a.inner)
+	}
+	c := s.cfg
+	w.Int(c.N)
+	w.F64(c.R)
+	w.Int(c.L)
+	w.Int(c.Ell)
+	w.Int(c.MinEll)
+	w.F64(c.RSlack)
+
+	w.Int(s.m)
+	w.F64(s.curSize)
+	w.F64(s.curStart)
+	w.F64(s.lastT)
+	w.Bool(s.seen)
+	w.F64(s.normMin)
+	w.F64(s.normMax)
+	w.Bool(s.rawOverflow)
+	for _, lv := range s.levels {
+		w.Int(len(lv))
+		for i := range lv {
+			blk := &lv[i]
+			w.Int(blk.startIdx)
+			w.Int(blk.endIdx)
+			w.F64(blk.startT)
+			w.F64(blk.endT)
+			if err := writeCODBlob(w, blk.sk); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range s.actives {
+		if err := writeCODBlob(w, s.actives[i]); err != nil {
+			return err
+		}
+		w.F64(s.activeStartT[i])
+		w.Int(s.activeRows[i])
+	}
+	w.Int(len(s.raw))
+	for i, row := range s.raw {
+		writeSparseRow(w, row, s.rawTimes[i])
+	}
+	return nil
+}
+
+func writeCODBlob(w *binenc.Writer, sk stream.Sketch) error {
+	cod, ok := sk.(*stream.COD)
+	if !ok {
+		return fmt.Errorf("core: AMM snapshot found non-COD sketch %T", sk)
+	}
+	b, err := cod.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	w.Blob(b)
+	return nil
+}
+
+func readCODBlob(r *binenc.Reader, dA, dB int) (*stream.COD, error) {
+	cod := stream.NewCOD(2, 1, 1) // shape overwritten by the snapshot
+	if err := cod.UnmarshalBinary(r.Blob()); err != nil {
+		return nil, err
+	}
+	if cod.DimA() != dA || cod.DimB() != dB {
+		return nil, fmt.Errorf("core: AMM snapshot COD dims (%d,%d), want (%d,%d)", cod.DimA(), cod.DimB(), dA, dB)
+	}
+	return cod, nil
+}
+
+func writeSparseRow(w *binenc.Writer, row mat.SparseRow, t float64) {
+	w.Int(len(row.Idx))
+	for _, ix := range row.Idx {
+		w.Int(ix)
+	}
+	w.F64s(row.Val)
+	w.F64(t)
+}
+
+func readSparseRow(r *binenc.Reader, d int) (mat.SparseRow, float64, error) {
+	nnz := r.Int()
+	if r.Err() != nil {
+		return mat.SparseRow{}, 0, r.Err()
+	}
+	if nnz < 0 || nnz > d {
+		return mat.SparseRow{}, 0, fmt.Errorf("core: AMM snapshot sparse row has %d indices for d=%d", nnz, d)
+	}
+	idx := make([]int, nnz)
+	prev := -1
+	for k := range idx {
+		idx[k] = r.Int()
+		if r.Err() == nil && (idx[k] <= prev || idx[k] >= d) {
+			return mat.SparseRow{}, 0, fmt.Errorf("core: AMM snapshot sparse index %d invalid for d=%d", idx[k], d)
+		}
+		prev = idx[k]
+	}
+	val := r.F64s()
+	t := r.F64()
+	if r.Err() != nil {
+		return mat.SparseRow{}, 0, r.Err()
+	}
+	if len(val) != nnz {
+		return mat.SparseRow{}, 0, fmt.Errorf("core: AMM snapshot row has %d indices, %d values", nnz, len(val))
+	}
+	return mat.SparseRow{Idx: idx, Val: val}, t, nil
+}
+
+// writeAMMBlock mirrors writeLMBlock with COD block sketches.
+func writeAMMBlock(w *binenc.Writer, blk *lmBlock) error {
+	w.F64(blk.start)
+	w.F64(blk.end)
+	w.F64(blk.size)
+	w.F64(blk.singletonCap)
+	if blk.sk == nil {
+		w.Bool(false)
+		w.Int(len(blk.raw))
+		for i, row := range blk.raw {
+			writeSparseRow(w, row, blk.rawTimes[i])
+		}
+		return nil
+	}
+	w.Bool(true)
+	return writeCODBlob(w, blk.sk)
+}
+
+func readAMMBlock(r *binenc.Reader, dA, dB int) (lmBlock, error) {
+	blk := lmBlock{
+		start:        r.F64(),
+		end:          r.F64(),
+		size:         r.F64(),
+		singletonCap: r.F64(),
+	}
+	sketched := r.Bool()
+	if r.Err() != nil {
+		return blk, r.Err()
+	}
+	if !sketched {
+		n := r.Int()
+		if r.Err() != nil {
+			return blk, r.Err()
+		}
+		if n < 0 || n > ammMaxCount || n > r.Rest()/8 {
+			return blk, fmt.Errorf("core: AMM snapshot block declares %d raw rows", n)
+		}
+		for i := 0; i < n; i++ {
+			row, t, err := readSparseRow(r, dA+dB)
+			if err != nil {
+				return blk, err
+			}
+			blk.raw = append(blk.raw, row)
+			blk.rawTimes = append(blk.rawTimes, t)
+		}
+		return blk, r.Err()
+	}
+	cod, err := readCODBlob(r, dA, dB)
+	if err != nil {
+		return blk, err
+	}
+	blk.sk = cod
+	return blk, nil
+}
+
+// UnmarshalBinary restores an AMM snapshot into the receiver,
+// rebuilding the inner framework (factory closures included) from the
+// snapshot's geometry. The tracer survives restore.
+func (a *AMM) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if magic := r.U64(); magic != ammMagic && r.Err() == nil {
+		return fmt.Errorf("core: AMM snapshot magic %#x unrecognised", magic)
+	}
+	kind := r.Int()
+	dA := r.Int()
+	dB := r.Int()
+	opts := stream.FDOpts{Buffer: r.Int(), Alpha: r.F64()}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: AMM snapshot: %w", err)
+	}
+	if dA < 1 || dB < 1 || dA > ammMaxCount || dB > ammMaxCount {
+		return fmt.Errorf("core: AMM snapshot has invalid dims dA=%d dB=%d", dA, dB)
+	}
+	if opts.Buffer < 1 || !(opts.Alpha > 0 && opts.Alpha <= 1) {
+		return fmt.Errorf("core: AMM snapshot has invalid COD tuning buffer=%d alpha=%v", opts.Buffer, opts.Alpha)
+	}
+	var restored *AMM
+	var err error
+	switch kind {
+	case ammKindLM:
+		restored, err = unmarshalLMAMM(r, dA, dB, opts)
+	case ammKindDI:
+		restored, err = unmarshalDIAMM(r, dA, dB, opts)
+	default:
+		return fmt.Errorf("core: AMM snapshot kind %d unrecognised", kind)
+	}
+	if err != nil {
+		return fmt.Errorf("core: AMM snapshot: %w", err)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: AMM snapshot: %w", err)
+	}
+	if r.Rest() != 0 {
+		return fmt.Errorf("core: AMM snapshot has %d trailing bytes", r.Rest())
+	}
+	tr := a.tr
+	*a = *restored
+	a.SetTracer(tr)
+	a.tr.Emit(a.Name(), trace.KindRestore, 0, float64(len(data)), 0)
+	return nil
+}
+
+func unmarshalLMAMM(r *binenc.Reader, dA, dB int, opts stream.FDOpts) (*AMM, error) {
+	spec, err := readSpec(r)
+	if err != nil {
+		return nil, err
+	}
+	ell := r.Int()
+	b := r.Int()
+	lastT := r.F64()
+	seen := r.Bool()
+	nLevels := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if ell < 2 || b < 2 || nLevels < 0 || nLevels > ammMaxCount {
+		return nil, fmt.Errorf("shape ell=%d b=%d levels=%d", ell, b, nLevels)
+	}
+	restored := NewLMAMMOpts(spec, dA, dB, ell, b, opts)
+	l := restored.inner.(*LM)
+	l.lastT, l.seen = lastT, seen
+	for i := 0; i < nLevels; i++ {
+		n := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n < 0 || n > ammMaxCount || n > r.Rest()/8 {
+			return nil, fmt.Errorf("level %d declares %d blocks", i, n)
+		}
+		var lv []lmBlock
+		for j := 0; j < n; j++ {
+			blk, err := readAMMBlock(r, dA, dB)
+			if err != nil {
+				return nil, err
+			}
+			lv = append(lv, blk)
+		}
+		l.levels = append(l.levels, lv)
+	}
+	active, err := readAMMBlock(r, dA, dB)
+	if err != nil {
+		return nil, err
+	}
+	l.active = active
+	return restored, nil
+}
+
+func unmarshalDIAMM(r *binenc.Reader, dA, dB int, opts stream.FDOpts) (*AMM, error) {
+	cfg := DIConfig{N: r.Int(), R: r.F64(), L: r.Int(), Ell: r.Int(), MinEll: r.Int(), RSlack: r.F64()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.N < 1 || cfg.R < 1 || cfg.L < 1 || cfg.L > 26 || cfg.Ell < 2 || cfg.MinEll < 1 || cfg.RSlack < 1 {
+		return nil, fmt.Errorf("invalid DI config %+v", cfg)
+	}
+	restored := NewDIAMMOpts(cfg, dA, dB, opts)
+	s := restored.inner.(*DI)
+	s.m = r.Int()
+	s.curSize = r.F64()
+	s.curStart = r.F64()
+	s.lastT = r.F64()
+	s.seen = r.Bool()
+	s.normMin = r.F64()
+	s.normMax = r.F64()
+	s.rawOverflow = r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if s.m < 0 {
+		return nil, fmt.Errorf("negative block counter %d", s.m)
+	}
+	for i := 0; i < cfg.L; i++ {
+		n := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n < 0 || n > ammMaxCount || n > r.Rest()/8 {
+			return nil, fmt.Errorf("level %d declares %d blocks", i+1, n)
+		}
+		for j := 0; j < n; j++ {
+			blk := diBlock{startIdx: r.Int(), endIdx: r.Int(), startT: r.F64(), endT: r.F64()}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if blk.startIdx < 1 || blk.endIdx < blk.startIdx {
+				return nil, fmt.Errorf("level %d block spans [%d,%d]", i+1, blk.startIdx, blk.endIdx)
+			}
+			cod, err := readCODBlob(r, dA, dB)
+			if err != nil {
+				return nil, err
+			}
+			blk.sk = cod
+			s.levels[i] = append(s.levels[i], blk)
+		}
+	}
+	for i := 0; i < cfg.L; i++ {
+		cod, err := readCODBlob(r, dA, dB)
+		if err != nil {
+			return nil, err
+		}
+		s.actives[i] = cod
+		s.activeStartT[i] = r.F64()
+		s.activeRows[i] = r.Int()
+		if r.Err() == nil && s.activeRows[i] < 0 {
+			return nil, fmt.Errorf("active %d has %d rows", i+1, s.activeRows[i])
+		}
+	}
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n < 0 || n > ammMaxCount || n > r.Rest()/8 {
+		return nil, fmt.Errorf("open block declares %d raw rows", n)
+	}
+	for i := 0; i < n; i++ {
+		row, t, err := readSparseRow(r, dA+dB)
+		if err != nil {
+			return nil, err
+		}
+		s.raw = append(s.raw, row)
+		s.rawTimes = append(s.rawTimes, t)
+	}
+	return restored, nil
+}

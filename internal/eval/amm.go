@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/window"
+)
+
+// EvaluateAMM is the exact-AᵀB ground-truth mode of the harness: every
+// dataset row is the stacked pair [a|b] with an A-side width of dA,
+// each spec builds a paired sketch over those rows, and the error
+// columns report the windowed-AMM correlation error
+//
+//	‖AᵀB − XᵀY‖₂ / (‖A‖_F · ‖B‖_F)
+//
+// measured against an exact window oracle that recomputes AᵀB from the
+// window's rows at every query. Sketches are queried through the
+// stacked WindowSketch surface (Query returns [X|Y]); the product is
+// read off with core.StackedProduct, so any sketch whose stacked
+// answer factors that way — including the exact BEST baseline — can
+// ride the same harness.
+func EvaluateAMM(ds *data.Dataset, specs []SketchSpec, cfg Config, dA int) []Metrics {
+	cfg = cfg.validate()
+	if err := ds.Validate(); err != nil {
+		panic(fmt.Sprintf("eval: invalid dataset: %v", err))
+	}
+	d := ds.D()
+	if dA < 1 || dA >= d {
+		panic(fmt.Sprintf("eval: AMM split dA=%d outside (0,%d)", dA, d))
+	}
+	dB := d - dA
+
+	sketches := make([]core.WindowSketch, len(specs))
+	results := make([]Metrics, len(specs))
+	for i, s := range specs {
+		sketches[i] = s.New()
+		results[i] = Metrics{Label: s.Label, Param: s.Param}
+	}
+
+	oracle := window.NewExact(cfg.Spec, d)
+	queries := 0
+	for i, row := range ds.Rows {
+		t := ds.Times[i]
+		oracle.Update(row, t)
+		for j, sk := range sketches {
+			sk.Update(row, t)
+			if n := sk.RowsStored(); n > results[j].MaxRows {
+				results[j].MaxRows = n
+			}
+		}
+		if i < cfg.Warmup || (i-cfg.Warmup)%cfg.QueryStride != 0 {
+			continue
+		}
+		if cfg.MaxQueries > 0 && queries >= cfg.MaxQueries {
+			continue
+		}
+		queries++
+		for j, sk := range sketches {
+			p := core.StackedProduct(sk.Query(t), dA, dB)
+			e := oracle.AmmErr(dA, p)
+			results[j].AvgErr += e
+			if e > results[j].MaxErr {
+				results[j].MaxErr = e
+			}
+			results[j].Queries++
+		}
+	}
+	for j := range results {
+		if results[j].Queries > 0 {
+			results[j].AvgErr /= float64(results[j].Queries)
+		}
+	}
+
+	if !cfg.SkipTiming {
+		for j, s := range specs {
+			results[j].NsPerUpdate = MeasureUpdateCost(ds, s.New)
+		}
+	}
+	return results
+}

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"testing"
+
+	"swsketch/internal/core"
+	"swsketch/internal/data"
+	"swsketch/internal/window"
+)
+
+func ammSpecs(spec window.Spec, dA, dB int) []SketchSpec {
+	return []SketchSpec{
+		{Label: "LM-AMM", Param: "ell=16", New: func() core.WindowSketch {
+			return core.NewLMAMM(spec, dA, dB, 16, 6)
+		}},
+	}
+}
+
+func TestEvaluateAMMProducesSaneMetrics(t *testing.T) {
+	ds := smallDataset() // D=12, split 8|4
+	spec := window.Seq(300)
+	ms := EvaluateAMM(ds, ammSpecs(spec, 8, 4), Config{
+		Spec:        spec,
+		QueryStride: 200,
+		Warmup:      300,
+		SkipTiming:  true,
+	}, 8)
+	if len(ms) != 1 {
+		t.Fatalf("got %d metrics", len(ms))
+	}
+	m := ms[0]
+	if m.Queries == 0 {
+		t.Fatalf("no queries evaluated")
+	}
+	if m.MaxRows <= 0 {
+		t.Fatalf("MaxRows = %d", m.MaxRows)
+	}
+	if m.AvgErr < 0 || m.MaxErr < m.AvgErr {
+		t.Fatalf("inconsistent errors avg=%v max=%v", m.AvgErr, m.MaxErr)
+	}
+	// Correlation error of a working sketch stays far below the trivial
+	// zero-answer level (which scores 1 on perfectly correlated sides).
+	if m.MaxErr > 1 {
+		t.Fatalf("MaxErr = %v, sketch not tracking the product", m.MaxErr)
+	}
+}
+
+// TestEvaluateAMMExactBaseline pins the oracle plumbing: the exact BEST
+// sketch at full rank reproduces the window exactly, so its stacked
+// answer must factor into the exact AᵀB and score ~0 correlation error.
+func TestEvaluateAMMExactBaseline(t *testing.T) {
+	ds := data.Synthetic(data.SyntheticConfig{N: 600, D: 6, SignalDim: 6, Seed: 7})
+	spec := window.Seq(100)
+	ms := EvaluateAMM(ds, []SketchSpec{{
+		Label: "BEST", Param: "k=6",
+		New: func() core.WindowSketch { return core.NewBest(spec, 6, ds.D()) },
+	}}, Config{Spec: spec, QueryStride: 150, Warmup: 100, SkipTiming: true}, 4)
+	if ms[0].Queries == 0 {
+		t.Fatal("no queries evaluated")
+	}
+	if ms[0].MaxErr > 1e-8 {
+		t.Fatalf("exact baseline AMM error = %v, want ~0", ms[0].MaxErr)
+	}
+}
+
+func TestEvaluateAMMValidation(t *testing.T) {
+	ds := smallDataset()
+	for _, dA := range []int{0, ds.D(), -3} {
+		dA := dA
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for dA=%d", dA)
+				}
+			}()
+			EvaluateAMM(ds, nil, Config{Spec: window.Seq(10), QueryStride: 1}, dA)
+		}()
+	}
+}

@@ -33,6 +33,15 @@ const (
 	// with absolute covariance error within N·R/ℓ. R is optional — when
 	// omitted the norm bound is tracked adaptively.
 	FrameworkDSFD = "ds-fd"
+	// FrameworkLMAMM is the Logarithmic Method over the COD co-sketch:
+	// a paired-stream sketch answering windowed AᵀB (approximate matrix
+	// multiplication) queries over stacked rows [a|b]. Requires DB (the
+	// B-side suffix width); deterministic and spill/restore bit-exact.
+	FrameworkLMAMM = "lm-amm"
+	// FrameworkDIAMM is the Dyadic Interval framework over the COD
+	// co-sketch (sequence windows only); same paired-stream contract as
+	// lm-amm.
+	FrameworkDIAMM = "di-amm"
 )
 
 // Frameworks returns every framework name the registry accepts, in
@@ -42,6 +51,7 @@ func Frameworks() []string {
 	return []string{
 		FrameworkSWR, FrameworkSWOR, FrameworkSWORAll,
 		FrameworkLMFD, FrameworkLMHash, FrameworkDIFD, FrameworkDSFD,
+		FrameworkLMAMM, FrameworkDIAMM,
 	}
 }
 
@@ -65,15 +75,22 @@ const (
 type Config struct {
 	// Framework selects the sketch family; one of the Framework
 	// constants ("swr", "swor", "swor-all", "lm-fd", "lm-hash",
-	// "di-fd", "ds-fd").
+	// "di-fd", "ds-fd", "lm-amm", "di-amm").
 	Framework string `json:"framework"`
 	// Window is "sequence" (Size = N rows) or "time" (Size = span Δ).
 	Window string `json:"window"`
 	// Size is the window extent: the row count N for sequence windows
 	// or the timestamp span Δ for time windows.
 	Size float64 `json:"size"`
-	// D is the row dimension.
+	// D is the row dimension. For the paired (AMM) frameworks it is the
+	// TOTAL stacked dimension dA+dB: every ingest route moves stacked
+	// rows [a|b], so the registry, WAL, and wire protocols treat paired
+	// tenants exactly like single-stream ones.
 	D int `json:"d"`
+	// DB is the B-side suffix width for the paired (AMM) frameworks:
+	// each stacked row splits as a = row[:D-DB], b = row[D-DB:].
+	// Required for lm-amm/di-amm (0 < DB < D); disallowed elsewhere.
+	DB int `json:"d_b,omitempty"`
 	// Ell is the sketch-size parameter ℓ (rows per block for LM/DI,
 	// sample budget for the samplers). Zero defers to Eps auto-sizing
 	// where supported.
@@ -81,25 +98,27 @@ type Config struct {
 	// B is the LM blocks-per-level knob (≈ 8/ε); ignored elsewhere.
 	// Zero defaults to 8.
 	B int `json:"b,omitempty"`
-	// Eps is the target covariance error used to auto-size the sketch
-	// when Ell is zero (swr and lm-fd only).
+	// Eps is the target error used to auto-size the sketch when Ell is
+	// zero (swr, lm-fd, ds-fd, and lm-amm).
 	Eps float64 `json:"eps,omitempty"`
 	// Seed seeds the samplers' random source and the hashing
 	// frameworks' hash functions. Zero defaults to 1.
 	Seed int64 `json:"seed,omitempty"`
-	// L is the DI level count; required for di-fd.
+	// L is the DI level count; required for di-fd and di-amm.
 	L int `json:"levels,omitempty"`
-	// R is the maximum squared row norm bound; required for di-fd,
-	// optional for ds-fd (zero lets ds-fd track the bound adaptively).
+	// R is the maximum squared row norm bound (stacked-row norm for the
+	// paired frameworks); required for di-fd and di-amm, optional for
+	// ds-fd (zero lets ds-fd track the bound adaptively).
 	R float64 `json:"r,omitempty"`
 	// FDBuffer is the FastFD working-buffer factor b applied to every
-	// FrequentDirections block sketch (lm-fd and di-fd only): the
-	// sketch buffers up to b·ℓ rows between amortized shrinks. Zero
-	// and 1 both select the classic shrink-on-full cadence — and the
-	// classic snapshot bytes; 2 is the benchmarked recommendation.
+	// FrequentDirections or COD block sketch (the fd and amm
+	// frameworks): the sketch buffers up to b·ℓ rows between amortized
+	// shrinks. Zero and 1 both select the classic shrink-on-full
+	// cadence — and the classic snapshot bytes; 2 is the benchmarked
+	// recommendation.
 	FDBuffer int `json:"fd_buffer,omitempty"`
-	// FDAlpha is the FastFD shrink aggressiveness α ∈ (0,1] (lm-fd and
-	// di-fd only); zero defaults to 1, the classic halving shrink.
+	// FDAlpha is the FastFD shrink aggressiveness α ∈ (0,1] (fd and
+	// amm frameworks); zero defaults to 1, the classic halving shrink.
 	FDAlpha float64 `json:"fd_alpha,omitempty"`
 }
 
@@ -124,7 +143,8 @@ func (c Config) normalize() Config {
 func (c Config) Validate() error {
 	c = c.normalize()
 	switch c.Framework {
-	case FrameworkSWR, FrameworkSWOR, FrameworkSWORAll, FrameworkLMFD, FrameworkLMHash, FrameworkDIFD, FrameworkDSFD:
+	case FrameworkSWR, FrameworkSWOR, FrameworkSWORAll, FrameworkLMFD, FrameworkLMHash,
+		FrameworkDIFD, FrameworkDSFD, FrameworkLMAMM, FrameworkDIAMM:
 	case "":
 		return fmt.Errorf("framework is required")
 	default:
@@ -147,9 +167,19 @@ func (c Config) Validate() error {
 	if c.Ell < 0 {
 		return fmt.Errorf("ell must be ≥ 0, got %d", c.Ell)
 	}
+	switch c.Framework {
+	case FrameworkLMAMM, FrameworkDIAMM:
+		if c.DB < 1 || c.DB >= c.D {
+			return fmt.Errorf("%s requires d_b in (0,d): the B-side suffix width of the stacked dimension d=%d, got %d", c.Framework, c.D, c.DB)
+		}
+	default:
+		if c.DB != 0 {
+			return fmt.Errorf("d_b applies to the paired (amm) frameworks only, not %q", c.Framework)
+		}
+	}
 	if c.Ell == 0 {
 		switch c.Framework {
-		case FrameworkSWR, FrameworkLMFD, FrameworkDSFD:
+		case FrameworkSWR, FrameworkLMFD, FrameworkDSFD, FrameworkLMAMM:
 			if c.Eps <= 0 || c.Eps >= 1 {
 				return fmt.Errorf("ell is zero, so eps must be in (0,1) to auto-size, got %v", c.Eps)
 			}
@@ -160,16 +190,19 @@ func (c Config) Validate() error {
 	if c.B < 0 {
 		return fmt.Errorf("b must be ≥ 0, got %d", c.B)
 	}
-	if c.Framework == FrameworkDIFD {
+	if c.Framework == FrameworkDIFD || c.Framework == FrameworkDIAMM {
 		if c.Window != WindowSequence {
-			return fmt.Errorf("di-fd supports sequence windows only")
+			return fmt.Errorf("%s supports sequence windows only", c.Framework)
 		}
 		if c.L < 1 {
-			return fmt.Errorf("di-fd requires levels ≥ 1, got %d", c.L)
+			return fmt.Errorf("%s requires levels ≥ 1, got %d", c.Framework, c.L)
 		}
 		if c.R <= 0 {
-			return fmt.Errorf("di-fd requires a positive max squared row norm r, got %v", c.R)
+			return fmt.Errorf("%s requires a positive max squared row norm r, got %v", c.Framework, c.R)
 		}
+	}
+	if c.Framework == FrameworkLMAMM && c.Ell != 0 && c.Ell < 2 {
+		return fmt.Errorf("lm-amm requires ell ≥ 2, got %d", c.Ell)
 	}
 	if c.Framework == FrameworkDSFD {
 		if c.Window != WindowSequence {
@@ -190,9 +223,9 @@ func (c Config) Validate() error {
 	}
 	if c.FDBuffer != 0 || c.FDAlpha != 0 {
 		switch c.Framework {
-		case FrameworkLMFD, FrameworkDIFD, FrameworkDSFD:
+		case FrameworkLMFD, FrameworkDIFD, FrameworkDSFD, FrameworkLMAMM, FrameworkDIAMM:
 		default:
-			return fmt.Errorf("fd_buffer/fd_alpha apply to the FD frameworks only, not %q", c.Framework)
+			return fmt.Errorf("fd_buffer/fd_alpha apply to the FD and AMM frameworks only, not %q", c.Framework)
 		}
 	}
 	return nil
@@ -222,6 +255,10 @@ func (c Config) algoName() string {
 		return "DI-FD"
 	case FrameworkDSFD:
 		return "DS-FD"
+	case FrameworkLMAMM:
+		return "LM-AMM"
+	case FrameworkDIAMM:
+		return "DI-AMM"
 	}
 	return c.Framework
 }
@@ -270,6 +307,15 @@ func (c Config) Build() (core.WindowSketch, error) {
 		return core.NewDSFD(core.DSFDConfig{
 			N: int(c.Size), Ell: c.Ell, R: c.R, RSlack: 1.01, FD: c.fdOpts(),
 		}, c.D), nil
+	case FrameworkLMAMM:
+		if c.Ell == 0 {
+			return core.AutoAMM(spec, c.D-c.DB, c.DB, c.Eps), nil
+		}
+		return core.NewLMAMMOpts(spec, c.D-c.DB, c.DB, c.Ell, c.B, c.fdOpts()), nil
+	case FrameworkDIAMM:
+		return core.NewDIAMMOpts(core.DIConfig{
+			N: int(c.Size), R: c.R, L: c.L, Ell: c.Ell, RSlack: 1.01,
+		}, c.D-c.DB, c.DB, c.fdOpts()), nil
 	}
 	return nil, fmt.Errorf("unknown framework %q", c.Framework)
 }

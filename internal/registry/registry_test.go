@@ -139,8 +139,20 @@ func TestConfigValidate(t *testing.T) {
 		{"bad fd buffer", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDBuffer: -1}, "fd_buffer"},
 		{"bad fd alpha", Config{Framework: "lm-fd", Size: 10, D: 4, Ell: 4, FDAlpha: 1.5}, "fd_alpha"},
 		{"fastfd ds-fd", Config{Framework: "ds-fd", Size: 64, D: 4, Ell: 8, FDBuffer: 2, FDAlpha: 0.5}, ""},
-		{"fd knobs on swr", Config{Framework: "swr", Size: 10, D: 4, Ell: 4, FDBuffer: 2}, "FD frameworks only"},
-		{"fd alpha on hash", Config{Framework: "lm-hash", Size: 10, D: 4, Ell: 4, FDAlpha: 0.5}, "FD frameworks only"},
+		{"fd knobs on swr", Config{Framework: "swr", Size: 10, D: 4, Ell: 4, FDBuffer: 2}, "FD and AMM frameworks only"},
+		{"fd alpha on hash", Config{Framework: "lm-hash", Size: 10, D: 4, Ell: 4, FDAlpha: 0.5}, "FD and AMM frameworks only"},
+		{"lm-amm ok", Config{Framework: "lm-amm", Size: 48, D: 6, DB: 2, Ell: 8, B: 4}, ""},
+		{"auto lm-amm", Config{Framework: "lm-amm", Size: 100, D: 6, DB: 2, Eps: 0.2}, ""},
+		{"lm-amm time", Config{Framework: "lm-amm", Window: "time", Size: 9.5, D: 6, DB: 2, Ell: 8}, ""},
+		{"fastfd lm-amm", Config{Framework: "lm-amm", Size: 48, D: 6, DB: 2, Ell: 8, FDBuffer: 2, FDAlpha: 0.5}, ""},
+		{"di-amm ok", Config{Framework: "di-amm", Size: 64, D: 6, DB: 3, Ell: 8, L: 3, R: 4}, ""},
+		{"amm no db", Config{Framework: "lm-amm", Size: 48, D: 6, Ell: 8}, "d_b in (0,d)"},
+		{"amm db too wide", Config{Framework: "lm-amm", Size: 48, D: 6, DB: 6, Ell: 8}, "d_b in (0,d)"},
+		{"amm negative db", Config{Framework: "di-amm", Size: 64, D: 6, DB: -1, Ell: 8, L: 3, R: 4}, "d_b in (0,d)"},
+		{"db on lm-fd", Config{Framework: "lm-fd", Size: 48, D: 6, DB: 2, Ell: 8}, "paired (amm) frameworks only"},
+		{"db on swr", Config{Framework: "swr", Size: 48, D: 6, DB: 2, Ell: 8}, "paired (amm) frameworks only"},
+		{"di-amm time", Config{Framework: "di-amm", Window: "time", Size: 10, D: 6, DB: 2, Ell: 8, L: 3, R: 4}, "sequence windows only"},
+		{"di-amm no r", Config{Framework: "di-amm", Size: 64, D: 6, DB: 3, Ell: 8, L: 3}, "squared row norm"},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()
@@ -190,6 +202,8 @@ func TestConfigBuildNames(t *testing.T) {
 		{Config{Framework: "lm-hash", Size: 16, D: 3, Ell: 4}, "LM-HASH"},
 		{Config{Framework: "di-fd", Size: 16, D: 3, Ell: 4, L: 2, R: 1}, "DI-FD"},
 		{Config{Framework: "ds-fd", Size: 16, D: 3, Ell: 4}, "DS-FD"},
+		{Config{Framework: "lm-amm", Size: 16, D: 3, DB: 1, Ell: 4}, "LM-AMM"},
+		{Config{Framework: "di-amm", Size: 16, D: 3, DB: 1, Ell: 4, L: 2, R: 4}, "DI-AMM"},
 	}
 	for _, tc := range cases {
 		sk, err := tc.cfg.Build()

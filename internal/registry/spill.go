@@ -15,8 +15,14 @@ import (
 // Spill files carry everything needed to resurrect a tenant in a
 // fresh process: the tenant ID, its declarative config, its ingest
 // clock, and the sketch's own binary snapshot. The format is
-// versioned with a magic number like the core snapshot formats.
-const spillMagic = uint64(0x544E4E54_00000001) // "TNNT" v1
+// versioned with a magic number like the core snapshot formats; v2
+// appends the paired-framework split width DB after R and is written
+// only when DB is set, so every pre-existing tenant keeps its v1
+// bytes.
+const (
+	spillMagic   = uint64(0x544E4E54_00000001) // "TNNT" v1
+	spillMagicV2 = uint64(0x544E4E54_00000002) // "TNNT" v2: v1 + DB
+)
 
 // spillExt is the spill-file suffix scanned at startup.
 const spillExt = ".tenant"
@@ -46,9 +52,13 @@ func encodeSpill(t *Tenant) ([]byte, error) {
 		return nil, err
 	}
 	w := binenc.NewWriter()
-	w.U64(spillMagic)
-	w.Blob([]byte(t.id))
 	c := t.cfg
+	if c.DB != 0 {
+		w.U64(spillMagicV2)
+	} else {
+		w.U64(spillMagic)
+	}
+	w.Blob([]byte(t.id))
 	w.Blob([]byte(c.Framework))
 	w.Blob([]byte(c.Window))
 	w.F64(c.Size)
@@ -59,6 +69,9 @@ func encodeSpill(t *Tenant) ([]byte, error) {
 	w.Int(int(c.Seed))
 	w.Int(c.L)
 	w.F64(c.R)
+	if c.DB != 0 {
+		w.Int(c.DB)
+	}
 	w.U64(t.updates.Load())
 	w.F64(t.lastT)
 	w.Bool(t.seen)
@@ -80,7 +93,8 @@ type spillHeader struct {
 func decodeSpill(data []byte) (spillHeader, []byte, error) {
 	var h spillHeader
 	r := binenc.NewReader(data)
-	if magic := r.U64(); r.Err() == nil && magic != spillMagic {
+	magic := r.U64()
+	if r.Err() == nil && magic != spillMagic && magic != spillMagicV2 {
 		return h, nil, fmt.Errorf("registry: not a tenant spill file (magic %#x)", magic)
 	}
 	h.id = string(r.Blob())
@@ -95,6 +109,9 @@ func decodeSpill(data []byte) (spillHeader, []byte, error) {
 		Seed:      int64(r.Int()),
 		L:         r.Int(),
 		R:         r.F64(),
+	}
+	if magic == spillMagicV2 {
+		h.cfg.DB = r.Int()
 	}
 	h.updates = r.U64()
 	h.lastT = r.F64()

@@ -22,6 +22,9 @@ func TestSpillRestoreBitIdentical(t *testing.T) {
 		{Framework: "lm-fd", Window: "time", Size: 32.5, D: 5, Ell: 8, B: 4},
 		{Framework: "ds-fd", Size: 48, D: 5, Ell: 8},
 		{Framework: "ds-fd", Size: 48, D: 8, Ell: 4, FDBuffer: 2, FDAlpha: 0.5},
+		{Framework: "lm-amm", Size: 48, D: 6, DB: 2, Ell: 8, B: 4},
+		{Framework: "lm-amm", Window: "time", Size: 32.5, D: 5, DB: 2, Ell: 8, B: 4, FDBuffer: 2},
+		{Framework: "di-amm", Size: 48, D: 6, DB: 3, Ell: 16, L: 3, R: 16},
 	}
 	for _, cfg := range frameworks {
 		cfg := cfg

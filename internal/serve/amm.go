@@ -1,0 +1,98 @@
+package serve
+
+// The windowed AMM query plane: tenants built from a paired framework
+// (lm-amm, di-amm) answer approximate matrix products AᵀB over the row
+// pairs inside the sliding window. The endpoint mirrors the
+// approximation route's time handling (?t= or the ingest clock) and
+// additionally accepts the timestamp in a small JSON body on POST, so
+// clients that never construct query strings can stay JSON-only.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"swsketch/internal/core"
+	"swsketch/internal/registry"
+)
+
+// ammRequest is the optional POST body: {"t": 12.5}. An empty body is
+// equivalent to omitting ?t= (query at the ingest clock).
+type ammRequest struct {
+	T *float64 `json:"t"`
+}
+
+// ammResponse is the /v2/tenants/{id}/amm payload: the windowed
+// product estimate AᵀB ≈ XᵀY (a d_a×d_b matrix) for the window ending
+// at T.
+type ammResponse struct {
+	Product [][]float64 `json:"product"`
+	DA      int         `json:"d_a"`
+	DB      int         `json:"d_b"`
+	T       float64     `json:"t"`
+}
+
+func (s *Server) handleTenantAMM(w http.ResponseWriter, r *http.Request) {
+	if t, ok := s.tenantOf(w, r); ok {
+		s.amm(w, r, t)
+	}
+}
+
+// ammQueryTime resolves the query timestamp like queryTime, but for
+// POST requests a JSON body {"t": ...} takes the place of the ?t=
+// parameter (the body wins when both are present).
+func ammQueryTime(w http.ResponseWriter, r *http.Request, t *registry.Tenant) (float64, bool) {
+	if r.Method == http.MethodPost && r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, CodeInvalidArgument, "read body: %v", err)
+			return 0, false
+		}
+		if len(body) > 0 {
+			var req ammRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				httpError(w, http.StatusBadRequest, CodeInvalidJSON, "parse body: %v", err)
+				return 0, false
+			}
+			if req.T != nil {
+				qt := *req.T
+				if qt != qt {
+					httpError(w, http.StatusBadRequest, CodeInvalidArgument, "non-finite t")
+					return 0, false
+				}
+				if last, seen := t.Clock(); seen && qt < last {
+					httpError(w, http.StatusBadRequest, CodeInvalidArgument,
+						"t %v precedes last ingested %v", qt, last)
+					return 0, false
+				}
+				return qt, true
+			}
+		}
+	}
+	return queryTime(w, r, t)
+}
+
+func (s *Server) amm(w http.ResponseWriter, r *http.Request, t *registry.Tenant) {
+	if !s.acquire(w, t) {
+		return
+	}
+	// The capability lives on the raw sketch: serving decorations
+	// (instrumentation) forward only the WindowSketch surface.
+	p, paired := t.Raw().(core.PairedWindowSketch)
+	if !paired {
+		name := t.Raw().Name()
+		t.Release()
+		httpError(w, http.StatusNotImplemented, CodeUnsupported,
+			"%s does not answer AMM queries (paired frameworks lm-amm/di-amm only)", name)
+		return
+	}
+	qt, ok := ammQueryTime(w, r, t)
+	if !ok {
+		t.Release()
+		return
+	}
+	product := p.AmmApproximation(qt)
+	dA, dB := p.AmmDims()
+	t.Release()
+	writeJSON(w, ammResponse{Product: product, DA: dA, DB: dB, T: qt})
+}

@@ -25,6 +25,8 @@
 //	DELETE /v1/tenants/{id}                  remove a tenant (and its spill file)
 //	POST   /v1/tenants/{id}/ingest           as /v1/ingest
 //	GET    /v1/tenants/{id}/approximation    as /v1/approximation
+//	GET    /v1/tenants/{id}/amm              windowed AᵀB estimate (paired
+//	POST   /v1/tenants/{id}/amm              frameworks only; 501 otherwise)
 //	GET    /v1/tenants/{id}/pca              as /v1/pca
 //	GET    /v1/tenants/{id}/stats            as /v1/stats, plus tenant fields
 //	GET    /v1/tenants/{id}/health           liveness + residency (no audit)
@@ -342,6 +344,8 @@ func (s *Server) Handler() http.Handler {
 	v1("DELETE /v1/tenants/{id}", "/v2/tenants/{id}", s.handleTenantDelete, "GET", "PUT", "DELETE")
 	v1("POST /v1/tenants/{id}/ingest", "/v2/tenants/{id}/rows", s.handleTenantIngest, "POST")
 	v1("GET /v1/tenants/{id}/approximation", "/v2/tenants/{id}/approximation", s.handleTenantApproximation, "GET")
+	v1("GET /v1/tenants/{id}/amm", "/v2/tenants/{id}/amm", s.handleTenantAMM) // fallback shared below
+	v1("POST /v1/tenants/{id}/amm", "/v2/tenants/{id}/amm", s.handleTenantAMM, "GET", "POST")
 	v1("GET /v1/tenants/{id}/pca", "/v2/tenants/{id}/pca", s.handleTenantPCA, "GET")
 	v1("GET /v1/tenants/{id}/stats", "/v2/tenants/{id}/stats", s.handleTenantStats, "GET")
 	v1("GET /v1/tenants/{id}/health", "/v2/tenants/{id}/health", s.handleTenantHealth, "GET")

@@ -13,6 +13,8 @@ package serve
 //	POST   /v2/tenants/{id}/stream         streaming ingest (NDJSON or
 //	                                       binary frames; see stream.go)
 //	GET    /v2/tenants/{id}/approximation  window approximation
+//	GET    /v2/tenants/{id}/amm            windowed AᵀB product estimate
+//	POST   /v2/tenants/{id}/amm            same, timestamp in a JSON body
 //	GET    /v2/tenants/{id}/pca            top-k window PCA
 //	GET    /v2/tenants/{id}/stats          sketch metadata + internals
 //	GET    /v2/tenants/{id}/health         liveness + residency
@@ -69,6 +71,8 @@ func (s *Server) registerV2(handle func(pattern string, h http.HandlerFunc, allo
 	handle("POST /v2/tenants/{id}/rows", s.handleTenantIngest, "POST")
 	handle("POST /v2/tenants/{id}/stream", s.handleStream, "POST")
 	handle("GET /v2/tenants/{id}/approximation", s.handleTenantApproximation, "GET")
+	handle("GET /v2/tenants/{id}/amm", s.handleTenantAMM) // fallback shared below
+	handle("POST /v2/tenants/{id}/amm", s.handleTenantAMM, "GET", "POST")
 	handle("GET /v2/tenants/{id}/pca", s.handleTenantPCA, "GET")
 	handle("GET /v2/tenants/{id}/stats", s.handleTenantStats, "GET")
 	handle("GET /v2/tenants/{id}/health", s.handleTenantHealth, "GET")

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"fmt"
+
+	"swsketch/internal/binenc"
+)
+
+// COD snapshot format. A single version carries the full geometry
+// (ℓ, dA, dB, buffer factor, α) followed by the aligned occupied row
+// pairs — X rows then Y rows. COD is deterministic, so a restored
+// co-sketch continues bit-exactly where the original left off.
+const codMagic = uint64(0x434F4453_00000001) // "CODS" v1
+
+// MarshalBinary snapshots the co-sketch state (configuration plus the
+// occupied rows of both aligned buffers).
+func (c *COD) MarshalBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	w.U64(codMagic)
+	w.Int(c.ell)
+	w.Int(c.dA)
+	w.Int(c.dB)
+	w.Int(c.bfac)
+	w.F64(c.alpha)
+	w.Int(c.used)
+	for i := 0; i < c.used; i++ {
+		w.F64s(c.bufX.Row(i))
+	}
+	for i := 0; i < c.used; i++ {
+		w.F64s(c.bufY.Row(i))
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary into
+// the receiver, replacing its state (configuration included). The
+// decode limits are shared with FD: a short corrupt or adversarial
+// snapshot cannot demand a giant allocation before the declared row
+// payload is validated against the remaining bytes.
+func (c *COD) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if magic := r.U64(); magic != codMagic && r.Err() == nil {
+		return fmt.Errorf("stream: COD snapshot magic %#x unrecognised", magic)
+	}
+	ell := r.Int()
+	dA := r.Int()
+	dB := r.Int()
+	bfac := r.Int()
+	alpha := r.F64()
+	used := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("stream: COD snapshot: %w", err)
+	}
+	if ell < 2 || dA < 1 || dB < 1 || bfac < 1 || bfac > fdMaxBuffer {
+		return fmt.Errorf("stream: COD snapshot has invalid shape ell=%d dA=%d dB=%d buffer=%d", ell, dA, dB, bfac)
+	}
+	if ell > fdMaxDim || dA > fdMaxDim || dB > fdMaxDim ||
+		ell > fdMaxElems/dA || ell > fdMaxElems/dB {
+		return fmt.Errorf("stream: COD snapshot shape ell=%d dA=%d dB=%d exceeds decode limits", ell, dA, dB)
+	}
+	if !(alpha > 0 && alpha <= 1) {
+		return fmt.Errorf("stream: COD snapshot has invalid alpha %v", alpha)
+	}
+	if used < 0 || used > bfac*ell {
+		return fmt.Errorf("stream: COD snapshot has invalid shape ell=%d buffer=%d used=%d", ell, bfac, used)
+	}
+	// Each X row costs a length prefix plus dA float64s, each Y row the
+	// same with dB; the payload must hold exactly the declared pairs
+	// before anything is allocated for them.
+	pairBytes := (8 + 8*dA) + (8 + 8*dB)
+	if used > r.Rest()/pairBytes || r.Rest() != used*pairBytes {
+		return fmt.Errorf("stream: COD snapshot payload is %d bytes, want %d for %d row pairs", r.Rest(), used*pairBytes, used)
+	}
+	restored := NewCODOpts(ell, dA, dB, FDOpts{Buffer: bfac, Alpha: alpha})
+	for restored.bufX.Rows() < used {
+		restored.grow()
+	}
+	for i := 0; i < used; i++ {
+		row := r.F64s()
+		if r.Err() != nil {
+			break
+		}
+		if len(row) != dA {
+			return fmt.Errorf("stream: COD snapshot X row %d has length %d, want %d", i, len(row), dA)
+		}
+		copy(restored.bufX.Row(i), row)
+	}
+	for i := 0; i < used; i++ {
+		row := r.F64s()
+		if r.Err() != nil {
+			break
+		}
+		if len(row) != dB {
+			return fmt.Errorf("stream: COD snapshot Y row %d has length %d, want %d", i, len(row), dB)
+		}
+		copy(restored.bufY.Row(i), row)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("stream: COD snapshot: %w", err)
+	}
+	if r.Rest() != 0 {
+		return fmt.Errorf("stream: COD snapshot has %d trailing bytes", r.Rest())
+	}
+	restored.used = used
+	*c = *restored
+	return nil
+}

@@ -1,0 +1,400 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"swsketch/internal/mat"
+)
+
+// pairedStreams draws n correlated row pairs: both sides share a
+// k-dimensional latent factor plus independent noise, so AᵀB carries
+// real signal (the regime AMM sketches exist for).
+func pairedStreams(rng *rand.Rand, n, dA, dB, k int) (a, b *mat.Dense) {
+	ga := mat.NewDense(k, dA)
+	gb := mat.NewDense(k, dB)
+	for _, g := range []*mat.Dense{ga, gb} {
+		data := g.Data()
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+	}
+	a = mat.NewDense(n, dA)
+	b = mat.NewDense(n, dB)
+	z := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		ra, rb := a.Row(i), b.Row(i)
+		for j := 0; j < dA; j++ {
+			s := 0.25 * rng.NormFloat64()
+			for l := 0; l < k; l++ {
+				s += z[l] * ga.Row(l)[j]
+			}
+			ra[j] = s
+		}
+		for j := 0; j < dB; j++ {
+			s := 0.25 * rng.NormFloat64()
+			for l := 0; l < k; l++ {
+				s += z[l] * gb.Row(l)[j]
+			}
+			rb[j] = s
+		}
+	}
+	return a, b
+}
+
+// crossProduct computes the exact AᵀB.
+func crossProduct(a, b *mat.Dense) *mat.Dense {
+	p := mat.NewDense(a.Cols(), b.Cols())
+	if a.Rows() > 0 {
+		mat.MulTo(p, a.T(), b)
+	}
+	return p
+}
+
+// ammErr is the paired-stream error metric ‖AᵀB − P‖₂ / (‖A‖F·‖B‖F).
+func ammErr(a, b, p *mat.Dense) float64 {
+	exact := crossProduct(a, b)
+	diff := exact.Clone()
+	dd, pd := diff.Data(), p.Data()
+	for i := range dd {
+		dd[i] -= pd[i]
+	}
+	denom := math.Sqrt(a.FrobeniusSq()) * math.Sqrt(b.FrobeniusSq())
+	if denom == 0 {
+		return mat.SpectralNorm(diff)
+	}
+	return mat.SpectralNorm(diff) / denom
+}
+
+func feedPaired(c *COD, a, b *mat.Dense) {
+	for i := 0; i < a.Rows(); i++ {
+		c.UpdatePaired(a.Row(i), b.Row(i))
+	}
+}
+
+func TestNewCODValidation(t *testing.T) {
+	for _, c := range [][3]int{{1, 5, 5}, {0, 5, 5}, {4, 0, 5}, {4, 5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for ell=%d dA=%d dB=%d", c[0], c[1], c[2])
+				}
+			}()
+			NewCOD(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestCODPairLengthPanics(t *testing.T) {
+	c := NewCOD(4, 3, 2)
+	for _, pair := range [][2][]float64{
+		{{1, 2}, {1, 2}},       // short A side
+		{{1, 2, 3}, {1, 2, 3}}, // long B side
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for pair lengths (%d,%d)", len(pair[0]), len(pair[1]))
+				}
+			}()
+			c.UpdatePaired(pair[0], pair[1])
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for wrong stacked length")
+			}
+		}()
+		c.Update([]float64{1, 2, 3})
+	}()
+}
+
+func TestCODExactWhenUnderCapacity(t *testing.T) {
+	// Fewer pairs than ℓ: COD stores them verbatim, so the product is
+	// the exact AᵀB up to float accumulation order.
+	rng := rand.New(rand.NewSource(1))
+	a, b := pairedStreams(rng, 10, 6, 4, 3)
+	c := NewCOD(16, 6, 4)
+	feedPaired(c, a, b)
+	if c.Used() != 10 || c.Shrinks() != 0 {
+		t.Fatalf("used=%d shrinks=%d, want 10 and 0", c.Used(), c.Shrinks())
+	}
+	if e := ammErr(a, b, c.Product()); e > 1e-12 {
+		t.Fatalf("under-capacity product error %g, want ~0", e)
+	}
+}
+
+func TestCODErrorWithinCertifiedDelta(t *testing.T) {
+	// Past capacity the spectral product error must stay within the
+	// accumulated shrink charge Σδ — COD's certified bound — and Σδ
+	// itself within the O(‖A‖F·‖B‖F/ℓ)-style envelope.
+	for _, opts := range []FDOpts{{}, {Buffer: 2}, {Buffer: 2, Alpha: 0.5}} {
+		rng := rand.New(rand.NewSource(7))
+		a, b := pairedStreams(rng, 600, 12, 9, 4)
+		c := NewCODOpts(24, 12, 9, opts)
+		feedPaired(c, a, b)
+		if c.Shrinks() == 0 {
+			t.Fatalf("opts %+v: expected shrinks past capacity", opts)
+		}
+		exact := crossProduct(a, b)
+		diff := exact.Clone()
+		dd, pd := diff.Data(), c.Product().Data()
+		for i := range dd {
+			dd[i] -= pd[i]
+		}
+		specErr := mat.SpectralNorm(diff)
+		if specErr > c.Delta()*(1+1e-9) {
+			t.Errorf("opts %+v: spectral error %g exceeds certified Σδ=%g", opts, specErr, c.Delta())
+		}
+		denom := math.Sqrt(a.FrobeniusSq()) * math.Sqrt(b.FrobeniusSq())
+		// Worst-case envelope: Σδ ≤ (‖A‖²F+‖B‖²F)/ℓ ≥ 2‖A‖F‖B‖F/ℓ
+		// (AM–GM); allow a small slack for the α-tuned cut.
+		bound := 2 * (a.FrobeniusSq() + b.FrobeniusSq()) / float64(c.Ell())
+		if c.Delta() > bound {
+			t.Errorf("opts %+v: Σδ=%g exceeds envelope %g", opts, c.Delta(), bound)
+		}
+		if e := specErr / denom; e > 0.25 {
+			t.Errorf("opts %+v: relative AMM error %g unexpectedly large", opts, e)
+		}
+	}
+}
+
+func TestCODStackedMatchesPaired(t *testing.T) {
+	// The Sketch-interface stacked path must be bit-identical to
+	// UpdatePaired — it is the embedding the window frameworks drive.
+	rng := rand.New(rand.NewSource(3))
+	a, b := pairedStreams(rng, 300, 5, 4, 2)
+	cp := NewCOD(12, 5, 4)
+	cs := NewCOD(12, 5, 4)
+	row := make([]float64, 9)
+	for i := 0; i < a.Rows(); i++ {
+		cp.UpdatePaired(a.Row(i), b.Row(i))
+		copy(row[:5], a.Row(i))
+		copy(row[5:], b.Row(i))
+		cs.Update(row)
+	}
+	if !cp.Matrix().Equal(cs.Matrix(), 0) {
+		t.Fatal("stacked Update diverged from UpdatePaired")
+	}
+}
+
+func TestCODBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := pairedStreams(rng, 257, 4, 3, 2)
+	single := NewCODOpts(8, 4, 3, FDOpts{Buffer: 2})
+	batch := NewCODOpts(8, 4, 3, FDOpts{Buffer: 2})
+	rows := make([][]float64, a.Rows())
+	for i := range rows {
+		row := make([]float64, 7)
+		copy(row[:4], a.Row(i))
+		copy(row[4:], b.Row(i))
+		rows[i] = row
+		single.Update(row)
+	}
+	for lo := 0; lo < len(rows); lo += 37 {
+		hi := lo + 37
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		batch.UpdateBatch(rows[lo:hi])
+	}
+	if !single.Matrix().Equal(batch.Matrix(), 0) {
+		t.Fatal("UpdateBatch diverged from row-at-a-time Update")
+	}
+}
+
+func TestCODMatrixIsAlignedStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := pairedStreams(rng, 6, 3, 2, 2)
+	c := NewCOD(8, 3, 2)
+	feedPaired(c, a, b)
+	m := c.Matrix()
+	if m.Rows() != 6 || m.Cols() != 5 {
+		t.Fatalf("Matrix() is %dx%d, want 6x5", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			if m.Row(i)[j] != a.Row(i)[j] {
+				t.Fatalf("X side row %d mismatches", i)
+			}
+		}
+		for j := 0; j < 2; j++ {
+			if m.Row(i)[3+j] != b.Row(i)[j] {
+				t.Fatalf("Y side row %d mismatches", i)
+			}
+		}
+	}
+}
+
+func TestCODMerge(t *testing.T) {
+	// Merging two co-sketches must approximate the concatenated
+	// streams' product within the combined certified charge.
+	rng := rand.New(rand.NewSource(6))
+	a1, b1 := pairedStreams(rng, 300, 6, 5, 3)
+	a2, b2 := pairedStreams(rng, 200, 6, 5, 3)
+	c1 := NewCOD(16, 6, 5)
+	c2 := NewCOD(16, 6, 5)
+	feedPaired(c1, a1, b1)
+	feedPaired(c2, a2, b2)
+	c1.Merge(c2)
+
+	allA := mat.Stack(a1, a2)
+	allB := mat.Stack(b1, b2)
+	exact := crossProduct(allA, allB)
+	diff := exact.Clone()
+	dd, pd := diff.Data(), c1.Product().Data()
+	for i := range dd {
+		dd[i] -= pd[i]
+	}
+	if e := mat.SpectralNorm(diff); e > (c1.Delta()+c2.Delta())*(1+1e-9) {
+		t.Fatalf("merged spectral error %g exceeds combined Σδ=%g", e, c1.Delta()+c2.Delta())
+	}
+}
+
+func TestCODMergePanics(t *testing.T) {
+	c := NewCOD(8, 4, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic merging non-COD")
+			}
+		}()
+		c.Merge(NewFD(8, 7))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic merging mismatched side dims")
+			}
+		}()
+		c.Merge(NewCOD(8, 3, 4))
+	}()
+}
+
+func TestCODCloneEmpty(t *testing.T) {
+	c := NewCODOpts(8, 4, 3, FDOpts{Buffer: 2, Alpha: 0.5})
+	cl := c.CloneEmpty().(*COD)
+	if cl.Ell() != 8 || cl.DimA() != 4 || cl.DimB() != 3 ||
+		cl.BufferFactor() != 2 || cl.Alpha() != 0.5 || cl.Used() != 0 {
+		t.Fatalf("CloneEmpty lost configuration: %+v", cl.Stats())
+	}
+}
+
+func TestCODZeroOneSide(t *testing.T) {
+	// Zero rows on one side only must contribute nothing to the
+	// product and never corrupt alignment.
+	rng := rand.New(rand.NewSource(8))
+	a, b := pairedStreams(rng, 120, 5, 4, 2)
+	zeroA := make([]float64, 5)
+	zeroB := make([]float64, 4)
+	c := NewCOD(10, 5, 4)
+	for i := 0; i < a.Rows(); i++ {
+		c.UpdatePaired(a.Row(i), b.Row(i))
+		if i%3 == 0 {
+			c.UpdatePaired(zeroA, b.Row(i)) // contributes 0·bᵀ = 0
+		}
+		if i%5 == 0 {
+			c.UpdatePaired(a.Row(i), zeroB)
+		}
+	}
+	exact := crossProduct(a, b)
+	diff := exact.Clone()
+	dd, pd := diff.Data(), c.Product().Data()
+	for i := range dd {
+		dd[i] -= pd[i]
+	}
+	if e := mat.SpectralNorm(diff); e > c.Delta()*(1+1e-9) {
+		t.Fatalf("one-sided zero rows broke the certified bound: err=%g Σδ=%g", e, c.Delta())
+	}
+}
+
+func TestCODDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := pairedStreams(rng, 400, 6, 6, 3)
+	c1 := NewCOD(12, 6, 6)
+	c2 := NewCOD(12, 6, 6)
+	feedPaired(c1, a, b)
+	feedPaired(c2, a, b)
+	if !c1.Matrix().Equal(c2.Matrix(), 0) {
+		t.Fatal("identical streams produced different sketches")
+	}
+}
+
+func TestCODMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a, b := pairedStreams(rng, 350, 7, 5, 3)
+	c := NewCODOpts(14, 7, 5, FDOpts{Buffer: 2, Alpha: 0.75})
+	feedPaired(c, a, b)
+
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCOD(2, 1, 1)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Matrix().Equal(restored.Matrix(), 0) {
+		t.Fatal("restored state differs")
+	}
+	// Re-marshal fixed point: restored snapshots byte-identically.
+	blob2, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-marshal is not a fixed point")
+	}
+	// Deterministic continuation: both copies fed the same suffix stay
+	// bit-identical (the conformance suite's continuation property).
+	a2, b2 := pairedStreams(rng, 200, 7, 5, 3)
+	feedPaired(c, a2, b2)
+	feedPaired(restored, a2, b2)
+	if !c.Matrix().Equal(restored.Matrix(), 0) {
+		t.Fatal("restored sketch diverged under continuation")
+	}
+}
+
+func TestCODUnmarshalRejectsCorrupt(t *testing.T) {
+	c := NewCOD(4, 3, 2)
+	c.UpdatePaired([]float64{1, 2, 3}, []float64{4, 5})
+	blob, _ := c.MarshalBinary()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"magic":     append([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 1}, blob[8:]...),
+		"truncated": blob[:len(blob)-3],
+		"trailing":  append(append([]byte{}, blob...), 0),
+	}
+	for name, data := range cases {
+		fresh := NewCOD(2, 1, 1)
+		if err := fresh.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s snapshot unexpectedly accepted", name)
+		}
+	}
+}
+
+func TestCODStats(t *testing.T) {
+	c := NewCODOpts(8, 4, 3, FDOpts{Buffer: 2})
+	rng := rand.New(rand.NewSource(11))
+	a, b := pairedStreams(rng, 100, 4, 3, 2)
+	feedPaired(c, a, b)
+	st := c.Stats()
+	for _, k := range []string{"ell", "d_a", "d_b", "used", "headroom", "shrinks", "buffer_cap", "buffer_factor", "alpha", "amortization", "delta"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("Stats missing %q", k)
+		}
+	}
+	if st["ell"] != 8 || st["d_a"] != 4 || st["d_b"] != 3 || st["buffer_cap"] != 16 {
+		t.Fatalf("Stats geometry wrong: %+v", st)
+	}
+	if c.RowsStored() != 8 {
+		t.Fatalf("RowsStored=%d, want ℓ=8", c.RowsStored())
+	}
+}

@@ -9,6 +9,7 @@ package window
 
 import (
 	"fmt"
+	"math"
 
 	"swsketch/internal/binenc"
 	"swsketch/internal/eh"
@@ -207,6 +208,77 @@ func (e *Exact) CovaErr(b *mat.Dense) float64 {
 		fro += mat.SqNorm(tr.row)
 	}
 	return mat.CovarianceError(g, fro, b)
+}
+
+// CrossGram returns the exact cross product AᵀB of the window under
+// the stacked-row convention used by the paired (AMM) sketches: each
+// stored row is [a|b] with a = row[:dA] and b = row[dA:]. The result
+// is dA×(d−dA), recomputed fresh from the stored rows (like CovaErr)
+// to avoid accumulation drift. Panics unless 0 < dA < d.
+func (e *Exact) CrossGram(dA int) *mat.Dense {
+	if dA < 1 || dA >= e.d {
+		panic(fmt.Sprintf("window: CrossGram split %d outside (0,%d)", dA, e.d))
+	}
+	dB := e.d - dA
+	p := mat.NewDense(dA, dB)
+	for _, tr := range e.rows {
+		a, b := tr.row[:dA], tr.row[dA:]
+		for i, av := range a {
+			if av == 0 {
+				continue
+			}
+			pr := p.Row(i)
+			for j, bv := range b {
+				pr[j] += av * bv
+			}
+		}
+	}
+	return p
+}
+
+// SplitFroSq returns the exact squared Frobenius norms (‖A‖²_F, ‖B‖²_F)
+// of the window's two sides under the stacked-row convention.
+func (e *Exact) SplitFroSq(dA int) (float64, float64) {
+	if dA < 1 || dA >= e.d {
+		panic(fmt.Sprintf("window: SplitFroSq split %d outside (0,%d)", dA, e.d))
+	}
+	var froA, froB float64
+	for _, tr := range e.rows {
+		froA += mat.SqNorm(tr.row[:dA])
+		froB += mat.SqNorm(tr.row[dA:])
+	}
+	return froA, froB
+}
+
+// AmmErr computes the paired-stream correlation error of an AᵀB
+// estimate p against the current window:
+//
+//	‖AᵀB − p‖₂ / (‖A‖_F·‖B‖_F)
+//
+// — the AMM analogue of the covariance error, and the metric the
+// paper's AMM bound is stated in. When either side of the window is
+// all-zero (denominator 0) the error is 0 for an (exactly correct)
+// zero estimate and +Inf otherwise.
+func (e *Exact) AmmErr(dA int, p *mat.Dense) float64 {
+	exact := e.CrossGram(dA)
+	if p.Rows() != exact.Rows() || p.Cols() != exact.Cols() {
+		panic(fmt.Sprintf("window: AmmErr estimate is %dx%d, want %dx%d",
+			p.Rows(), p.Cols(), exact.Rows(), exact.Cols()))
+	}
+	ed, pd := exact.Data(), p.Data()
+	for i := range ed {
+		ed[i] -= pd[i]
+	}
+	num := mat.SpectralNorm(exact)
+	froA, froB := e.SplitFroSq(dA)
+	denom := math.Sqrt(froA) * math.Sqrt(froB)
+	if denom == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / denom
 }
 
 // NormTracker approximates ‖A‖²_F over the sliding window. The

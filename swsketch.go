@@ -22,6 +22,10 @@
 //     FrequentDirections sketch per frame with truncated prefix
 //     snapshots, answering sequence-window queries by subtraction with
 //     absolute covariance error within N·R/ℓ.
+//   - Windowed AMM (NewLMAMM, NewDIAMM, AutoAMM): sketches over paired
+//     streams (aᵢ, bᵢ) answering approximate matrix products AᵀB for
+//     the rows inside the window, built by lifting the co-occurring
+//     directions co-sketch (NewCOD) through the LM and DI frameworks.
 //
 // All sketches implement WindowSketch: push timestamped rows with
 // Update (for sequence windows, use the stream index as timestamp) and
@@ -154,6 +158,57 @@ type DSFDConfig = core.DSFDConfig
 
 // NewDSFD returns a DS-FD sketch for rows of dimension d.
 func NewDSFD(cfg DSFDConfig, d int) *DSFD { return core.NewDSFD(cfg, d) }
+
+// COD is the co-occurring directions streaming co-sketch: aligned
+// buffers X and Y maintained so that XᵀY ≈ AᵀB for a paired stream of
+// row pairs (aᵢ, bᵢ), with certified spectral error ‖AᵀB − XᵀY‖₂
+// bounded by the accumulated shrink charge (Delta). Mergeable, so it
+// slots into the LM and DI frameworks as the block sketch behind the
+// windowed AMM sketches below.
+type COD = stream.COD
+
+// NewCOD returns a COD co-sketch of at most ell row pairs with side
+// widths dA and dB.
+func NewCOD(ell, dA, dB int) *COD { return stream.NewCOD(ell, dA, dB) }
+
+// NewCODOpts returns a COD co-sketch with FastFD ingest tuning; the
+// zero FDOpts reproduces NewCOD exactly.
+func NewCODOpts(ell, dA, dB int, o FDOpts) *COD { return stream.NewCODOpts(ell, dA, dB, o) }
+
+// PairedWindowSketch is a sliding-window sketch over a paired stream
+// (aᵢ, bᵢ): alongside the WindowSketch contract it answers windowed
+// approximate matrix products AᵀB via AmmApproximation.
+type PairedWindowSketch = core.PairedWindowSketch
+
+// AMM is the windowed approximate-matrix-multiplication sketch: an LM
+// or DI framework instance over COD co-sketch blocks, answering
+// AᵀB ≈ XᵀY for the row pairs inside the sliding window.
+type AMM = core.AMM
+
+// NewLMAMM returns the Logarithmic Method over COD blocks — windowed
+// AMM on sequence or time windows. ell is the per-block co-sketch
+// size, b the blocks per level.
+func NewLMAMM(spec Spec, dA, dB, ell, b int) *AMM { return core.NewLMAMM(spec, dA, dB, ell, b) }
+
+// NewLMAMMOpts returns LM-AMM with FastFD ingest tuning applied to
+// every COD block; the zero FDOpts reproduces NewLMAMM exactly.
+func NewLMAMMOpts(spec Spec, dA, dB, ell, b int, o FDOpts) *AMM {
+	return core.NewLMAMMOpts(spec, dA, dB, ell, b, o)
+}
+
+// NewDIAMM returns the Dyadic Interval framework over COD blocks —
+// the space-efficient windowed AMM choice for sequence windows with a
+// small norm ratio R.
+func NewDIAMM(cfg DIConfig, dA, dB int) *AMM { return core.NewDIAMM(cfg, dA, dB) }
+
+// NewDIAMMOpts returns DI-AMM with FastFD ingest tuning.
+func NewDIAMMOpts(cfg DIConfig, dA, dB int, o FDOpts) *AMM {
+	return core.NewDIAMMOpts(cfg, dA, dB, o)
+}
+
+// AutoAMM sizes an LM-AMM sketch for a target correlation error
+// ‖AᵀB − XᵀY‖₂/(‖A‖_F·‖B‖_F) ≈ eps.
+func AutoAMM(spec Spec, dA, dB int, eps float64) *AMM { return core.AutoAMM(spec, dA, dB, eps) }
 
 // Best is the offline best-rank-k baseline (stores the window; not a
 // sketch — provided as the error lower envelope).
